@@ -1,0 +1,33 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one table/figure of the paper via its
+``repro.experiments`` harness, asserts the paper's qualitative shape, and
+prints the table so ``pytest benchmarks/ --benchmark-only`` leaves a full
+record of paper-vs-measured values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def runner(fn, **kwargs):
+        return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner
+
+
+def show(tables) -> None:
+    """Print one or many experiment tables into the benchmark log."""
+    from repro.experiments.runner import ExperimentTable
+
+    if isinstance(tables, ExperimentTable):
+        tables = [tables]
+    print()
+    for table in tables:
+        print(table.format())
+        print()

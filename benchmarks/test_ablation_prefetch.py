@@ -1,0 +1,42 @@
+"""Ablation: Mobius's prefetching (the §3.1 overlap mechanism).
+
+Not a paper figure, but the design DESIGN.md calls out: reserving GPU
+memory to prefetch the next stage is what hides the swap traffic.  With
+prefetching disabled, every stage upload serialises behind the previous
+stage's execution.
+"""
+
+from benchmarks.conftest import show
+from repro.core.api import MobiusConfig, plan_mobius
+from repro.core.pipeline import simulate_mobius
+from repro.experiments.runner import ExperimentTable
+from repro.hardware.topology import topo_2_2
+from repro.models.zoo import gpt_15b
+
+
+def run() -> ExperimentTable:
+    model = gpt_15b()
+    topology = topo_2_2()
+    report = plan_mobius(model, topology, MobiusConfig(partition_time_limit=1.0))
+    table = ExperimentTable(
+        title="Ablation: prefetching on/off (15B, Topo 2+2)",
+        columns=("prefetch", "step_s", "non_overlapped"),
+    )
+    for prefetch in (True, False):
+        run_ = simulate_mobius(
+            report.plan, topology, report.cost_model, prefetch=prefetch
+        )
+        table.add_row(
+            "on" if prefetch else "off",
+            run_.step_seconds,
+            run_.trace.non_overlapped_comm_fraction(),
+        )
+    return table
+
+
+def test_prefetch_ablation(run_once):
+    table = run_once(run)
+    show(table)
+    on, off = table.rows
+    assert off[1] > on[1] * 1.05  # prefetching buys real time
+    assert off[2] > on[2]  # ... by hiding communication

@@ -1,0 +1,39 @@
+"""Ablation: SSD offload tier vs DRAM (§3.1's design choice).
+
+The paper keeps stages in DRAM, arguing SSD bandwidth would bottleneck the
+pipeline.  This bench quantifies that: the same 15B plan re-simulated with
+the memory tier behind NVMe bandwidth.
+"""
+
+from benchmarks.conftest import show
+from repro.core.extensions import simulate_with_ssd
+from repro.experiments.runner import ExperimentTable
+from repro.hardware.topology import topo_2_2
+from repro.models.zoo import gpt_15b
+
+
+def run() -> ExperimentTable:
+    table = ExperimentTable(
+        title="Ablation: DRAM vs SSD offload tier (15B, Topo 2+2)",
+        columns=("tier", "bandwidth_GBps", "step_s", "slowdown"),
+    )
+    for bandwidth in (5.0, 2.0):
+        comparison = simulate_with_ssd(
+            gpt_15b(), topo_2_2(), ssd_bandwidth=bandwidth * 1e9
+        )
+        if not table.rows:
+            table.add_row("DRAM", 80.0, comparison.dram_step_seconds, "1.00x")
+        table.add_row(
+            "SSD", bandwidth, comparison.ssd_step_seconds, f"{comparison.slowdown:.2f}x"
+        )
+    return table
+
+
+def test_ssd_tier(run_once):
+    table = run_once(run)
+    show(table)
+    slowdowns = [float(r[3].rstrip("x")) for r in table.rows]
+    # SSD bottlenecks the pipeline, increasingly so at lower bandwidth —
+    # the §3.1 justification for a DRAM-only memory tier.
+    assert slowdowns[1] > 1.2
+    assert slowdowns[2] > slowdowns[1]

@@ -1,0 +1,40 @@
+"""Ablation: steady-state multi-step execution.
+
+Chains several Mobius steps so the next step's uploads overlap the current
+step's tail; measures how much of the one-step time is pipeline fill that
+amortises away.
+"""
+
+from benchmarks.conftest import show
+from repro.core.api import MobiusConfig
+from repro.core.extensions import simulate_mobius_steps
+from repro.experiments.runner import ExperimentTable
+from repro.hardware.topology import topo_2_2
+from repro.models.zoo import gpt_8b
+
+
+def run() -> ExperimentTable:
+    run_ = simulate_mobius_steps(
+        gpt_8b(),
+        topo_2_2(),
+        n_steps=4,
+        config=MobiusConfig(microbatch_size=1, partition_time_limit=1.0),
+    )
+    table = ExperimentTable(
+        title="Ablation: steady-state multi-step (8B, Topo 2+2, 4 steps)",
+        columns=("metric", "seconds"),
+    )
+    table.add_row("first step", run_.first_step_seconds)
+    table.add_row("amortised step", run_.amortised_step_seconds)
+    table.add_row("total (4 steps)", run_.total_seconds)
+    return table
+
+
+def test_steady_state(run_once):
+    table = run_once(run)
+    show(table)
+    values = dict(zip(table.column("metric"), table.column("seconds")))
+    # The amortised step stays within 15% of the first step (steps are
+    # serialised on the optimizer), and chaining is sane.
+    assert values["amortised step"] <= values["first step"] * 1.15
+    assert values["total (4 steps)"] >= 3.0 * values["amortised step"]

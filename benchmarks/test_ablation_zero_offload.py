@@ -1,0 +1,43 @@
+"""Ablation: ZeRO-Offload's single-GPU memory boundary (§5).
+
+The related-work comparison the paper argues from: ZeRO-Offload removes
+parameter communication but replicates the FP16 model in every GPU, so its
+trainable scale sits between GPipe's and Mobius's.
+"""
+
+from benchmarks.conftest import show
+from repro.experiments.runner import ExperimentTable, run_system
+from repro.hardware.topology import topo_2_2
+from repro.models.zoo import gpt_3b, gpt_8b
+
+
+def run() -> ExperimentTable:
+    table = ExperimentTable(
+        title="Ablation: ZeRO-Offload vs ZeRO-3 vs Mobius (Topo 2+2, mbs 1)",
+        columns=("model", "zero-offload", "deepspeed", "mobius"),
+    )
+    topology = topo_2_2()
+    for factory in (gpt_3b, gpt_8b):
+        model = factory()
+        cells = []
+        for system in ("zero-offload", "deepspeed", "mobius"):
+            result = run_system(system, model, topology, microbatch_size=1)
+            cells.append(f"{result.step_seconds:.2f}" if result.ok else "OOM")
+        table.add_row(model.name, *cells)
+    table.notes.append(
+        "paper (§5): ZeRO-Offload's model scale is limited by a single GPU's "
+        "memory; heterogeneous-memory systems train far larger models"
+    )
+    return table
+
+
+def test_zero_offload_boundary(run_once):
+    table = run_once(run)
+    show(table)
+    rows = {row[0]: row for row in table.rows}
+    # 3B fits and is fast (no parameter communication at all).
+    assert rows["GPT-3B"][1] != "OOM"
+    assert float(rows["GPT-3B"][1]) < float(rows["GPT-3B"][2])
+    # 8B exceeds a single 24 GB GPU's replica capacity.
+    assert rows["GPT-8B"][1] == "OOM"
+    assert rows["GPT-8B"][3] != "OOM"  # Mobius still trains it

@@ -1,0 +1,18 @@
+"""Figure 10: cross mapping vs sequential mapping on 8 GPUs."""
+
+from benchmarks.conftest import show
+from repro.experiments import fig10_mapping
+
+
+def test_fig10(run_once):
+    table = run_once(fig10_mapping.run, fast=True)
+    show(table)
+    ratios = [float(r) for r in table.column("cross/sequential")]
+    # Paper: cross mapping reduces per-step time by 11.3-18.1%.  The fluid
+    # simulator hides prefetch traffic more effectively than the real
+    # system (no launch/staging overheads), so the magnitude is muted here
+    # (~1-3%); the *direction* and the shrinking-gain trend are preserved.
+    assert min(ratios) <= 0.99
+    assert all(r <= 1.005 for r in ratios)
+    # The gain shrinks as microbatches grow (compute starts dominating).
+    assert ratios[-1] >= ratios[0] - 0.005

@@ -1,0 +1,16 @@
+"""Figure 11: bandwidth CDFs under cross vs sequential mapping."""
+
+from benchmarks.conftest import show
+from repro.experiments import fig11_mapping_cdf
+
+
+def test_fig11(run_once):
+    table = run_once(fig11_mapping_cdf.run, fast=True)
+    show(table)
+    for row in table.rows:
+        _model, _mbs, seq_above, cross_above, med_seq, med_cross = row
+        # Paper: cross mapping shifts bytes toward higher bandwidth.
+        assert cross_above >= seq_above - 0.02
+        assert med_cross >= med_seq - 0.3
+    # At least one configuration shows a strict improvement.
+    assert any(row[3] > row[2] + 0.02 for row in table.rows)

@@ -1,0 +1,16 @@
+"""Figure 13: training-loss curves of Mobius vs GPipe."""
+
+from benchmarks.conftest import show
+from repro.experiments import fig13_convergence
+
+
+def test_fig13(run_once):
+    table = run_once(fig13_convergence.run, fast=True)
+    show(table)
+    gpipe = table.column("gpipe_loss")
+    mobius = table.column("mobius_loss")
+    # Paper: the curves almost overlap (synchronous updates) ...
+    assert max(abs(a - b) for a, b in zip(gpipe, mobius)) < 1e-2
+    # ... and fine-tuning actually learns.
+    assert gpipe[-1] < gpipe[0]
+    assert mobius[-1] < mobius[0]

@@ -1,0 +1,24 @@
+"""Figure 15: performance and price on the data-center GPU server."""
+
+from benchmarks.conftest import show
+from repro.experiments import fig15_datacenter
+
+
+def test_fig15(run_once):
+    time_table, price_table = run_once(fig15_datacenter.run, fast=True)
+    show([time_table, price_table])
+
+    for row in time_table.rows:
+        _model, ds_dc, mobius_dc, ds_c, mobius_c = row
+        # Both systems improve on the DC server; DeepSpeed improves most.
+        assert ds_dc < ds_c
+        assert mobius_dc <= mobius_c * 1.02
+        assert (ds_c / ds_dc) > (mobius_c / mobius_dc)
+        # On the DC server DeepSpeed is at least competitive with Mobius.
+        assert ds_dc <= mobius_dc * 1.05
+
+    for row in price_table.rows:
+        _model, _ds_price, _mob_price, time_x, price_x = row
+        # Paper: ~1.42x the time at ~0.57x the price.
+        assert 1.1 <= float(time_x) <= 1.9
+        assert 0.35 <= float(price_x) <= 0.75

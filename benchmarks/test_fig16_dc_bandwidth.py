@@ -1,0 +1,15 @@
+"""Figure 16: GPU-CPU bandwidth CDF on the data-center server."""
+
+from benchmarks.conftest import show
+from repro.experiments import fig16_dc_bandwidth
+
+
+def test_fig16(run_once):
+    table = run_once(fig16_dc_bandwidth.run, fast=True)
+    show(table)
+    medians = {(row[0], row[1]): row[2] for row in table.rows}
+    models = {row[0] for row in table.rows}
+    for model in models:
+        # Paper: Mobius's GPU-CPU transfers still contend less than
+        # DeepSpeed's, even with NVLink carrying the collectives.
+        assert medians[(model, "mobius")] >= medians[(model, "deepspeed")]

@@ -1,0 +1,13 @@
+"""Figure 2: DeepSpeed bandwidth CDF on the commodity server."""
+
+from benchmarks.conftest import show
+from repro.experiments import fig2_deepspeed_cdf
+
+
+def test_fig2(run_once):
+    table = run_once(fig2_deepspeed_cdf.run)
+    show(table)
+    # Paper: most data moves at <= 50% of the root complex's maximum
+    # (6.55 GB/s of 13.1); the CDF at 6 GB/s should already be high.
+    cdf_at_6 = dict(zip(table.column("bandwidth_gbps"), table.column("cdf")))[6]
+    assert cdf_at_6 > 0.5

@@ -1,0 +1,33 @@
+"""Figure 5: end-to-end per-step time of all four systems.
+
+The paper's headline: Mobius is 3.8-5.1x faster than DeepSpeed with
+heterogeneous memory, and the all-in-GPU systems OOM beyond the 3B model.
+"""
+
+from benchmarks.conftest import show
+from repro.experiments import fig5_overall
+
+
+def test_fig5(run_once):
+    table = run_once(fig5_overall.run, fast=True)
+    show(table)
+
+    ratios = [float(r.rstrip("x")) for r in table.column("ds/mobius")]
+    # Paper band 3.8-5.1x; the simulator lands in 3.4-5.1 (Topo 2+2 is the
+    # least contended and sits at the low end).
+    assert all(r >= 3.0 for r in ratios)
+    assert max(ratios) >= 4.0
+    assert max(ratios) <= 6.0
+
+    # OOM pattern: GPipe and DeepSpeed-pipeline cannot train the 8B+ models.
+    for row in table.rows:
+        model, _topo, gpipe, ds_pipeline, *_ = row
+        if model != "GPT-3B":
+            assert gpipe == "OOM" and ds_pipeline == "OOM"
+
+    # Mobius is nearly topology-insensitive (cross mapping): spread <= 1.4x.
+    by_model: dict[str, list[float]] = {}
+    for row in table.rows:
+        by_model.setdefault(row[0], []).append(float(row[5]))
+    for steps in by_model.values():
+        assert max(steps) / min(steps) <= 1.4

@@ -1,0 +1,18 @@
+"""Figure 6: communication traffic of DeepSpeed vs Mobius."""
+
+from benchmarks.conftest import show
+from repro.experiments import fig6_traffic
+
+
+def test_fig6(run_once):
+    table = run_once(fig6_traffic.run, fast=True)
+    show(table)
+    for row in table.rows:
+        ds_x = float(row[6])
+        mobius_x = float(row[7])
+        # Paper: DeepSpeed ~7.3x model size, Mobius ~1.8x.
+        assert 6.0 <= ds_x <= 8.0
+        assert 1.2 <= mobius_x <= 2.2
+        # Analytic estimates track the measured volumes.
+        assert abs(row[2] - row[3]) / row[2] < 0.1  # DeepSpeed
+        assert abs(row[4] - row[5]) / row[4] < 0.15  # Mobius

@@ -1,0 +1,23 @@
+"""Figure 7: bandwidth CDFs of DeepSpeed vs Mobius across topologies."""
+
+from benchmarks.conftest import show
+from repro.experiments import fig7_bandwidth_cdf
+
+
+def test_fig7(run_once):
+    table = run_once(fig7_bandwidth_cdf.run, fast=True)
+    show(table)
+    rows = {
+        (row[0], row[1], row[2]): (row[3], row[4], row[5]) for row in table.rows
+    }
+    for (model, topo, system), (below6, above12, median) in rows.items():
+        if system == "mobius":
+            # Paper: more than half of Mobius's bytes move above 12 GB/s.
+            assert above12 >= 0.5, (model, topo)
+        else:
+            # Paper: DeepSpeed's bytes mostly sit below 6 GB/s.
+            assert below6 >= 0.5, (model, topo)
+    # Mobius's median bandwidth beats DeepSpeed's everywhere.
+    for (model, topo, system), stats in rows.items():
+        if system == "mobius":
+            assert stats[2] > rows[(model, topo, "deepspeed")][2]

@@ -1,0 +1,19 @@
+"""Figure 8: non-overlapped communication proportion."""
+
+from benchmarks.conftest import show
+from repro.experiments import fig8_overlap
+
+
+def test_fig8(run_once):
+    table = run_once(fig8_overlap.run, fast=True)
+    show(table)
+    for row in table.rows:
+        _model, topo, ds, mobius, _reduction = row
+        # Paper: DeepSpeed exposes most communication (~0.7-0.9 of the step);
+        # Mobius hides the bulk of it.
+        assert ds >= 0.45, topo
+        assert mobius < ds, topo
+        assert ds - mobius >= 0.3, topo
+    # Mobius overlaps best on Topo 2+2 (most mapping freedom).
+    mobius_by_topo = {row[1]: row[3] for row in table.rows}
+    assert mobius_by_topo["Topo 2+2"] <= mobius_by_topo["Topo 4"]

@@ -1,0 +1,17 @@
+"""Figure 9: MIP vs maximum-stage vs minimum-stage partitioning."""
+
+from benchmarks.conftest import show
+from repro.experiments import fig9_partition
+
+
+def test_fig9(run_once):
+    table = run_once(fig9_partition.run, fast=True)
+    show(table)
+    for row in table.rows:
+        max_stage_x = float(row[3])
+        min_stage_x = float(row[4])
+        # Paper: maximum-stage is the worst (it forfeits prefetching).
+        assert max_stage_x >= 1.5
+        # MIP is never beaten; min-stage stays close for big blocks.
+        assert min_stage_x >= 0.999
+        assert min_stage_x <= 1.5

@@ -1,0 +1,15 @@
+"""§2.3: DeepSpeed's communication profile on the commodity server."""
+
+from benchmarks.conftest import show
+from repro.experiments import sec23_deepspeed_profile
+
+
+def test_sec23(run_once):
+    table = run_once(sec23_deepspeed_profile.run)
+    show(table)
+    measured = dict(zip(table.column("metric"), table.column("measured")))
+    # Paper: communication accounts for over 70% of training time.
+    assert float(measured["comm fraction of step"]) >= 0.7
+    # Paper: traffic is ~7.3x the model size.
+    traffic = float(measured["traffic / model size"].rstrip("x"))
+    assert 6.0 <= traffic <= 8.0

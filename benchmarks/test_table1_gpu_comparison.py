@@ -1,0 +1,12 @@
+"""Table 1: 3090-Ti vs A100 comparison."""
+
+from benchmarks.conftest import show
+from repro.experiments import table1_gpus
+
+
+def test_table1(run_once):
+    table = run_once(table1_gpus.run)
+    show(table)
+    values = dict(zip(table.column("attribute"), table.column("A100")))
+    assert values["GPUDirect P2P"] == "support"
+    assert values["Price"] == "$14,000"

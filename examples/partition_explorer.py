@@ -1,0 +1,65 @@
+"""Partition explorer: how stage size shapes pipeline efficiency.
+
+The §2 motivation: a practitioner wants to fine-tune a custom model on the
+GPUs they have.  This example builds a custom GPT-like spec, then compares
+the three partitioning strategies of §4.3 across microbatch sizes and shows
+the chosen stage layouts — reproducing Figure 9's trade-off (too-large
+stages kill prefetching; too-small stages pay activation traffic).
+
+Usage:
+    python examples/partition_explorer.py [hidden_dim] [n_blocks]
+"""
+
+import sys
+
+from repro.core.api import MobiusConfig, run_mobius
+from repro.hardware.topology import topo_2_2
+from repro.models.spec import build_gpt_like
+
+
+def main() -> None:
+    hidden_dim = int(sys.argv[1]) if len(sys.argv) > 1 else 3072
+    n_blocks = int(sys.argv[2]) if len(sys.argv) > 2 else 24
+    model = build_gpt_like(
+        f"custom-{hidden_dim}x{n_blocks}",
+        n_blocks=n_blocks,
+        hidden_dim=hidden_dim,
+        n_heads=max(8, hidden_dim // 128),
+    )
+    topology = topo_2_2()
+    print(f"model: {model.name} ({model.param_count / 1e9:.2f}B params)")
+    print(f"server: {topology.name}, {topology.n_gpus}x {topology.gpu_spec.name}\n")
+
+    header = f"{'microbatch':>10} {'method':>10} {'stages':>7} {'step (s)':>9} {'vs MIP':>7}"
+    print(header)
+    print("-" * len(header))
+    for mbs in (1, 2, 4):
+        baseline = None
+        for method in ("mip", "max-stage", "min-stage"):
+            report = run_mobius(
+                model,
+                topology,
+                MobiusConfig(
+                    microbatch_size=mbs,
+                    partition_method=method,
+                    partition_time_limit=2.0,
+                ),
+            )
+            if baseline is None:
+                baseline = report.step_seconds
+            plan = report.plan_report.plan
+            print(
+                f"{mbs:>10} {method:>10} {plan.n_stages:>7} "
+                f"{report.step_seconds:>9.2f} {report.step_seconds / baseline:>6.2f}x"
+            )
+        print()
+
+    print("MIP-chosen layout at microbatch size 1:")
+    report = run_mobius(
+        model, topology, MobiusConfig(microbatch_size=1, partition_time_limit=2.0)
+    )
+    print(report.plan_report.plan.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Server advisor: where should you fine-tune your model? (§4.8)
+
+The paper's economic argument: renting a commodity multi-GPU server with
+Mobius trades a modest slowdown for a much lower per-step price than
+DeepSpeed on a data-center NVLink server.  This example prices one
+fine-tuning run (a fixed number of steps) for a chosen model on both
+options and prints the bill.
+
+Usage:
+    python examples/server_advisor.py [model] [steps]
+    # model in {3B, 8B, 15B}; default 8B, 2000 steps
+"""
+
+import sys
+
+from repro.analysis.price import PricePoint
+from repro.baselines.deepspeed import run_deepspeed
+from repro.core.api import MobiusConfig, run_mobius
+from repro.hardware.pricing import COMMODITY_4X3090TI, EC2_P3_8XLARGE
+from repro.hardware.topology import datacenter_server, topo_2_2
+from repro.models.zoo import model_by_name
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "8B"
+    n_steps = int(sys.argv[2]) if len(sys.argv) > 2 else 2000
+    model = model_by_name(name)
+    print(f"fine-tuning {model.name} for {n_steps} steps\n")
+
+    print("simulating DeepSpeed on the data-center server (4xV100, NVLink) ...")
+    ds_dc = run_deepspeed(model, datacenter_server(), )
+    print("simulating Mobius on the commodity server (4x3090-Ti, Topo 2+2) ...")
+    mobius_c = run_mobius(
+        model, topo_2_2(), MobiusConfig(partition_time_limit=2.0)
+    )
+
+    options = [
+        PricePoint("DeepSpeed @ EC2 P3 (4xV100)", EC2_P3_8XLARGE, ds_dc.step_seconds),
+        PricePoint(
+            "Mobius @ commodity (4x3090-Ti)", COMMODITY_4X3090TI, mobius_c.step_seconds
+        ),
+    ]
+    print(f"\n{'option':<32} {'s/step':>8} {'$/step':>9} {'run time':>10} {'run cost':>9}")
+    for point in options:
+        hours = point.step_seconds * n_steps / 3600
+        cost = point.step_price_usd * n_steps
+        print(
+            f"{point.system:<32} {point.step_seconds:>8.2f} "
+            f"{point.step_price_usd:>9.4f} {hours:>8.1f} h {cost:>8.2f} $"
+        )
+
+    ds, mobius = options
+    print(
+        f"\n==> Mobius-on-commodity: {mobius.step_seconds / ds.step_seconds:.2f}x the time "
+        f"at {mobius.step_price_usd / ds.step_price_usd:.2f}x the price "
+        "(paper: ~1.42x time, ~0.57x price)"
+    )
+
+
+if __name__ == "__main__":
+    main()

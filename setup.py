@@ -1,0 +1,7 @@
+"""Legacy setup shim: offline environments lack the `wheel` package needed by
+PEP 660 editable installs, so `pip install -e . --no-use-pep517
+--no-build-isolation` goes through this file instead."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""Per-step training price analysis (Figure 15b, §4.8).
+
+Combines per-step times with server rental rates: the paper's punchline is
+that Mobius on a commodity 4x3090-Ti server is ~42% slower per step than
+DeepSpeed on an EC2 P3 data-center server but ~43% cheaper per step.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hardware.pricing import ServerRental, per_step_price
+
+__all__ = ["PricePoint", "price_comparison"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PricePoint:
+    """One (system, server) cell of Figure 15."""
+
+    system: str
+    server: ServerRental
+    step_seconds: float
+
+    @property
+    def step_price_usd(self) -> float:
+        return per_step_price(self.server, self.step_seconds)
+
+
+def price_comparison(points: list[PricePoint]) -> list[dict[str, float | str]]:
+    """Tabulate Figure 15: per-step time and price for each configuration."""
+    return [
+        {
+            "system": p.system,
+            "server": p.server.name,
+            "step_seconds": p.step_seconds,
+            "step_price_usd": p.step_price_usd,
+        }
+        for p in points
+    ]

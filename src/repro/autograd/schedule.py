@@ -1,0 +1,115 @@
+"""Learning-rate schedules and gradient clipping.
+
+Standard fine-tuning machinery: warmup + cosine/linear decay schedules
+driving any optimizer's ``lr``, and global-norm gradient clipping.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+__all__ = ["LRSchedule", "WarmupCosine", "WarmupLinear", "clip_grad_norm"]
+
+
+class LRSchedule:
+    """Base schedule: drives an optimizer's ``lr`` per step."""
+
+    def __init__(self, optimizer, base_lr: float | None = None) -> None:
+        self.optimizer = optimizer
+        self.base_lr = base_lr if base_lr is not None else optimizer.lr
+        self._step = 0
+
+    def lr_at(self, step: int) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one step; sets and returns the new learning rate."""
+        self._step += 1
+        lr = self.lr_at(self._step)
+        self.optimizer.lr = lr
+        return lr
+
+
+class WarmupCosine(LRSchedule):
+    """Linear warmup to ``base_lr`` then cosine decay to ``min_lr``."""
+
+    def __init__(
+        self,
+        optimizer,
+        *,
+        warmup_steps: int,
+        total_steps: int,
+        min_lr: float = 0.0,
+        base_lr: float | None = None,
+    ) -> None:
+        if warmup_steps < 0 or total_steps <= warmup_steps:
+            raise ValueError(
+                f"need 0 <= warmup_steps < total_steps, got {warmup_steps}/{total_steps}"
+            )
+        super().__init__(optimizer, base_lr)
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def lr_at(self, step: int) -> float:
+        if self.warmup_steps and step <= self.warmup_steps:
+            return self.base_lr * step / self.warmup_steps
+        progress = min(
+            1.0,
+            (step - self.warmup_steps) / (self.total_steps - self.warmup_steps),
+        )
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class WarmupLinear(LRSchedule):
+    """Linear warmup then linear decay to zero at ``total_steps``."""
+
+    def __init__(
+        self,
+        optimizer,
+        *,
+        warmup_steps: int,
+        total_steps: int,
+        base_lr: float | None = None,
+    ) -> None:
+        if warmup_steps < 0 or total_steps <= warmup_steps:
+            raise ValueError(
+                f"need 0 <= warmup_steps < total_steps, got {warmup_steps}/{total_steps}"
+            )
+        super().__init__(optimizer, base_lr)
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+
+    def lr_at(self, step: int) -> float:
+        if self.warmup_steps and step <= self.warmup_steps:
+            return self.base_lr * step / self.warmup_steps
+        remaining = max(
+            0.0,
+            (self.total_steps - step) / (self.total_steps - self.warmup_steps),
+        )
+        return self.base_lr * remaining
+
+
+def clip_grad_norm(params: Iterable[Tensor], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns:
+        The pre-clipping global norm.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    grads = [p.grad for p in params if p.grad is not None]
+    if not grads:
+        return 0.0
+    total = math.sqrt(sum(float(np.sum(g.astype(np.float64) ** 2)) for g in grads))
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for grad in grads:
+            grad *= scale
+    return total

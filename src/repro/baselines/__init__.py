@@ -1,0 +1,28 @@
+"""Baseline systems: GPipe, DeepSpeed pipeline (1F1B), DeepSpeed ZeRO-3."""
+
+from repro.baselines.deepspeed import (
+    DeepSpeedConfig,
+    DeepSpeedReport,
+    build_deepspeed_tasks,
+    run_deepspeed,
+)
+from repro.baselines.zero_offload import ZeroOffloadReport, run_zero_offload
+from repro.baselines.gpipe import (
+    OutOfMemoryError,
+    PipelineBaselineReport,
+    run_deepspeed_pipeline,
+    run_gpipe,
+)
+
+__all__ = [
+    "DeepSpeedConfig",
+    "DeepSpeedReport",
+    "OutOfMemoryError",
+    "PipelineBaselineReport",
+    "build_deepspeed_tasks",
+    "run_deepspeed",
+    "run_deepspeed_pipeline",
+    "run_gpipe",
+    "ZeroOffloadReport",
+    "run_zero_offload",
+]

@@ -1,0 +1,182 @@
+"""Command-line interface.
+
+Subcommands:
+
+* ``plan``     — run Mobius's planner for a model/topology and print the plan;
+* ``compare``  — simulate every system (GPipe, DeepSpeed pipeline,
+  ZeRO-Offload, ZeRO-3 heterogeneous memory, Mobius) on one configuration;
+* ``advise``   — sweep microbatch sizes for the best throughput;
+* ``figures``  — regenerate paper figures by name (or ``all``).
+
+Examples:
+    python -m repro plan --model 15B --topology 2+2
+    python -m repro compare --model 8B --topology 4 --microbatch 1
+    python -m repro advise --model 8B --topology 2+2
+    python -m repro figures fig5 fig6
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from collections.abc import Sequence
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.runner import SYSTEMS, ExperimentTable, print_tables, run_system
+from repro.hardware.gpu import GPU_PRESETS
+from repro.hardware.topology import Topology, commodity_server, datacenter_server
+from repro.models.zoo import model_by_name
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_topology(spec: str, gpu: str) -> Topology:
+    """Parse a topology spec: ``"2+2"``, ``"4"``, ``"1+3"`` or ``"dc"``."""
+    if spec.lower() in ("dc", "datacenter"):
+        return datacenter_server()
+    try:
+        groups = [int(part) for part in spec.split("+")]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"topology must look like '2+2', '4', '1+3' or 'dc', got {spec!r}"
+        ) from None
+    return commodity_server(groups, GPU_PRESETS[gpu])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mobius (ASPLOS 2023) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--model", default="15B", help="3B | 8B | 15B | 51B | GPT2")
+        p.add_argument("--topology", default="2+2", help="'2+2', '4', '1+3', '4+4' or 'dc'")
+        p.add_argument(
+            "--gpu", default="RTX 3090-Ti", choices=sorted(GPU_PRESETS),
+            help="GPU preset for commodity topologies",
+        )
+        p.add_argument("--microbatch", type=int, default=None, help="microbatch size")
+        p.add_argument(
+            "--time-limit", type=float, default=5.0, help="MIP search budget (s)"
+        )
+
+    plan = sub.add_parser("plan", help="run the Mobius planner and print the plan")
+    add_common(plan)
+
+    compare = sub.add_parser("compare", help="simulate every system on one config")
+    add_common(compare)
+
+    advise = sub.add_parser("advise", help="find the throughput-best microbatch size")
+    add_common(advise)
+
+    figures = sub.add_parser("figures", help="regenerate paper figures")
+    figures.add_argument(
+        "names",
+        nargs="+",
+        help=f"experiment names (prefix match) or 'all'; known: {', '.join(ALL_EXPERIMENTS)}",
+    )
+    figures.add_argument("--full", action="store_true", help="full sweeps (slow)")
+    return parser
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core.api import MobiusConfig, plan_mobius
+
+    model = model_by_name(args.model)
+    topology = _parse_topology(args.topology, args.gpu)
+    report = plan_mobius(
+        model,
+        topology,
+        MobiusConfig(
+            microbatch_size=args.microbatch, partition_time_limit=args.time_limit
+        ),
+    )
+    print(report.plan.describe())
+    print(
+        f"planning overhead: profile {report.profiling_seconds:.1f}s, "
+        f"MIP {report.mip_solve_seconds:.1f}s, mapping {report.mapping_seconds:.3f}s"
+    )
+    print(f"estimated step time: {report.plan.estimated_step_seconds:.2f}s")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    model = model_by_name(args.model)
+    topology = _parse_topology(args.topology, args.gpu)
+    table = ExperimentTable(
+        title=f"{model.name} on {topology.name}",
+        columns=("system", "step_s", "traffic_GB", "non_overlapped"),
+    )
+    for system in SYSTEMS:
+        result = run_system(
+            system, model, topology, microbatch_size=args.microbatch
+        )
+        if result.ok:
+            assert result.trace is not None
+            table.add_row(
+                system,
+                result.step_seconds,
+                result.trace.total_transfer_bytes() / 1e9,
+                result.trace.non_overlapped_comm_fraction(),
+            )
+        else:
+            table.add_row(system, "OOM", "-", "-")
+    print_tables(table)
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.core.extensions import advise_microbatch_size
+
+    model = model_by_name(args.model)
+    topology = _parse_topology(args.topology, args.gpu)
+    advice = advise_microbatch_size(model, topology)
+    table = ExperimentTable(
+        title=f"microbatch sweep: {model.name} on {topology.name}",
+        columns=("microbatch", "step_s", "samples_per_s"),
+    )
+    for mbs in sorted(advice.throughputs):
+        table.add_row(mbs, advice.step_seconds[mbs], advice.throughputs[mbs])
+    table.notes.append(f"best microbatch size: {advice.best_microbatch_size}")
+    print_tables(table)
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    wanted = ALL_EXPERIMENTS if "all" in args.names else [
+        name
+        for name in ALL_EXPERIMENTS
+        if any(name.startswith(prefix) for prefix in args.names)
+    ]
+    if not wanted:
+        print(f"no experiments match {args.names}; known: {', '.join(ALL_EXPERIMENTS)}")
+        return 1
+    for name in wanted:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        if "fast" in module.run.__code__.co_varnames:
+            tables = module.run(fast=not args.full)
+        else:
+            tables = module.run()
+        print_tables(tables)
+    return 0
+
+
+_COMMANDS = {
+    "plan": _cmd_plan,
+    "compare": _cmd_compare,
+    "advise": _cmd_advise,
+    "figures": _cmd_figures,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,180 @@
+"""High-level Mobius API: profile -> partition -> map -> execute.
+
+:func:`plan_mobius` runs the full planning pipeline of the paper —
+similarity-compressed profiling (§3.2), the MIP partition search (§3.2) and
+cross mapping (§3.3) — and returns an :class:`~repro.core.plan.ExecutionPlan`
+plus all planning overheads (Figure 12).  :func:`run_mobius` additionally
+simulates one training step on the given server topology.
+
+Example:
+    >>> from repro.hardware import topo_2_2
+    >>> from repro.models import gpt_8b
+    >>> report = run_mobius(gpt_8b(), topo_2_2())
+    >>> report.step_seconds > 0
+    True
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.mapping import MappingResult, cross_mapping, sequential_mapping
+from repro.core.partition import (
+    PartitionResult,
+    max_stage_partition,
+    min_stage_partition,
+    mip_partition,
+)
+from repro.core.pipeline import MobiusRun, simulate_mobius
+from repro.core.plan import ExecutionPlan
+from repro.hardware.topology import Topology
+from repro.models.costmodel import CostModel
+from repro.models.profiler import ProfileReport, Profiler
+from repro.models.spec import ModelSpec
+from repro.sim.trace import Trace
+
+__all__ = ["MobiusConfig", "MobiusPlanReport", "MobiusReport", "plan_mobius", "run_mobius"]
+
+_PARTITIONERS = {
+    "mip": mip_partition,
+    "max-stage": max_stage_partition,
+    "min-stage": min_stage_partition,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class MobiusConfig:
+    """Tunable knobs of the planner and executor.
+
+    Attributes:
+        microbatch_size: Sequences per microbatch; defaults to the model's
+            Table 3 value.
+        n_microbatches: Microbatches per step; Mobius uses M = N (default).
+        partition_method: ``"mip"`` (default), ``"max-stage"`` or
+            ``"min-stage"`` (§4.3 ablation).
+        mapping_method: ``"cross"`` (default) or ``"sequential"`` (§4.4).
+        partition_time_limit: Search budget for the MIP partitioner.
+        prefetch: Overlap stage uploads with computation (§3.1).
+        use_priorities: Prefetch priority streams (§3.3).
+        bandwidth: Average bandwidth ``B`` for the MIP; defaults to the
+            topology's PCIe link bandwidth.
+    """
+
+    microbatch_size: int | None = None
+    n_microbatches: int | None = None
+    partition_method: str = "mip"
+    mapping_method: str = "cross"
+    partition_time_limit: float = 10.0
+    prefetch: bool = True
+    use_priorities: bool = True
+    bandwidth: float | None = None
+
+
+@dataclasses.dataclass
+class MobiusPlanReport:
+    """Planning output plus overhead breakdown (Figure 12)."""
+
+    plan: ExecutionPlan
+    partition_result: PartitionResult
+    mapping_result: MappingResult
+    profile_report: ProfileReport
+    cost_model: CostModel
+
+    @property
+    def profiling_seconds(self) -> float:
+        return self.profile_report.profiling_seconds
+
+    @property
+    def mip_solve_seconds(self) -> float:
+        return self.partition_result.solve_seconds
+
+    @property
+    def mapping_seconds(self) -> float:
+        return self.mapping_result.search_seconds
+
+
+@dataclasses.dataclass
+class MobiusReport:
+    """Planning + one simulated training step."""
+
+    plan_report: MobiusPlanReport
+    run: MobiusRun
+
+    @property
+    def step_seconds(self) -> float:
+        return self.run.step_seconds
+
+    @property
+    def trace(self) -> Trace:
+        return self.run.trace
+
+
+def plan_mobius(
+    model: ModelSpec, topology: Topology, config: MobiusConfig = MobiusConfig()
+) -> MobiusPlanReport:
+    """Run Mobius's planning pipeline for ``model`` on ``topology``."""
+    microbatch_size = config.microbatch_size or model.default_microbatch_size
+    n_gpus = topology.n_gpus
+    n_microbatches = config.n_microbatches or n_gpus
+    bandwidth = config.bandwidth or topology.pcie_bandwidth
+
+    cost_model = CostModel(topology.gpu_spec, microbatch_size)
+    profile_report = Profiler(cost_model).profile(model)
+
+    try:
+        partitioner = _PARTITIONERS[config.partition_method]
+    except KeyError:
+        raise ValueError(
+            f"unknown partition_method {config.partition_method!r}; "
+            f"expected one of {sorted(_PARTITIONERS)}"
+        ) from None
+    kwargs = {}
+    if config.partition_method == "mip":
+        kwargs["time_limit"] = config.partition_time_limit
+    partition_result = partitioner(
+        model, cost_model, n_gpus, n_microbatches, bandwidth, **kwargs
+    )
+
+    n_stages = partition_result.partition.n_stages
+    if config.mapping_method == "cross":
+        mapping_result = cross_mapping(topology, n_stages)
+    elif config.mapping_method == "sequential":
+        mapping_result = sequential_mapping(topology)
+    else:
+        raise ValueError(
+            f"unknown mapping_method {config.mapping_method!r}; "
+            "expected 'cross' or 'sequential'"
+        )
+
+    timings = partition_result.timings
+    plan = ExecutionPlan(
+        partition=partition_result.partition,
+        mapping=mapping_result.mapping,
+        n_microbatches=n_microbatches,
+        microbatch_size=microbatch_size,
+        prefetch_fwd_bytes=timings.prefetch_fwd_bytes,
+        prefetch_bwd_bytes=timings.prefetch_bwd_bytes,
+        estimated_step_seconds=timings.step_seconds,
+    )
+    return MobiusPlanReport(
+        plan=plan,
+        partition_result=partition_result,
+        mapping_result=mapping_result,
+        profile_report=profile_report,
+        cost_model=cost_model,
+    )
+
+
+def run_mobius(
+    model: ModelSpec, topology: Topology, config: MobiusConfig = MobiusConfig()
+) -> MobiusReport:
+    """Plan and simulate one Mobius training step."""
+    plan_report = plan_mobius(model, topology, config)
+    run = simulate_mobius(
+        plan_report.plan,
+        topology,
+        plan_report.cost_model,
+        prefetch=config.prefetch,
+        use_priorities=config.use_priorities,
+    )
+    return MobiusReport(plan_report=plan_report, run=run)

@@ -1,0 +1,160 @@
+"""Stage-to-GPU mapping: sequential vs topology-aware cross mapping (§3.3).
+
+Mobius assigns stage ``j`` to GPU ``perm[j % N]``; the *mapping* problem is
+choosing the permutation.  Sequential mapping (identity) puts adjacent
+stages on adjacent GPUs, which on commodity servers often share a CPU root
+complex — their prefetches then collide (Figure 4a).  Cross mapping searches
+permutations for the minimum *contention degree*:
+
+    contention(stage_i, stage_j) = shared(i, j) / |i - j|          (Eq. 12)
+
+where ``shared(i, j)`` is the number of GPUs under the common root complex
+of the two stages' GPUs (0 when they differ), and the objective sums over
+all stage pairs (Eq. 13).
+
+The search is exact for the paper's server sizes (N <= 8 means at most
+40,320 permutations; the pair sum collapses to residue classes, making each
+candidate O(N^2)).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import math
+import time
+
+import numpy as np
+
+from repro.core.plan import Mapping
+from repro.hardware.topology import Topology
+
+__all__ = [
+    "MappingResult",
+    "contention_degree",
+    "cross_mapping",
+    "sequential_mapping",
+]
+
+#: Above this GPU count the exact permutation search is replaced by a
+#: round-robin-over-root-complexes heuristic.
+_EXACT_SEARCH_LIMIT = 8
+
+
+@dataclasses.dataclass
+class MappingResult:
+    """A mapping plus search metadata.
+
+    Attributes:
+        mapping: The chosen stage-to-GPU permutation.
+        contention: Its Eq. 13 objective value.
+        search_seconds: Wall time of the search (Figure 12's overhead).
+        schemes_evaluated: Number of candidate permutations scored.
+    """
+
+    mapping: Mapping
+    contention: float
+    search_seconds: float
+    schemes_evaluated: int
+
+
+def contention_degree(topology: Topology, mapping: Mapping, n_stages: int) -> float:
+    """Eq. 13 objective: summed pairwise contention over all stage pairs."""
+    if n_stages <= 0:
+        raise ValueError(f"n_stages must be positive, got {n_stages}")
+    total = 0.0
+    for i in range(n_stages):
+        gpu_i = mapping.gpu_of_stage(i)
+        for j in range(i + 1, n_stages):
+            shared = topology.shared_group_size(gpu_i, mapping.gpu_of_stage(j))
+            if shared:
+                total += shared / (j - i)
+    return total
+
+
+def _residue_weights(n_stages: int, n_gpus: int) -> np.ndarray:
+    """``W[a, b] = sum over stage pairs i<j with i%N==a, j%N==b of 1/(j-i)``.
+
+    Collapsing the Eq. 13 sum onto residue classes makes scoring one
+    permutation O(N^2) instead of O(S^2).
+    """
+    weights = np.zeros((n_gpus, n_gpus))
+    for i in range(n_stages):
+        for j in range(i + 1, n_stages):
+            weights[i % n_gpus, j % n_gpus] += 1.0 / (j - i)
+    return weights
+
+
+def _shared_matrix(topology: Topology) -> np.ndarray:
+    n = topology.n_gpus
+    shared = np.zeros((n, n))
+    for a in range(n):
+        for b in range(n):
+            shared[a, b] = topology.shared_group_size(a, b)
+    return shared
+
+
+def _score(perm: tuple[int, ...], weights: np.ndarray, shared: np.ndarray) -> float:
+    indices = np.array(perm)
+    return float(np.sum(weights * shared[np.ix_(indices, indices)]))
+
+
+def sequential_mapping(topology: Topology) -> MappingResult:
+    """The naive mapping of existing pipeline systems: stage j -> GPU j % N."""
+    mapping = Mapping.sequential(topology.n_gpus)
+    return MappingResult(
+        mapping=mapping,
+        contention=math.nan,
+        search_seconds=0.0,
+        schemes_evaluated=1,
+    )
+
+
+def cross_mapping(topology: Topology, n_stages: int) -> MappingResult:
+    """Search for the permutation minimising the contention degree.
+
+    For servers up to :data:`_EXACT_SEARCH_LIMIT` GPUs all ``N!``
+    permutations are scored exactly (the paper: "Mobius searches all mapping
+    schemes"); beyond that a root-complex round-robin heuristic is used.
+    """
+    started = time.perf_counter()
+    n = topology.n_gpus
+    weights = _residue_weights(n_stages, n)
+    shared = _shared_matrix(topology)
+
+    if n <= _EXACT_SEARCH_LIMIT:
+        best_perm: tuple[int, ...] | None = None
+        best_score = math.inf
+        count = 0
+        for perm in itertools.permutations(range(n)):
+            count += 1
+            score = _score(perm, weights, shared)
+            if score < best_score - 1e-12:
+                best_perm, best_score = perm, score
+        assert best_perm is not None
+        mapping = Mapping(best_perm)
+    else:
+        perm = _round_robin_heuristic(topology)
+        best_score = _score(perm, weights, shared)
+        mapping = Mapping(perm)
+        count = 1
+
+    full_score = contention_degree(topology, mapping, n_stages)
+    return MappingResult(
+        mapping=mapping,
+        contention=full_score,
+        search_seconds=time.perf_counter() - started,
+        schemes_evaluated=count,
+    )
+
+
+def _round_robin_heuristic(topology: Topology) -> tuple[int, ...]:
+    """Interleave GPUs across root complexes so consecutive residues differ."""
+    queues = [list(topology.gpus_under_root_complex(rc)) for rc in range(topology.n_root_complexes)]
+    order: list[int] = []
+    index = 0
+    while any(queues):
+        if queues[index % len(queues)]:
+            order.append(queues[index % len(queues)].pop(0))
+        index += 1
+    return tuple(order)

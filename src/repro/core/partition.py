@@ -1,0 +1,349 @@
+"""Model partition algorithms (§3.2 and the §4.3 ablation baselines).
+
+The production path solves the paper's partitioning problem as a
+branch-and-bound search over contiguous stage boundaries.  Each node fixes a
+prefix of stages; its objective is evaluated with the exact pipeline-timing
+recurrence (:mod:`repro.core.timing`, Eqs. 4-11), and subtrees are pruned
+with an admissible bound (the last microbatch still has to traverse every
+remaining layer forward and the whole model backward).  This *is* a
+mixed-integer optimisation: integer decisions (stage boundaries) + linear
+timing constraints, solved exactly when the node/time budget allows.  A
+literal boolean ``B_{i,j}`` MILP in the paper's notation is provided in
+:mod:`repro.core.mip_formulation` and cross-checked against this solver in
+the test suite.
+
+Baselines of §4.3:
+
+* **maximum-stage** — each stage packs as many layers as fit in GPU memory,
+  leaving no room for prefetching;
+* **minimum-stage** — one transformer block per stage (auxiliary layers are
+  merged into the first/last stage), maximising activation traffic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import time
+from collections.abc import Sequence
+
+from repro.core.plan import Partition
+from repro.core.timing import PipelineTimings, evaluate_pipeline
+from repro.models.costmodel import CostModel, StageCost
+from repro.models.spec import LayerKind, ModelSpec
+
+__all__ = [
+    "PartitionResult",
+    "mip_partition",
+    "max_stage_partition",
+    "min_stage_partition",
+]
+
+
+@dataclasses.dataclass
+class PartitionResult:
+    """A partition plus how it was obtained.
+
+    Attributes:
+        partition: The chosen partition.
+        timings: Analytic timings of the chosen partition.
+        solve_seconds: Wall time spent searching.
+        nodes_explored: Branch-and-bound nodes (0 for baselines).
+        optimal: Whether the search ran to completion (exact optimum) or
+            stopped on the budget with the best incumbent.
+        method: ``"mip"``, ``"max-stage"`` or ``"min-stage"``.
+    """
+
+    partition: Partition
+    timings: PipelineTimings
+    solve_seconds: float
+    nodes_explored: int
+    optimal: bool
+    method: str
+
+
+class _SearchContext:
+    """Shared state for the boundary branch-and-bound."""
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        cost_model: CostModel,
+        n_gpus: int,
+        n_microbatches: int,
+        bandwidth: float,
+        gpu_memory: int,
+    ) -> None:
+        self.model = model
+        self.cost_model = cost_model
+        self.n_gpus = n_gpus
+        self.n_microbatches = n_microbatches
+        self.bandwidth = bandwidth
+        self.gpu_memory = gpu_memory
+        self._stage_cache: dict[tuple[int, int], StageCost] = {}
+        layer_costs = [cost_model.layer_cost(layer) for layer in model.layers]
+        self.fwd_suffix = [0.0] * (model.n_layers + 1)
+        for i in range(model.n_layers - 1, -1, -1):
+            self.fwd_suffix[i] = self.fwd_suffix[i + 1] + layer_costs[i].fwd_seconds
+        self.total_bwd = sum(c.bwd_seconds for c in layer_costs)
+
+    def stage_cost(self, start: int, stop: int) -> StageCost:
+        key = (start, stop)
+        cached = self._stage_cache.get(key)
+        if cached is None:
+            cached = self.cost_model.stage_cost(self.model, start, stop)
+            self._stage_cache[key] = cached
+        return cached
+
+    def stage_fits(self, start: int, stop: int) -> bool:
+        cost = self.stage_cost(start, stop)
+        return cost.mem_peak(self.n_microbatches) <= self.gpu_memory
+
+    def max_stage_len(self, start: int) -> int:
+        """Longest memory-feasible stage beginning at layer ``start``."""
+        length = 0
+        for stop in range(start + 1, self.model.n_layers + 1):
+            if self.stage_fits(start, stop):
+                length = stop - start
+            else:
+                break
+        return length
+
+    def evaluate(self, boundaries: Sequence[int]) -> PipelineTimings:
+        costs = [
+            self.stage_cost(a, b)
+            for a, b in zip((0, *boundaries), (*boundaries, self.model.n_layers))
+        ]
+        return evaluate_pipeline(
+            costs, self.n_gpus, self.n_microbatches, self.bandwidth, self.gpu_memory
+        )
+
+    def evaluate_prefix_bound(self, cuts: list[int]) -> float:
+        """Admissible lower bound on any completion of the stage prefix.
+
+        ``cuts`` is ``[0, b1, ..., bk]``; the prefix covers ``[0, cuts[-1])``.
+        The bound is the prefix's forward finish on the last microbatch plus
+        the remaining layers' forward and the entire model's backward, all
+        communication-free.
+        """
+        costs = [self.stage_cost(a, b) for a, b in zip(cuts, cuts[1:])]
+        if not costs:
+            return self.fwd_suffix[0] + self.total_bwd
+        timings = evaluate_pipeline(
+            costs, self.n_gpus, self.n_microbatches, self.bandwidth, self.gpu_memory
+        )
+        if not timings.feasible:
+            return math.inf
+        last = len(costs) - 1
+        end_fwd = timings.t_fwd[last][self.n_microbatches - 1] + costs[last].fwd_seconds
+        return end_fwd + self.fwd_suffix[cuts[-1]] + self.total_bwd
+
+
+def _balanced_boundaries(n_layers: int, n_stages: int) -> list[int]:
+    return [round(n_layers * i / n_stages) for i in range(1, n_stages)]
+
+
+def _local_search(
+    ctx: _SearchContext, boundaries: list[int], best_time: float
+) -> tuple[list[int], float]:
+    """Hill-climb by moving single boundaries; returns the local optimum."""
+    improved = True
+    current = list(boundaries)
+    while improved:
+        improved = False
+        for index in range(len(current)):
+            for delta in (-1, 1):
+                candidate = list(current)
+                candidate[index] += delta
+                lo = candidate[index - 1] if index else 0
+                hi = candidate[index + 1] if index + 1 < len(candidate) else ctx.model.n_layers
+                if not lo < candidate[index] < hi:
+                    continue
+                timings = ctx.evaluate(candidate)
+                if timings.feasible and timings.step_seconds < best_time - 1e-12:
+                    current, best_time, improved = candidate, timings.step_seconds, True
+    return current, best_time
+
+
+def _warm_start(ctx: _SearchContext) -> tuple[list[int] | None, float]:
+    """Best near-balanced partition over all stage counts, refined locally."""
+    n_layers = ctx.model.n_layers
+    best: list[int] | None = None
+    best_time = math.inf
+    for n_stages in range(max(1, ctx.n_gpus), n_layers + 1):
+        boundaries = _balanced_boundaries(n_layers, n_stages)
+        timings = ctx.evaluate(boundaries)
+        if timings.feasible and timings.step_seconds < best_time:
+            best, best_time = boundaries, timings.step_seconds
+    if best is not None:
+        best, best_time = _local_search(ctx, best, best_time)
+    return best, best_time
+
+
+def mip_partition(
+    model: ModelSpec,
+    cost_model: CostModel,
+    n_gpus: int,
+    n_microbatches: int,
+    bandwidth: float,
+    *,
+    gpu_memory: int | None = None,
+    time_limit: float = 10.0,
+    max_nodes: int = 200_000,
+) -> PartitionResult:
+    """The MIP partition algorithm (§3.2).
+
+    Args:
+        model: Model to partition.
+        cost_model: Layer cost source (typically built from a
+            :class:`~repro.models.profiler.ProfileReport`).
+        n_gpus: ``N``.
+        n_microbatches: ``M`` (Mobius uses M = N).
+        bandwidth: Average per-GPU communication bandwidth ``B``.
+        gpu_memory: Usable GPU bytes ``G``; defaults to the cost model's
+            device minus framework overhead.
+        time_limit: Search budget in seconds.
+        max_nodes: Node budget.
+
+    Returns:
+        The best partition found; ``optimal`` reports whether the search
+        completed.
+
+    Raises:
+        ValueError: If no memory-feasible partition exists.
+    """
+    if gpu_memory is None:
+        gpu_memory = cost_model.usable_gpu_bytes()
+    ctx = _SearchContext(model, cost_model, n_gpus, n_microbatches, bandwidth, gpu_memory)
+    started = time.perf_counter()
+
+    incumbent, incumbent_time = _warm_start(ctx)
+    nodes = 0
+    exhausted = True
+    n_layers = model.n_layers
+
+    def dfs(cuts: list[int]) -> None:
+        nonlocal incumbent, incumbent_time, nodes, exhausted
+        if nodes >= max_nodes or time.perf_counter() - started > time_limit:
+            exhausted = False
+            return
+        nodes += 1
+        start = cuts[-1]
+        if ctx.evaluate_prefix_bound(cuts) >= incumbent_time - 1e-12:
+            return
+        max_len = ctx.max_stage_len(start)
+        remaining = n_layers - start
+        # Child ordering: balanced sizes first for early good incumbents.
+        preferred = max(1, round(remaining / max(1, round(remaining / max(1, max_len)))))
+        sizes = sorted(
+            range(1, min(max_len, remaining) + 1),
+            key=lambda k: abs(k - preferred),
+        )
+        for size in sizes:
+            stop = start + size
+            if stop == n_layers:
+                boundaries = cuts[1:]
+                timings = ctx.evaluate(boundaries)
+                if timings.feasible and timings.step_seconds < incumbent_time - 1e-12:
+                    incumbent, incumbent_time = list(boundaries), timings.step_seconds
+            else:
+                cuts.append(stop)
+                dfs(cuts)
+                cuts.pop()
+
+    dfs([0])
+
+    if incumbent is None:
+        raise ValueError(
+            f"no memory-feasible partition of {model.name} for "
+            f"G={gpu_memory / 1e9:.1f}GB, M={n_microbatches}"
+        )
+    partition = Partition(model, tuple(incumbent))
+    return PartitionResult(
+        partition=partition,
+        timings=ctx.evaluate(incumbent),
+        solve_seconds=time.perf_counter() - started,
+        nodes_explored=nodes,
+        optimal=exhausted,
+        method="mip",
+    )
+
+
+def max_stage_partition(
+    model: ModelSpec,
+    cost_model: CostModel,
+    n_gpus: int,
+    n_microbatches: int,
+    bandwidth: float,
+    *,
+    gpu_memory: int | None = None,
+) -> PartitionResult:
+    """Greedy baseline: each stage packs as many layers as fit in memory."""
+    if gpu_memory is None:
+        gpu_memory = cost_model.usable_gpu_bytes()
+    ctx = _SearchContext(model, cost_model, n_gpus, n_microbatches, bandwidth, gpu_memory)
+    started = time.perf_counter()
+    boundaries: list[int] = []
+    position = 0
+    while position < model.n_layers:
+        length = ctx.max_stage_len(position)
+        if length == 0:
+            raise ValueError(
+                f"layer {position} of {model.name} alone exceeds GPU memory"
+            )
+        position += length
+        if position < model.n_layers:
+            boundaries.append(position)
+    partition = Partition(model, tuple(boundaries))
+    return PartitionResult(
+        partition=partition,
+        timings=ctx.evaluate(boundaries),
+        solve_seconds=time.perf_counter() - started,
+        nodes_explored=0,
+        optimal=True,
+        method="max-stage",
+    )
+
+
+def min_stage_partition(
+    model: ModelSpec,
+    cost_model: CostModel,
+    n_gpus: int,
+    n_microbatches: int,
+    bandwidth: float,
+    *,
+    gpu_memory: int | None = None,
+) -> PartitionResult:
+    """Baseline: one transformer block per stage.
+
+    Auxiliary layers (embedding, final norm, LM head) are merged into the
+    adjacent block's stage, matching the paper's description of the
+    minimum-stage scheme in terms of transformer blocks.
+    """
+    if gpu_memory is None:
+        gpu_memory = cost_model.usable_gpu_bytes()
+    ctx = _SearchContext(model, cost_model, n_gpus, n_microbatches, bandwidth, gpu_memory)
+    started = time.perf_counter()
+    boundaries = []
+    seen_block = False
+    for index, layer in enumerate(model.layers):
+        if layer.kind != LayerKind.TRANSFORMER_BLOCK:
+            continue
+        if seen_block and index > 0:
+            boundaries.append(index)
+        seen_block = True
+    partition = Partition(model, tuple(boundaries))
+    timings = ctx.evaluate(boundaries)
+    if not timings.feasible:
+        raise ValueError(
+            f"minimum-stage partition of {model.name} infeasible: "
+            f"{timings.infeasible_reason}"
+        )
+    return PartitionResult(
+        partition=partition,
+        timings=timings,
+        solve_seconds=time.perf_counter() - started,
+        nodes_explored=0,
+        optimal=True,
+        method="min-stage",
+    )

@@ -1,0 +1,180 @@
+"""Execution plan datatypes: partitions, mappings, prefetch plans.
+
+A Mobius run is described by three decisions (§3):
+
+* a :class:`Partition` — which contiguous layers form each stage;
+* a :class:`Mapping` — which GPU executes each stage (Mobius assigns stage
+  ``j`` to GPU ``perm[(j - 1) % N]``, so a mapping is a GPU permutation);
+* per-stage prefetch byte budgets, derived from the memory constraints.
+
+The composed :class:`ExecutionPlan` is what the pipeline emitter
+(:mod:`repro.core.pipeline`) turns into a simulator task graph.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+from repro.models.costmodel import CostModel, StageCost
+from repro.models.spec import ModelSpec
+
+__all__ = ["Partition", "Mapping", "ExecutionPlan"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Partition:
+    """A contiguous partition of a model's layers into pipeline stages.
+
+    Attributes:
+        model: The partitioned model.
+        boundaries: Strictly increasing interior cut points; stage ``i``
+            spans layers ``[cuts[i], cuts[i+1])`` where ``cuts`` is
+            ``[0, *boundaries, n_layers]``.
+    """
+
+    model: ModelSpec
+    boundaries: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        cuts = self.cuts
+        if any(a >= b for a, b in zip(cuts, cuts[1:])):
+            raise ValueError(f"boundaries must be strictly increasing: {self.boundaries}")
+        if self.boundaries and not (
+            0 < self.boundaries[0] and self.boundaries[-1] < self.model.n_layers
+        ):
+            raise ValueError(
+                f"boundaries {self.boundaries} out of range (0, {self.model.n_layers})"
+            )
+
+    @property
+    def cuts(self) -> tuple[int, ...]:
+        return (0, *self.boundaries, self.model.n_layers)
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.boundaries) + 1
+
+    def stage_layers(self, stage: int) -> tuple[int, int]:
+        """Layer range ``[start, stop)`` of ``stage`` (0-based)."""
+        cuts = self.cuts
+        if not 0 <= stage < self.n_stages:
+            raise ValueError(f"stage {stage} out of range [0, {self.n_stages})")
+        return cuts[stage], cuts[stage + 1]
+
+    def stage_costs(self, cost_model: CostModel) -> list[StageCost]:
+        """Per-stage cost aggregates under ``cost_model``."""
+        return cost_model.stage_costs_for_partition(self.model, list(self.boundaries))
+
+    @staticmethod
+    def uniform(model: ModelSpec, n_stages: int) -> "Partition":
+        """Evenly sized stages (layer-count balanced)."""
+        if not 1 <= n_stages <= model.n_layers:
+            raise ValueError(
+                f"n_stages must be in [1, {model.n_layers}], got {n_stages}"
+            )
+        length = model.n_layers / n_stages
+        boundaries = tuple(
+            round(length * index) for index in range(1, n_stages)
+        )
+        return Partition(model, boundaries)
+
+
+@dataclasses.dataclass(frozen=True)
+class Mapping:
+    """Stage-to-GPU assignment.
+
+    Mobius executes stage ``j`` (0-based) on GPU ``perm[j % n_gpus]``: each
+    GPU owns one residue class of stages, and the permutation decides which.
+    Sequential mapping is the identity permutation; cross mapping permutes
+    GPUs to keep adjacent stages on different root complexes (§3.3).
+    """
+
+    perm: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if sorted(self.perm) != list(range(len(self.perm))):
+            raise ValueError(f"perm must be a permutation of 0..N-1, got {self.perm}")
+
+    @property
+    def n_gpus(self) -> int:
+        return len(self.perm)
+
+    def gpu_of_stage(self, stage: int) -> int:
+        """GPU index executing 0-based ``stage``."""
+        if stage < 0:
+            raise ValueError(f"stage must be non-negative, got {stage}")
+        return self.perm[stage % self.n_gpus]
+
+    @staticmethod
+    def sequential(n_gpus: int) -> "Mapping":
+        """The naive topology-oblivious mapping of existing pipelines."""
+        return Mapping(tuple(range(n_gpus)))
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionPlan:
+    """Everything needed to run (or simulate) one Mobius training step.
+
+    Attributes:
+        partition: Layer-to-stage assignment.
+        mapping: Stage-to-GPU assignment.
+        n_microbatches: Microbatches per step (Mobius sets M = N).
+        microbatch_size: Sequences per microbatch.
+        prefetch_fwd_bytes: Per-stage forward prefetch budget P_j^f; stage
+            ``j``'s upload may begin this many bytes early, while stage
+            ``j - N`` still executes (Eqs. 5-6).
+        prefetch_bwd_bytes: Per-stage backward prefetch budget P_j^b.
+        estimated_step_seconds: The analytic objective value (Eq. 3) the
+            planner minimised; the simulator reports the realised time.
+    """
+
+    partition: Partition
+    mapping: Mapping
+    n_microbatches: int
+    microbatch_size: int
+    prefetch_fwd_bytes: tuple[int, ...]
+    prefetch_bwd_bytes: tuple[int, ...]
+    estimated_step_seconds: float = float("nan")
+
+    def __post_init__(self) -> None:
+        s = self.partition.n_stages
+        if len(self.prefetch_fwd_bytes) != s or len(self.prefetch_bwd_bytes) != s:
+            raise ValueError(
+                "prefetch budgets must have one entry per stage "
+                f"({s}), got {len(self.prefetch_fwd_bytes)}/{len(self.prefetch_bwd_bytes)}"
+            )
+        if self.n_microbatches <= 0 or self.microbatch_size <= 0:
+            raise ValueError("n_microbatches and microbatch_size must be positive")
+
+    @property
+    def n_stages(self) -> int:
+        return self.partition.n_stages
+
+    @property
+    def n_gpus(self) -> int:
+        return self.mapping.n_gpus
+
+    def stages_of_gpu(self, gpu: int) -> list[int]:
+        """Stages executed by ``gpu``, in forward order."""
+        return [
+            stage
+            for stage in range(self.n_stages)
+            if self.mapping.gpu_of_stage(stage) == gpu
+        ]
+
+    def describe(self) -> str:
+        """Human-readable plan summary."""
+        lines = [
+            f"model={self.partition.model.name} stages={self.n_stages} "
+            f"gpus={self.n_gpus} microbatches={self.n_microbatches}"
+            f"x{self.microbatch_size}",
+        ]
+        for stage in range(self.n_stages):
+            start, stop = self.partition.stage_layers(stage)
+            lines.append(
+                f"  stage {stage}: layers [{start}, {stop}) on "
+                f"gpu {self.mapping.gpu_of_stage(stage)} "
+                f"prefetch_fwd={self.prefetch_fwd_bytes[stage] / 1e6:.0f}MB"
+            )
+        return "\n".join(lines)

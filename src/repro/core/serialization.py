@@ -1,0 +1,85 @@
+"""Execution-plan serialization.
+
+Planning costs seconds of profiling and MIP search (Figure 12); a real
+deployment plans once and reuses the result across a fine-tuning run.  This
+module round-trips :class:`~repro.core.plan.ExecutionPlan` through JSON,
+with the model identified by name and shape so a stale plan cannot silently
+be applied to a different model.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.plan import ExecutionPlan, Mapping, Partition
+from repro.models.spec import ModelSpec
+
+__all__ = ["plan_to_json", "plan_from_json", "save_plan", "load_plan"]
+
+_FORMAT_VERSION = 1
+
+
+def plan_to_json(plan: ExecutionPlan) -> str:
+    """Serialise a plan (partition, mapping, prefetch budgets) to JSON."""
+    model = plan.partition.model
+    payload = {
+        "version": _FORMAT_VERSION,
+        "model": {
+            "name": model.name,
+            "n_layers": model.n_layers,
+            "param_count": model.param_count,
+        },
+        "boundaries": list(plan.partition.boundaries),
+        "perm": list(plan.mapping.perm),
+        "n_microbatches": plan.n_microbatches,
+        "microbatch_size": plan.microbatch_size,
+        "prefetch_fwd_bytes": list(plan.prefetch_fwd_bytes),
+        "prefetch_bwd_bytes": list(plan.prefetch_bwd_bytes),
+        "estimated_step_seconds": plan.estimated_step_seconds,
+    }
+    return json.dumps(payload, indent=2)
+
+
+def plan_from_json(text: str, model: ModelSpec) -> ExecutionPlan:
+    """Rebuild a plan against ``model``.
+
+    Raises:
+        ValueError: If the payload was produced for a different model
+            (name, layer count, or parameter count mismatch) or an unknown
+            format version.
+    """
+    payload = json.loads(text)
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported plan format version {payload.get('version')}")
+    meta = payload["model"]
+    if (
+        meta["name"] != model.name
+        or meta["n_layers"] != model.n_layers
+        or meta["param_count"] != model.param_count
+    ):
+        raise ValueError(
+            f"plan was built for {meta['name']} "
+            f"({meta['n_layers']} layers, {meta['param_count']} params); "
+            f"got {model.name} ({model.n_layers} layers, {model.param_count})"
+        )
+    return ExecutionPlan(
+        partition=Partition(model, tuple(payload["boundaries"])),
+        mapping=Mapping(tuple(payload["perm"])),
+        n_microbatches=payload["n_microbatches"],
+        microbatch_size=payload["microbatch_size"],
+        prefetch_fwd_bytes=tuple(payload["prefetch_fwd_bytes"]),
+        prefetch_bwd_bytes=tuple(payload["prefetch_bwd_bytes"]),
+        estimated_step_seconds=payload["estimated_step_seconds"],
+    )
+
+
+def save_plan(plan: ExecutionPlan, path: str) -> None:
+    """Write a plan to a JSON file."""
+    with open(path, "w") as handle:
+        handle.write(plan_to_json(plan))
+
+
+def load_plan(path: str, model: ModelSpec) -> ExecutionPlan:
+    """Read a plan JSON file back against ``model``."""
+    with open(path) as handle:
+        return plan_from_json(handle.read(), model)

@@ -1,0 +1,218 @@
+"""Analytic Mobius pipeline timing — the MIP objective (Eqs. 3-11).
+
+Given a candidate partition's stage costs, this module computes the exact
+earliest-start schedule of the Mobius pipeline under an *average bandwidth*
+assumption (the constant ``B`` of Table 2): forward/backward start times per
+stage and microbatch, prefetch-limited stage readiness, and the resulting
+step time ``t_{1,M}^b + T_1^b``.
+
+The recurrence implements the paper's constraint system directly:
+
+* Eq. 4  — stage footprints must fit in GPU memory (else infeasible);
+* Eq. 5  — prefetch is capped by the memory reserved next to the currently
+  executing stage, ``P_j <= G - S_{j-N}``;
+* Eq. 6  — prefetch is capped by what the bandwidth can deliver during the
+  preceding stage's execution window, ``P_j <= B * D_{j-N}``;
+* Eq. 7  — ``D_j = T_j + t_{j,M} - t_{j,1}``;
+* Eq. 8  — activations (activation gradients) must arrive from the previous
+  (next) stage before a microbatch executes;
+* Eq. 9  — a stage starts once its non-prefetched remainder is uploaded;
+* Eq. 10 — microbatches of one stage execute serially on its GPU;
+* Eq. 11 — backward begins after forward completes.
+
+The same GPU executes stages ``j, j+N, j+2N, ...``, which adds the implicit
+serial constraint that stage ``j`` cannot start before stage ``j-N``
+finishes — this is also when stage ``j-N``'s memory is released.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Sequence
+
+from repro.models.costmodel import StageCost
+
+__all__ = ["PipelineTimings", "evaluate_pipeline", "prefetch_budgets"]
+
+
+@dataclasses.dataclass
+class PipelineTimings:
+    """Result of evaluating one candidate plan analytically.
+
+    Attributes:
+        feasible: Whether every stage fits in GPU memory.
+        infeasible_reason: Human-readable explanation when not feasible.
+        step_seconds: End-to-end step time (``inf`` when infeasible).
+        t_fwd: ``t_fwd[j][m]`` start time of stage ``j`` forward on
+            microbatch ``m`` (0-based).
+        t_bwd: Backward start times, same shape.
+        prefetch_fwd_bytes: Memory-capped prefetch budget per stage.
+        prefetch_bwd_bytes: Same for the backward sweep.
+    """
+
+    feasible: bool
+    step_seconds: float
+    t_fwd: list[list[float]] = dataclasses.field(default_factory=list)
+    t_bwd: list[list[float]] = dataclasses.field(default_factory=list)
+    prefetch_fwd_bytes: tuple[int, ...] = ()
+    prefetch_bwd_bytes: tuple[int, ...] = ()
+    infeasible_reason: str = ""
+
+
+def _infeasible(reason: str) -> PipelineTimings:
+    return PipelineTimings(feasible=False, step_seconds=math.inf, infeasible_reason=reason)
+
+
+def prefetch_budgets(
+    stage_costs: Sequence[StageCost],
+    n_gpus: int,
+    n_microbatches: int,
+    gpu_memory: int,
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Memory-capped prefetch budgets (Eq. 5) for forward and backward.
+
+    Stage ``j``'s forward prefetch shares the GPU with stage ``j - N``'s
+    forward footprint; its backward prefetch shares with stage ``j + N``'s
+    backward footprint.  The top ``N`` stages stay resident between forward
+    and backward, so their backward budget is irrelevant (set to 0).
+    """
+    s = len(stage_costs)
+    m = n_microbatches
+    fwd = [0] * s
+    bwd = [0] * s
+    for j in range(s):
+        upload_fwd = stage_costs[j].param_bytes
+        if j >= n_gpus:
+            room = gpu_memory - stage_costs[j - n_gpus].mem_fwd(m)
+            fwd[j] = max(0, min(upload_fwd, room))
+        else:
+            fwd[j] = upload_fwd  # uploaded before the pipeline starts
+        if j < s - n_gpus:
+            upload_bwd = _bwd_upload_bytes(stage_costs[j], m)
+            room = gpu_memory - stage_costs[j + n_gpus].mem_bwd(m)
+            bwd[j] = max(0, min(upload_bwd, room))
+    return tuple(fwd), tuple(bwd)
+
+
+def _bwd_upload_bytes(cost: StageCost, n_microbatches: int) -> int:
+    """Bytes re-uploaded before a swapped-out stage's backward: FP16 params
+    plus the stashed input activations (recompute checkpoints)."""
+    return cost.param_bytes + n_microbatches * cost.input_activation_bytes
+
+
+def evaluate_pipeline(
+    stage_costs: Sequence[StageCost],
+    n_gpus: int,
+    n_microbatches: int,
+    bandwidth: float,
+    gpu_memory: int,
+    *,
+    include_initial_upload: bool = True,
+) -> PipelineTimings:
+    """Evaluate the Mobius pipeline schedule for one candidate plan.
+
+    Args:
+        stage_costs: Per-stage aggregates, forward order.
+        n_gpus: ``N``; stage ``j`` runs on the GPU owning residue ``j % N``.
+        n_microbatches: ``M`` (Mobius uses M = N).
+        bandwidth: Average per-GPU communication bandwidth ``B`` in bytes/s.
+        gpu_memory: Usable per-GPU memory ``G`` in bytes.
+        include_initial_upload: Whether the first ``N`` stages' upload time
+            counts toward the step (off when modelling steady state where
+            step ``k+1``'s uploads overlap step ``k``'s tail).
+
+    Returns:
+        The timing table; ``step_seconds`` is ``inf`` when infeasible.
+    """
+    s = len(stage_costs)
+    m = n_microbatches
+    if s == 0:
+        return _infeasible("no stages")
+    if n_gpus <= 0 or m <= 0 or bandwidth <= 0 or gpu_memory <= 0:
+        raise ValueError("n_gpus, n_microbatches, bandwidth, gpu_memory must be positive")
+
+    # Eq. 4: every stage must fit while executing.
+    for j, cost in enumerate(stage_costs):
+        for phase, needed in (("fwd", cost.mem_fwd(m)), ("bwd", cost.mem_bwd(m))):
+            if needed > gpu_memory:
+                return _infeasible(
+                    f"stage {j} {phase} footprint {needed / 1e9:.2f}GB exceeds "
+                    f"GPU memory {gpu_memory / 1e9:.2f}GB"
+                )
+
+    pf_fwd, pf_bwd = prefetch_budgets(stage_costs, n_gpus, m, gpu_memory)
+
+    t_fwd = [[0.0] * m for _ in range(s)]
+    d_fwd = [0.0] * s  # Eq. 7 execution windows
+    end_fwd = [0.0] * s
+
+    for j in range(s):
+        cost = stage_costs[j]
+        t_prev = stage_costs[j - 1].fwd_seconds if j else 0.0
+        act_latency = (stage_costs[j - 1].output_activation_bytes / bandwidth) if j else 0.0
+
+        # Readiness: stage data present in GPU memory (Eqs. 5, 6, 9).
+        if j < n_gpus:
+            ready = cost.param_bytes / bandwidth if include_initial_upload else 0.0
+            gpu_free = 0.0
+        else:
+            window = d_fwd[j - n_gpus]
+            prefetched = min(pf_fwd[j], bandwidth * window)
+            remaining = cost.param_bytes - prefetched
+            gpu_free = end_fwd[j - n_gpus]
+            ready = gpu_free + max(0.0, remaining) / bandwidth
+
+        for mb in range(m):
+            start = ready if mb == 0 else t_fwd[j][mb - 1] + cost.fwd_seconds
+            if mb == 0:
+                start = max(start, gpu_free)
+            if j:
+                start = max(start, t_fwd[j - 1][mb] + t_prev + act_latency)
+            t_fwd[j][mb] = start
+        end_fwd[j] = t_fwd[j][m - 1] + cost.fwd_seconds
+        d_fwd[j] = cost.fwd_seconds + t_fwd[j][m - 1] - t_fwd[j][0]
+
+    t_bwd = [[0.0] * m for _ in range(s)]
+    d_bwd = [0.0] * s
+    end_bwd = [0.0] * s
+
+    for j in range(s - 1, -1, -1):
+        cost = stage_costs[j]
+        t_next = stage_costs[j + 1].bwd_seconds if j < s - 1 else 0.0
+        grad_latency = (
+            (cost.output_activation_bytes / bandwidth) if j < s - 1 else 0.0
+        )
+
+        if j >= s - n_gpus:
+            # Resident tail: stayed in GPU memory after its forward (Eq. 11).
+            ready = end_fwd[j]
+            gpu_free = end_fwd[j]
+        else:
+            window = d_bwd[j + n_gpus]
+            prefetched = min(pf_bwd[j], bandwidth * window)
+            remaining = _bwd_upload_bytes(cost, m) - prefetched
+            gpu_free = end_bwd[j + n_gpus]
+            ready = gpu_free + max(0.0, remaining) / bandwidth
+
+        for mb in range(m):
+            start = ready if mb == 0 else t_bwd[j][mb - 1] + cost.bwd_seconds
+            if mb == 0:
+                start = max(start, gpu_free)
+            if j < s - 1:
+                start = max(start, t_bwd[j + 1][mb] + t_next + grad_latency)
+            t_bwd[j][mb] = start
+        end_bwd[j] = t_bwd[j][m - 1] + cost.bwd_seconds
+        d_bwd[j] = cost.bwd_seconds + t_bwd[j][m - 1] - t_bwd[j][0]
+
+    # Objective (Eq. 3): start of first stage's backward on the last
+    # microbatch plus its backward duration.
+    step = t_bwd[0][m - 1] + stage_costs[0].bwd_seconds
+    return PipelineTimings(
+        feasible=True,
+        step_seconds=step,
+        t_fwd=t_fwd,
+        t_bwd=t_bwd,
+        prefetch_fwd_bytes=pf_fwd,
+        prefetch_bwd_bytes=pf_bwd,
+    )

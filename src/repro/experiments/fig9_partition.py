@@ -1,0 +1,63 @@
+"""Figure 9: effect of the MIP partition algorithm.
+
+Trains the 8B and 15B models on Topo 2+2 sweeping the microbatch size,
+comparing three partitioners: MIP (ours), maximum-stage (pack until OOM)
+and minimum-stage (one transformer block per stage).  Times are normalised
+to the MIP algorithm.  Expected shapes: maximum-stage is worst (no room to
+prefetch); minimum-stage approaches MIP as blocks/microbatches grow; MIP
+wins outright when they are small.
+"""
+
+from __future__ import annotations
+
+from repro.core.api import MobiusConfig, run_mobius
+from repro.experiments.runner import ExperimentTable, print_tables
+from repro.hardware.topology import topo_2_2
+from repro.models.zoo import gpt_8b, gpt_15b
+
+__all__ = ["run", "main"]
+
+MICROBATCH_SWEEP = {"GPT-8B": (2, 4, 8), "GPT-15B": (1, 2, 3)}
+
+
+def run(fast: bool = False) -> ExperimentTable:
+    """Regenerate Figure 9 (normalised per-step times)."""
+    models = [gpt_8b] if fast else [gpt_8b, gpt_15b]
+    table = ExperimentTable(
+        title="Figure 9: per-step time normalised to the MIP partition algorithm",
+        columns=("model", "microbatch", "mip_seconds", "max_stage_x", "min_stage_x"),
+    )
+    topology = topo_2_2()
+    for model_factory in models:
+        model = model_factory()
+        for mbs in MICROBATCH_SWEEP[model.name]:
+            times = {}
+            for method in ("mip", "max-stage", "min-stage"):
+                report = run_mobius(
+                    model,
+                    topology,
+                    MobiusConfig(
+                        microbatch_size=mbs,
+                        partition_method=method,
+                        partition_time_limit=2.0,
+                    ),
+                )
+                times[method] = report.step_seconds
+            table.add_row(
+                model.name,
+                mbs,
+                times["mip"],
+                f"{times['max-stage'] / times['mip']:.2f}",
+                f"{times['min-stage'] / times['mip']:.2f}",
+            )
+    table.notes.append("paper: MIP cuts training time by up to 51% vs the alternatives")
+    table.notes.append("paper: min-stage converges to MIP at large blocks/microbatches")
+    return table
+
+
+def main() -> None:
+    print_tables(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,150 @@
+"""Shared experiment infrastructure: result tables and system wrappers.
+
+Each ``fig*.py`` module reproduces one table/figure of the paper's
+evaluation and exposes ``run() -> ExperimentTable`` (or a list of tables)
+plus a ``main()`` so it can be executed directly:
+
+    python -m repro.experiments.fig5_overall
+
+The benchmark suite (``benchmarks/``) wraps the same entry points.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+from repro.baselines.deepspeed import DeepSpeedConfig, run_deepspeed
+from repro.baselines.gpipe import (
+    OutOfMemoryError,
+    run_deepspeed_pipeline,
+    run_gpipe,
+)
+from repro.baselines.zero_offload import run_zero_offload
+from repro.core.api import MobiusConfig, run_mobius
+from repro.hardware.topology import Topology
+from repro.models.spec import ModelSpec
+from repro.sim.trace import Trace
+
+__all__ = ["ExperimentTable", "SystemResult", "run_system", "SYSTEMS"]
+
+SYSTEMS = ("gpipe", "ds-pipeline", "zero-offload", "deepspeed", "mobius")
+
+
+@dataclasses.dataclass
+class ExperimentTable:
+    """A printable result table mirroring one paper table/figure."""
+
+    title: str
+    columns: tuple[str, ...]
+    rows: list[tuple] = dataclasses.field(default_factory=list)
+    notes: list[str] = dataclasses.field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def format(self) -> str:
+        """Fixed-width text rendering."""
+        def text(value) -> str:
+            if isinstance(value, float):
+                return f"{value:.3f}"
+            return str(value)
+
+        table = [tuple(map(text, self.columns))] + [
+            tuple(map(text, row)) for row in self.rows
+        ]
+        widths = [max(len(row[c]) for row in table) for c in range(len(self.columns))]
+        lines = [f"== {self.title} =="]
+        for index, row in enumerate(table):
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+            if index == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def column(self, name: str) -> list:
+        """All values of one column."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+
+@dataclasses.dataclass
+class SystemResult:
+    """Outcome of running one system on one configuration."""
+
+    system: str
+    status: str  # "ok" | "oom"
+    step_seconds: float = float("nan")
+    trace: Trace | None = None
+    extras: dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def run_system(
+    system: str,
+    model: ModelSpec,
+    topology: Topology,
+    *,
+    microbatch_size: int | None = None,
+    n_microbatches: int | None = None,
+    mobius_config: MobiusConfig | None = None,
+    deepspeed_config: DeepSpeedConfig | None = None,
+) -> SystemResult:
+    """Run one of the evaluated systems on a configuration.
+
+    OOM (the expected outcome for large models on all-in-GPU systems)
+    is reported as a result, not an exception.
+    """
+    mbs = microbatch_size or model.default_microbatch_size
+    try:
+        if system == "gpipe":
+            report = run_gpipe(
+                model, topology, microbatch_size=mbs, n_microbatches=n_microbatches
+            )
+            return SystemResult(system, "ok", report.step_seconds, report.trace)
+        if system == "ds-pipeline":
+            report = run_deepspeed_pipeline(
+                model, topology, microbatch_size=mbs, n_microbatches=n_microbatches
+            )
+            return SystemResult(system, "ok", report.step_seconds, report.trace)
+        if system == "zero-offload":
+            report = run_zero_offload(model, topology, microbatch_size=mbs)
+            return SystemResult(system, "ok", report.step_seconds, report.trace)
+        if system == "deepspeed":
+            config = deepspeed_config or DeepSpeedConfig(microbatch_size=mbs)
+            report = run_deepspeed(model, topology, config)
+            return SystemResult(system, "ok", report.step_seconds, report.trace)
+        if system == "mobius":
+            config = mobius_config or MobiusConfig(
+                microbatch_size=mbs,
+                n_microbatches=n_microbatches,
+                partition_time_limit=1.0,
+            )
+            report = run_mobius(model, topology, config)
+            return SystemResult(
+                system,
+                "ok",
+                report.step_seconds,
+                report.trace,
+                extras={"plan_report": report.plan_report},
+            )
+    except OutOfMemoryError:
+        return SystemResult(system, "oom")
+    raise ValueError(f"unknown system {system!r}; expected one of {SYSTEMS}")
+
+
+def print_tables(tables: "ExperimentTable | Sequence[ExperimentTable]") -> None:
+    """Print one or many tables (module ``main()`` helper)."""
+    if isinstance(tables, ExperimentTable):
+        tables = [tables]
+    for table in tables:
+        print(table.format())
+        print()

@@ -1,0 +1,62 @@
+"""Hardware substrate: GPU specs, interconnect topologies, and pricing.
+
+This subpackage replaces the paper's physical testbed (8x3090-Ti PCIe server
+and an EC2 P3 NVLink server) with parametric models; see DESIGN.md §2 for the
+substitution rationale.
+"""
+
+from repro.hardware.gpu import (
+    A100,
+    GPU_PRESETS,
+    RTX_3090TI,
+    V100,
+    GPUSpec,
+    Precision,
+)
+from repro.hardware.pricing import (
+    COMMODITY_4X3090TI,
+    COMMODITY_8X3090TI,
+    EC2_P3_8XLARGE,
+    ServerRental,
+    per_step_price,
+)
+from repro.hardware.topology import (
+    DRAM_BW,
+    NVLINK_BW,
+    PCIE_EFFECTIVE_BW,
+    Edge,
+    Path,
+    Topology,
+    commodity_server,
+    datacenter_server,
+    topo_1_3,
+    topo_2_2,
+    topo_4,
+    topo_4_4,
+)
+
+__all__ = [
+    "A100",
+    "COMMODITY_4X3090TI",
+    "COMMODITY_8X3090TI",
+    "DRAM_BW",
+    "EC2_P3_8XLARGE",
+    "Edge",
+    "GPU_PRESETS",
+    "GPUSpec",
+    "NVLINK_BW",
+    "PCIE_EFFECTIVE_BW",
+    "Path",
+    "Precision",
+    "RTX_3090TI",
+    "ServerRental",
+    "Topology",
+    "V100",
+    "commodity_server",
+    "datacenter_server",
+    "per_step_price",
+    "topo_1_3",
+    "topo_2_2",
+    "topo_4",
+    "topo_4_4",
+]

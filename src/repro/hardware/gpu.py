@@ -1,0 +1,134 @@
+"""GPU device models.
+
+Mobius (ASPLOS 2023) targets commodity GPUs (RTX 3090-Ti class) and compares
+against data-center GPUs (A100, V100).  Since the reproduction runs without
+physical GPUs, a :class:`GPUSpec` captures everything the paper's results
+depend on: memory capacity, sustained compute throughput, price, and whether
+GPUDirect peer-to-peer / high-bandwidth NVLink connectivity are available
+(Table 1 of the paper).
+
+Compute-time estimation uses a simple roofline-style model: a layer that
+performs ``flops`` floating point operations at precision ``dtype`` runs for
+``flops / (peak_throughput * utilization)`` seconds.  The ``utilization``
+factor models the usual gap between peak and achieved throughput for
+transformer workloads (roughly 40-60% in practice).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+__all__ = [
+    "Precision",
+    "GPUSpec",
+    "RTX_3090TI",
+    "A100",
+    "V100",
+    "GPU_PRESETS",
+]
+
+TERA = 1e12
+GIB = 1024**3
+
+
+class Precision(enum.Enum):
+    """Numeric precision of a compute kernel."""
+
+    FP32 = "fp32"
+    FP16 = "fp16"
+
+
+@dataclasses.dataclass(frozen=True)
+class GPUSpec:
+    """Static description of a GPU device.
+
+    Attributes:
+        name: Marketing name, e.g. ``"RTX 3090-Ti"``.
+        memory_bytes: Usable device memory in bytes.
+        fp32_tflops: Peak FP32 throughput in TFLOP/s.
+        fp16_tflops: Peak FP16 (tensor-core) throughput in TFLOP/s.
+        tensor_cores: Number of tensor cores (Table 1).
+        price_usd: Purchase price in USD (Table 1).
+        supports_p2p: Whether GPUDirect P2P is available.  Commodity GPUs
+            lack it, so GPU-to-GPU transfers bounce through CPU DRAM.
+        supports_nvlink: Whether high-bandwidth NVLink connectivity is
+            available (data-center GPUs only).
+        utilization: Fraction of peak throughput achieved on transformer
+            kernels; used by :meth:`compute_seconds`.  The default (0.09)
+            is calibrated to the paper's measured per-step times: fine-tuning
+            with microbatch size 1-2, sequence 512, and heterogeneous-memory
+            swapping achieves only single-digit-percent MFU (small kernels,
+            launch overhead, host synchronisation), i.e. a few TFLOP/s
+            effective on a 3090-Ti.
+    """
+
+    name: str
+    memory_bytes: int
+    fp32_tflops: float
+    fp16_tflops: float
+    tensor_cores: int
+    price_usd: float
+    supports_p2p: bool
+    supports_nvlink: bool
+    utilization: float = 0.09
+
+    def peak_flops(self, precision: Precision) -> float:
+        """Peak throughput in FLOP/s at the given precision."""
+        if precision is Precision.FP32:
+            return self.fp32_tflops * TERA
+        return self.fp16_tflops * TERA
+
+    def compute_seconds(self, flops: float, precision: Precision = Precision.FP16) -> float:
+        """Time to execute ``flops`` operations at ``precision``.
+
+        Args:
+            flops: Number of floating point operations.
+            precision: Kernel precision; mixed-precision training runs its
+                matmuls in FP16.
+
+        Returns:
+            Estimated kernel time in seconds.
+        """
+        if flops < 0:
+            raise ValueError(f"flops must be non-negative, got {flops}")
+        sustained = self.peak_flops(precision) * self.utilization
+        return flops / sustained
+
+
+RTX_3090TI = GPUSpec(
+    name="RTX 3090-Ti",
+    memory_bytes=24 * GIB,
+    fp32_tflops=40.0,
+    fp16_tflops=160.0,
+    tensor_cores=336,
+    price_usd=2_000.0,
+    supports_p2p=False,
+    supports_nvlink=False,
+)
+
+A100 = GPUSpec(
+    name="A100",
+    memory_bytes=40 * GIB,
+    fp32_tflops=19.0,
+    fp16_tflops=312.0,
+    tensor_cores=432,
+    price_usd=14_000.0,
+    supports_p2p=True,
+    supports_nvlink=True,
+    utilization=0.16,  # data-center stack (NVLink, GPUDirect) sustains more
+)
+
+V100 = GPUSpec(
+    name="V100",
+    memory_bytes=16 * GIB,
+    fp32_tflops=15.7,
+    fp16_tflops=125.0,
+    tensor_cores=640,
+    price_usd=9_000.0,
+    supports_p2p=True,
+    supports_nvlink=True,
+    utilization=0.16,  # data-center stack (NVLink, GPUDirect) sustains more
+)
+
+GPU_PRESETS = {spec.name: spec for spec in (RTX_3090TI, A100, V100)}

@@ -1,0 +1,62 @@
+"""Server pricing model (Table 1 and §4.8).
+
+The paper's cost argument has two parts:
+
+* **Purchase prices** (Table 1): a commodity 8x3090-Ti server costs ~$20,000
+  versus ~$200,000 for a DGX A100 and ~$20,000/month for a rented EC2 P4.
+* **Per-step training price** (Figure 15b): renting the data-center server
+  (EC2 P3.8xlarge, 4xV100) is compared against renting a commodity 4x3090-Ti
+  server; per-step price = hourly rate x per-step time.  The paper finds
+  Mobius-on-commodity costs ~43% less per step than DeepSpeed-on-DC while
+  being only ~42% slower.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = [
+    "ServerRental",
+    "EC2_P3_8XLARGE",
+    "COMMODITY_4X3090TI",
+    "COMMODITY_8X3090TI",
+    "per_step_price",
+]
+
+SECONDS_PER_HOUR = 3600.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ServerRental:
+    """Hourly rental pricing for one server configuration.
+
+    Attributes:
+        name: Configuration label.
+        hourly_usd: Rental price in USD per hour.
+        n_gpus: Number of GPUs in the configuration.
+    """
+
+    name: str
+    hourly_usd: float
+    n_gpus: int
+
+    def price_for(self, seconds: float) -> float:
+        """Rental cost in USD of occupying the server for ``seconds``."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be non-negative, got {seconds}")
+        return self.hourly_usd * seconds / SECONDS_PER_HOUR
+
+
+#: Amazon EC2 P3.8xlarge (4xV100, NVLink), on-demand [paper ref 1].
+EC2_P3_8XLARGE = ServerRental(name="EC2 P3.8xlarge (4xV100)", hourly_usd=12.24, n_gpus=4)
+
+#: Commodity 4x3090-Ti cloud rental (immers.cloud class pricing, paper ref 8).
+COMMODITY_4X3090TI = ServerRental(name="4x3090-Ti server", hourly_usd=4.90, n_gpus=4)
+
+#: Commodity 8x3090-Ti cloud rental.
+COMMODITY_8X3090TI = ServerRental(name="8x3090-Ti server", hourly_usd=9.80, n_gpus=8)
+
+
+def per_step_price(rental: ServerRental, step_seconds: float) -> float:
+    """Training price of one step (Figure 15b): hourly rate x step time."""
+    return rental.price_for(step_seconds)

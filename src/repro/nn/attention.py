@@ -1,0 +1,47 @@
+"""Multi-head causal self-attention."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.autograd.ops import causal_mask_fill, softmax
+from repro.autograd.tensor import Tensor
+from repro.nn.layers import Linear, Module
+
+__all__ = ["CausalSelfAttention"]
+
+
+class CausalSelfAttention(Module):
+    """GPT-style masked multi-head attention.
+
+    Args:
+        dim: Model hidden size.
+        n_heads: Number of attention heads (must divide ``dim``).
+        rng: Initialisation generator.
+    """
+
+    def __init__(self, dim: int, n_heads: int, *, rng: np.random.Generator) -> None:
+        super().__init__()
+        if dim % n_heads:
+            raise ValueError(f"dim {dim} not divisible by n_heads {n_heads}")
+        self.dim = dim
+        self.n_heads = n_heads
+        self.head_dim = dim // n_heads
+        self.qkv = Linear(dim, 3 * dim, rng=rng)
+        self.proj = Linear(dim, dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, seq, dim = x.shape
+        qkv = self.qkv(x)  # (B, S, 3D)
+        qkv = qkv.reshape(batch, seq, 3, self.n_heads, self.head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, B, H, S, hd)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / math.sqrt(self.head_dim))
+        scores = causal_mask_fill(scores)
+        weights = softmax(scores, axis=-1)
+        context = weights @ v  # (B, H, S, hd)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, seq, dim)
+        return self.proj(context)

@@ -1,0 +1,104 @@
+"""Autoregressive sampling and evaluation for the GPT model.
+
+Rounds out the training stack: greedy/temperature/top-k sampling from a
+trained model, and held-out perplexity evaluation — the metrics a real
+fine-tuning run reports.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.autograd.tensor import no_grad
+from repro.nn.data import SyntheticCorpus
+from repro.nn.transformer import GPTModel
+
+__all__ = ["generate", "perplexity"]
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max()
+    exp = np.exp(shifted)
+    return exp / exp.sum()
+
+
+def generate(
+    model: GPTModel,
+    prompt: np.ndarray,
+    *,
+    max_new_tokens: int = 32,
+    temperature: float = 1.0,
+    top_k: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Sample a continuation of ``prompt``.
+
+    Args:
+        model: A (trained) GPT model.
+        prompt: 1-D int array of seed tokens (non-empty).
+        max_new_tokens: Tokens to append.
+        temperature: Softmax temperature; 0 means greedy decoding.
+        top_k: If set, sample only among the ``top_k`` most likely tokens.
+        rng: Source of randomness (defaults to a fixed-seed generator so
+            generation is reproducible).
+
+    Returns:
+        The full token sequence (prompt + continuation).
+    """
+    prompt = np.asarray(prompt, dtype=np.int64)
+    if prompt.ndim != 1 or prompt.size == 0:
+        raise ValueError(f"prompt must be a non-empty 1-D array, got shape {prompt.shape}")
+    if temperature < 0:
+        raise ValueError(f"temperature must be non-negative, got {temperature}")
+    rng = rng or np.random.default_rng(0)
+    window = model.config.seq_len
+    tokens = list(prompt)
+
+    model.eval()
+    try:
+        with no_grad():
+            for _ in range(max_new_tokens):
+                context = np.array(tokens[-window:], dtype=np.int64)[None, :]
+                logits = model(context).data[0, -1]
+                if temperature == 0:
+                    next_token = int(np.argmax(logits))
+                else:
+                    scaled = logits / temperature
+                    if top_k is not None:
+                        cutoff = np.sort(scaled)[-top_k]
+                        scaled = np.where(scaled < cutoff, -np.inf, scaled)
+                    probs = _softmax(scaled)
+                    next_token = int(rng.choice(len(probs), p=probs))
+                tokens.append(next_token)
+    finally:
+        model.train()
+    return np.array(tokens, dtype=np.int64)
+
+
+def perplexity(
+    model: GPTModel,
+    corpus: SyntheticCorpus,
+    *,
+    n_batches: int = 8,
+    batch_size: int = 8,
+    seed: int = 0,
+) -> float:
+    """Held-out perplexity of ``model`` on ``corpus``.
+
+    Returns:
+        ``exp(mean token cross-entropy)`` over the sampled batches.
+    """
+    if n_batches <= 0:
+        raise ValueError(f"n_batches must be positive, got {n_batches}")
+    model.eval()
+    total = 0.0
+    try:
+        with no_grad():
+            stream = corpus.batches(batch_size, model.config.seq_len, seed=seed)
+            for _, batch in zip(range(n_batches), stream):
+                total += model.loss(batch.inputs, batch.targets).item()
+    finally:
+        model.train()
+    return math.exp(total / n_batches)

@@ -1,0 +1,134 @@
+"""Neural-network module system and basic layers."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.autograd.ops import dropout as dropout_op
+from repro.autograd.ops import embedding as embedding_op
+from repro.autograd.ops import layer_norm
+from repro.autograd.tensor import Tensor
+
+__all__ = ["Module", "Linear", "LayerNorm", "Embedding", "Dropout"]
+
+
+class Module:
+    """Base class: recursive parameter discovery plus train/eval mode."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    def parameters(self) -> Iterator[Tensor]:
+        """All trainable tensors of this module and its children."""
+        seen: set[int] = set()
+        for value in self.__dict__.values():
+            if isinstance(value, Tensor) and value.requires_grad:
+                if id(value) not in seen:
+                    seen.add(id(value))
+                    yield value
+            elif isinstance(value, Module):
+                yield from value.parameters()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.parameters()
+                    elif isinstance(item, Tensor) and item.requires_grad:
+                        if id(item) not in seen:
+                            seen.add(id(item))
+                            yield item
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield prefix or type(self).__name__, self
+        for name, value in self.__dict__.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            if isinstance(value, Module):
+                yield from value.named_modules(child_prefix)
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_modules(f"{child_prefix}[{index}]")
+
+    def train(self, mode: bool = True) -> "Module":
+        for _, module in self.named_modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def n_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine layer ``x @ W + b`` with GPT-2 style initialisation."""
+
+    def __init__(self, in_dim: int, out_dim: int, *, rng: np.random.Generator, bias: bool = True) -> None:
+        super().__init__()
+        std = 1.0 / math.sqrt(in_dim)
+        self.weight = Tensor(
+            rng.normal(0.0, std, size=(in_dim, out_dim)).astype(np.float32),
+            requires_grad=True,
+            name="weight",
+        )
+        self.bias = (
+            Tensor(np.zeros(out_dim, dtype=np.float32), requires_grad=True, name="bias")
+            if bias
+            else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class LayerNorm(Module):
+    """Layer normalisation with learnable scale and shift."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.weight = Tensor(np.ones(dim, dtype=np.float32), requires_grad=True)
+        self.bias = Tensor(np.zeros(dim, dtype=np.float32), requires_grad=True)
+        self.eps = eps
+
+    def forward(self, x: Tensor) -> Tensor:
+        return layer_norm(x, self.weight, self.bias, self.eps)
+
+
+class Embedding(Module):
+    """Token (or position) embedding table."""
+
+    def __init__(self, n_rows: int, dim: int, *, rng: np.random.Generator, std: float = 0.02) -> None:
+        super().__init__()
+        self.weight = Tensor(
+            rng.normal(0.0, std, size=(n_rows, dim)).astype(np.float32),
+            requires_grad=True,
+        )
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return embedding_op(self.weight, indices)
+
+
+class Dropout(Module):
+    """Inverted dropout driven by an explicit generator for reproducibility."""
+
+    def __init__(self, p: float, *, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        return dropout_op(x, self.p, self.rng, training=self.training)

@@ -1,0 +1,86 @@
+"""Model checkpointing: state dicts and ``.npz`` save/load.
+
+Fine-tuning starts from a *pretrained* checkpoint (§2.1 — the whole point
+of the paper's workload).  This module provides the standard mechanics:
+``state_dict`` / ``load_state_dict`` over any :class:`~repro.nn.layers.Module`
+tree, and ``.npz`` persistence so a pretraining run's weights can seed a
+fine-tuning run.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.layers import Module
+
+__all__ = ["state_dict", "load_state_dict", "save_model", "load_model"]
+
+
+def _named_parameters(module: Module) -> dict[str, Tensor]:
+    """Stable name -> tensor mapping over a module tree."""
+    names: dict[str, Tensor] = {}
+    for prefix, sub in module.named_modules():
+        for attr, value in sub.__dict__.items():
+            if isinstance(value, Tensor) and value.requires_grad:
+                key = f"{prefix}.{attr}"
+                if key not in names:
+                    names[key] = value
+    return names
+
+
+def state_dict(module: Module) -> dict[str, np.ndarray]:
+    """Copy all trainable parameters into a name -> array dict."""
+    return {name: tensor.data.copy() for name, tensor in _named_parameters(module).items()}
+
+
+def load_state_dict(
+    module: Module, state: Mapping[str, np.ndarray], *, strict: bool = True
+) -> list[str]:
+    """Load parameters in place.
+
+    Args:
+        module: Target module tree.
+        state: Name -> array mapping, as produced by :func:`state_dict`.
+        strict: When ``True`` (default), missing or unexpected keys raise.
+
+    Returns:
+        Names of parameters that were loaded.
+
+    Raises:
+        KeyError: On missing/unexpected keys in strict mode.
+        ValueError: On shape mismatches.
+    """
+    params = _named_parameters(module)
+    missing = sorted(set(params) - set(state))
+    unexpected = sorted(set(state) - set(params))
+    if strict and (missing or unexpected):
+        raise KeyError(
+            f"state dict mismatch: missing={missing[:5]} unexpected={unexpected[:5]}"
+        )
+    loaded = []
+    for name, tensor in params.items():
+        if name not in state:
+            continue
+        array = np.asarray(state[name], dtype=np.float32)
+        if array.shape != tensor.data.shape:
+            raise ValueError(
+                f"shape mismatch for {name}: checkpoint {array.shape} vs "
+                f"model {tensor.data.shape}"
+            )
+        tensor.data[...] = array
+        loaded.append(name)
+    return loaded
+
+
+def save_model(module: Module, path: str) -> None:
+    """Persist a module's parameters to an ``.npz`` file."""
+    np.savez(path, **state_dict(module))
+
+
+def load_model(module: Module, path: str, *, strict: bool = True) -> list[str]:
+    """Load an ``.npz`` checkpoint saved by :func:`save_model`."""
+    with np.load(path) as archive:
+        return load_state_dict(module, dict(archive), strict=strict)

@@ -1,0 +1,110 @@
+"""GPT-style transformer language model.
+
+The model is deliberately structured as an ordered list of *pipeline-able
+layers* (embedding, blocks, final norm + head) so the training package can
+partition it into stages exactly like the planner partitions
+:class:`~repro.models.spec.ModelSpec` layers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.autograd.ops import cross_entropy_logits, gelu
+from repro.autograd.tensor import Tensor
+from repro.nn.attention import CausalSelfAttention
+from repro.nn.layers import Embedding, LayerNorm, Linear, Module
+
+__all__ = ["GPTConfig", "TransformerBlock", "EmbeddingLayer", "HeadLayer", "GPTModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GPTConfig:
+    """Shape of a GPT model.
+
+    Attributes:
+        vocab_size: Vocabulary size.
+        seq_len: Maximum sequence length (positions table size).
+        dim: Hidden dimension.
+        n_heads: Attention heads.
+        n_blocks: Transformer blocks.
+        mlp_ratio: MLP expansion factor.
+    """
+
+    vocab_size: int = 256
+    seq_len: int = 64
+    dim: int = 64
+    n_heads: int = 4
+    n_blocks: int = 2
+    mlp_ratio: int = 4
+
+
+class EmbeddingLayer(Module):
+    """Token + position embedding; the pipeline's first layer."""
+
+    def __init__(self, config: GPTConfig, *, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.tokens = Embedding(config.vocab_size, config.dim, rng=rng)
+        self.positions = Embedding(config.seq_len, config.dim, rng=rng)
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        _, seq = token_ids.shape
+        return self.tokens(token_ids) + self.positions(np.arange(seq))
+
+
+class TransformerBlock(Module):
+    """Pre-norm attention + MLP block."""
+
+    def __init__(self, config: GPTConfig, *, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.ln1 = LayerNorm(config.dim)
+        self.attn = CausalSelfAttention(config.dim, config.n_heads, rng=rng)
+        self.ln2 = LayerNorm(config.dim)
+        self.fc_in = Linear(config.dim, config.mlp_ratio * config.dim, rng=rng)
+        self.fc_out = Linear(config.mlp_ratio * config.dim, config.dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attn(self.ln1(x))
+        return x + self.fc_out(gelu(self.fc_in(self.ln2(x))))
+
+
+class HeadLayer(Module):
+    """Final norm + LM projection; the pipeline's last layer."""
+
+    def __init__(self, config: GPTConfig, *, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.norm = LayerNorm(config.dim)
+        self.proj = Linear(config.dim, config.vocab_size, rng=rng, bias=False)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.proj(self.norm(x))
+
+
+class GPTModel(Module):
+    """The full language model as an ordered layer list."""
+
+    def __init__(self, config: GPTConfig, *, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.config = config
+        self.pipeline_layers: list[Module] = [
+            EmbeddingLayer(config, rng=rng),
+            *[TransformerBlock(config, rng=rng) for _ in range(config.n_blocks)],
+            HeadLayer(config, rng=rng),
+        ]
+
+    @property
+    def n_pipeline_layers(self) -> int:
+        return len(self.pipeline_layers)
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        out: Tensor | np.ndarray = token_ids
+        for layer in self.pipeline_layers:
+            out = layer(out)
+        return out
+
+    def loss(self, token_ids: np.ndarray, targets: np.ndarray) -> Tensor:
+        """Mean next-token cross entropy."""
+        return cross_entropy_logits(self.forward(token_ids), targets)

@@ -1,0 +1,252 @@
+"""Simulated resources: compute units and the bandwidth-shared flow network.
+
+Two resource types drive every experiment:
+
+* :class:`ComputeUnit` — one per GPU (plus optionally one for the CPU).  It
+  executes compute tasks serially in FIFO order, mirroring a CUDA stream.
+* :class:`FlowNetwork` — a fluid-flow model of the server interconnect.
+  Concurrent transfers become *flows* over edge paths of the
+  :class:`~repro.hardware.topology.Topology`; every time the flow set
+  changes, per-flow rates are recomputed with **priority-aware max-min fair
+  sharing** (progressive filling).  This is what reproduces the paper's
+  contention observations: two GPUs pushing data through one CPU root
+  complex each see half its bandwidth (Figure 2), and prefetches issued with
+  ``cudaStreamCreateWithPriority`` (§3.3) preempt lower-priority flows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from collections import defaultdict, deque
+from collections.abc import Callable
+
+from repro.hardware.topology import Edge, Path, Topology
+from repro.sim.engine import EventHandle, Simulator
+
+__all__ = ["ComputeUnit", "Flow", "FlowNetwork"]
+
+_EPS = 1e-12
+
+
+class ComputeUnit:
+    """A serial compute engine (one CUDA stream's worth of a GPU).
+
+    Tasks submitted while another task runs are queued FIFO.  Completion
+    callbacks fire inside the simulator event loop.
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self._queue: deque[tuple[float, Callable[[], None]]] = deque()
+        self._busy = False
+        #: Total busy seconds, for utilisation accounting.
+        self.busy_seconds = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    def submit(self, seconds: float, on_done: Callable[[], None]) -> None:
+        """Queue a task of length ``seconds``; ``on_done`` fires at its end."""
+        if seconds < 0:
+            raise ValueError(f"task duration must be non-negative, got {seconds}")
+        self._queue.append((seconds, on_done))
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        seconds, on_done = self._queue.popleft()
+        self.busy_seconds += seconds
+
+        def finish() -> None:
+            # Run the completion callback first so dependent work enqueued by
+            # it at the same timestamp is ordered behind queued tasks.
+            on_done()
+            self._start_next()
+
+        self.sim.schedule(seconds, finish)
+
+
+@dataclasses.dataclass
+class Flow:
+    """One in-flight transfer.
+
+    Attributes:
+        path: Directed edges the flow occupies (all simultaneously).
+        total_bytes: Transfer size.
+        priority: Larger values are served first; flows at the same priority
+            max-min share leftover bandwidth.
+        on_done: Completion callback.
+        label: Free-form tag used by the trace.
+    """
+
+    path: Path
+    total_bytes: float
+    priority: int
+    on_done: Callable[[], None]
+    label: str
+    uid: int = 0
+    remaining: float = 0.0
+    rate: float = 0.0
+    start_time: float = 0.0
+
+
+class FlowNetwork:
+    """Priority-aware max-min fair bandwidth sharing over a topology.
+
+    The model is *fluid*: each flow progresses continuously at its currently
+    assigned rate.  Rates change only when a flow starts or finishes, at
+    which point the network re-solves the allocation and reschedules its
+    next-completion event.
+
+    Allocation: flows are grouped by priority, highest first.  Within a
+    group, progressive filling raises all rates uniformly until an edge
+    saturates, freezes the flows crossing it, and repeats.  Capacity consumed
+    by higher-priority groups is subtracted before lower groups fill.
+    """
+
+    def __init__(self, sim: Simulator, topology: Topology) -> None:
+        self.sim = sim
+        self.topology = topology
+        self._flows: dict[int, Flow] = {}
+        self._uid = itertools.count()
+        self._last_update = 0.0
+        self._next_event: EventHandle | None = None
+
+    @property
+    def active_flows(self) -> tuple[Flow, ...]:
+        return tuple(self._flows.values())
+
+    def start_flow(
+        self,
+        path: Path,
+        nbytes: float,
+        on_done: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Flow:
+        """Begin a transfer of ``nbytes`` along ``path``.
+
+        A zero-byte transfer, or one with an empty path (same-device copy),
+        completes immediately via a zero-delay event.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        flow = Flow(
+            path=path,
+            total_bytes=nbytes,
+            priority=priority,
+            on_done=on_done,
+            label=label,
+            uid=next(self._uid),
+            remaining=nbytes,
+            start_time=self.sim.now,
+        )
+        if nbytes == 0 or not path:
+            self.sim.schedule(0.0, on_done)
+            return flow
+        self._advance()
+        self._flows[flow.uid] = flow
+        self._reallocate()
+        return flow
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Progress all flows from the last update time to ``sim.now``."""
+        elapsed = self.sim.now - self._last_update
+        if elapsed > 0:
+            for flow in self._flows.values():
+                flow.remaining = max(0.0, flow.remaining - flow.rate * elapsed)
+        self._last_update = self.sim.now
+
+    def _reallocate(self) -> None:
+        """Recompute all rates and reschedule the next completion event."""
+        if self._next_event is not None:
+            self._next_event.cancel()
+            self._next_event = None
+        if not self._flows:
+            return
+        self._assign_rates()
+        horizon = min(
+            flow.remaining / flow.rate if flow.rate > _EPS else float("inf")
+            for flow in self._flows.values()
+        )
+        if horizon == float("inf"):
+            raise RuntimeError(
+                "flow network deadlock: active flows received zero bandwidth"
+            )
+        self._next_event = self.sim.schedule(horizon, self._on_completion_event)
+
+    def _assign_rates(self) -> None:
+        used: dict[Edge, float] = defaultdict(float)
+        by_priority: dict[int, list[Flow]] = defaultdict(list)
+        for flow in self._flows.values():
+            by_priority[flow.priority].append(flow)
+        for priority in sorted(by_priority, reverse=True):
+            self._progressive_fill(by_priority[priority], used)
+
+    def _progressive_fill(self, flows: list[Flow], used: dict[Edge, float]) -> None:
+        """Max-min fill ``flows`` into remaining edge capacity, updating ``used``."""
+        unfrozen = {flow.uid: flow for flow in flows}
+        for flow in flows:
+            flow.rate = 0.0
+        edge_flows: dict[Edge, list[Flow]] = defaultdict(list)
+        for flow in flows:
+            for edge in flow.path:
+                edge_flows[edge].append(flow)
+
+        while unfrozen:
+            delta = float("inf")
+            for edge, members in edge_flows.items():
+                live = sum(1 for f in members if f.uid in unfrozen)
+                if not live:
+                    continue
+                headroom = self.topology.bandwidth_of(edge) - used[edge]
+                delta = min(delta, max(headroom, 0.0) / live)
+            if delta == float("inf"):
+                break  # remaining flows cross no edges (defensive; not expected)
+            for flow in unfrozen.values():
+                flow.rate += delta
+                for edge in flow.path:
+                    used[edge] += delta
+            # Freeze flows crossing any saturated edge.
+            saturated = {
+                edge
+                for edge in edge_flows
+                if used[edge] >= self.topology.bandwidth_of(edge) - _EPS * self.topology.bandwidth_of(edge)
+                and any(f.uid in unfrozen for f in edge_flows[edge])
+            }
+            if not saturated:
+                if delta <= 0:
+                    break  # no headroom anywhere: all remaining stay at 0
+                continue
+            for edge in saturated:
+                for flow in edge_flows[edge]:
+                    unfrozen.pop(flow.uid, None)
+
+    def _on_completion_event(self) -> None:
+        self._next_event = None
+        self._advance()
+        # Sub-byte residues are numerical noise (floating-point advance can
+        # leave a remainder too small to represent as a future event time,
+        # which would livelock the loop) — treat them as finished.
+        finished = [
+            f
+            for f in self._flows.values()
+            if f.remaining <= max(1.0, 1e-9 * f.total_bytes)
+        ]
+        for flow in finished:
+            del self._flows[flow.uid]
+        self._reallocate()
+        for flow in finished:
+            flow.on_done()

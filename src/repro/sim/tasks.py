@@ -1,0 +1,237 @@
+"""Task-graph execution on top of the simulator.
+
+Schedulers (Mobius, GPipe, DeepSpeed) do not drive the event loop directly;
+they emit a *task graph*:
+
+* :class:`ComputeTask` — runs for a fixed duration on one GPU's
+  :class:`~repro.sim.resources.ComputeUnit` (FIFO per GPU, like a CUDA
+  stream);
+* :class:`TransferTask` — a flow over a topology path, bandwidth-shared with
+  all concurrent flows;
+* :class:`BarrierTask` — zero-cost synchronisation point.
+
+A task becomes *ready* when all its dependencies complete; ready compute
+tasks queue on their GPU, ready transfers enter the
+:class:`~repro.sim.resources.FlowNetwork`.  The :class:`TaskGraphRunner`
+executes the whole graph and records a :class:`~repro.sim.trace.Trace`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+from collections.abc import Iterable, Sequence
+
+from repro.hardware.topology import Path, Topology
+from repro.sim.engine import Simulator
+from repro.sim.resources import ComputeUnit, FlowNetwork
+from repro.sim.trace import Trace
+
+__all__ = [
+    "Task",
+    "ComputeTask",
+    "TransferTask",
+    "BarrierTask",
+    "TaskGraphRunner",
+    "DeadlockError",
+    "chain",
+]
+
+_uid_counter = itertools.count()
+
+
+class _State(enum.Enum):
+    WAITING = "waiting"
+    READY = "ready"
+    DONE = "done"
+
+
+class DeadlockError(RuntimeError):
+    """Raised when a task graph cannot make progress (cyclic dependencies)."""
+
+
+@dataclasses.dataclass(eq=False)
+class Task:
+    """Base task-graph node; use the concrete subclasses."""
+
+    label: str = ""
+    deps: list["Task"] = dataclasses.field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.uid = next(_uid_counter)
+        self.state = _State.WAITING
+        self.start_time: float | None = None
+        self.end_time: float | None = None
+
+    def after(self, *tasks: "Task | None") -> "Task":
+        """Add dependencies (``None`` entries are skipped); returns self."""
+        for task in tasks:
+            if task is not None:
+                self.deps.append(task)
+        return self
+
+    @property
+    def done(self) -> bool:
+        return self.state is _State.DONE
+
+
+@dataclasses.dataclass(eq=False)
+class ComputeTask(Task):
+    """A kernel of fixed duration on one GPU."""
+
+    gpu: int = 0
+    seconds: float = 0.0
+
+
+@dataclasses.dataclass(eq=False)
+class TransferTask(Task):
+    """A data transfer along a topology path.
+
+    Attributes:
+        gpu: Owner GPU for trace/overlap accounting (usually the GPU whose
+            execution depends on the transferred bytes).
+        kind: Trace category (``"stage-upload"``, ``"allgather"``, ...).
+        priority: Flow priority; higher preempts lower (§3.3 prefetch
+            priorities).
+    """
+
+    path: Path = ()
+    nbytes: float = 0.0
+    gpu: int = 0
+    kind: str = ""
+    priority: int = 0
+
+
+@dataclasses.dataclass(eq=False)
+class BarrierTask(Task):
+    """Zero-duration synchronisation node."""
+
+
+class TaskGraphRunner:
+    """Executes a task graph on a topology, producing a trace.
+
+    Example:
+        >>> from repro.hardware.topology import topo_2_2
+        >>> topo = topo_2_2()
+        >>> up = TransferTask(path=topo.path_from_dram(0), nbytes=1e9, gpu=0)
+        >>> work = ComputeTask(gpu=0, seconds=0.5).after(up)
+        >>> trace = TaskGraphRunner(topo).execute([up, work])
+        >>> round(trace.makespan, 3)
+        0.576
+    """
+
+    def __init__(self, topology: Topology, *, simulator: Simulator | None = None) -> None:
+        self.topology = topology
+        self.sim = simulator or Simulator()
+        self.network = FlowNetwork(self.sim, topology)
+        self.compute_units = [
+            ComputeUnit(self.sim, f"gpu{i}") for i in range(topology.n_gpus)
+        ]
+
+    def execute(self, tasks: Sequence[Task]) -> Trace:
+        """Run all ``tasks`` to completion and return the recorded trace.
+
+        Raises:
+            DeadlockError: If some tasks never become ready (dependency
+                cycle, or dependency on a task not in ``tasks``).
+        """
+        tasks = list(tasks)
+        trace = Trace(self.topology.n_gpus)
+        children: dict[int, list[Task]] = {}
+        pending: dict[int, int] = {}
+        task_set = {t.uid for t in tasks}
+        remaining = len(tasks)
+
+        for task in tasks:
+            for dep in task.deps:
+                if dep.uid not in task_set:
+                    raise DeadlockError(
+                        f"task {task.label!r} depends on {dep.label!r}, "
+                        "which is not part of the executed graph"
+                    )
+            pending[task.uid] = len(task.deps)
+            for dep in task.deps:
+                children.setdefault(dep.uid, []).append(task)
+
+        def complete(task: Task) -> None:
+            nonlocal remaining
+            task.state = _State.DONE
+            task.end_time = self.sim.now
+            remaining -= 1
+            self._record(task, trace)
+            for child in children.get(task.uid, ()):
+                pending[child.uid] -= 1
+                if pending[child.uid] == 0:
+                    dispatch(child)
+
+        def dispatch(task: Task) -> None:
+            task.state = _State.READY
+            if isinstance(task, ComputeTask):
+                unit = self.compute_units[task.gpu]
+
+                def on_start_wrapper() -> None:
+                    complete(task)
+
+                # Record the queuing moment separately from execution: the
+                # compute unit may be busy.  We capture the real start by
+                # submitting a closure that stamps time when the unit picks
+                # the task up.
+                self._submit_compute(unit, task, on_start_wrapper)
+            elif isinstance(task, TransferTask):
+                task.start_time = self.sim.now
+                self.network.start_flow(
+                    task.path,
+                    task.nbytes,
+                    lambda: complete(task),
+                    priority=task.priority,
+                    label=task.label,
+                )
+            elif isinstance(task, BarrierTask):
+                task.start_time = self.sim.now
+                self.sim.schedule(0.0, lambda: complete(task))
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown task type: {type(task).__name__}")
+
+        for task in tasks:
+            if pending[task.uid] == 0:
+                dispatch(task)
+
+        self.sim.run()
+
+        if remaining:
+            stuck = [t.label or f"task#{t.uid}" for t in tasks if not t.done]
+            raise DeadlockError(
+                f"{remaining} tasks never completed (cycle?): {stuck[:10]}"
+            )
+        return trace
+
+    def _submit_compute(self, unit: ComputeUnit, task: ComputeTask, on_done) -> None:
+        def timed_done() -> None:
+            on_done()
+
+        # The ComputeUnit handles FIFO queuing; stamp the actual start time
+        # by wrapping submission in a zero-length preamble.
+        def begin() -> None:
+            task.start_time = self.sim.now
+
+        unit.submit(0.0, begin)
+        unit.submit(task.seconds, timed_done)
+
+    @staticmethod
+    def _record(task: Task, trace: Trace) -> None:
+        start = task.start_time if task.start_time is not None else task.end_time
+        end = task.end_time
+        assert end is not None
+        if isinstance(task, ComputeTask) and task.seconds > 0:
+            trace.add_compute(task.gpu, start, end, task.label)
+        elif isinstance(task, TransferTask) and task.nbytes > 0:
+            trace.add_transfer(task.gpu, start, end, task.nbytes, task.kind, task.label)
+
+
+def chain(tasks: Iterable[Task]) -> list[Task]:
+    """Link tasks sequentially (each depends on the previous); returns them."""
+    result = list(tasks)
+    for prev, nxt in zip(result, result[1:]):
+        nxt.after(prev)
+    return result

@@ -1,0 +1,226 @@
+"""Execution traces and their post-processing.
+
+Every simulated training step produces a :class:`Trace`: the list of compute
+spans (per GPU) and transfer spans (with byte counts and achieved bandwidth).
+The analyses of §4.2 are all derived from traces:
+
+* **bandwidth CDFs** (Figures 2, 7, 11, 16) — per-transfer average bandwidth,
+  weighted by bytes transferred;
+* **communication traffic** (Figure 6) — total bytes moved per step;
+* **non-overlapped communication time** (Figure 8) — per-GPU communication
+  intervals minus that GPU's compute intervals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ComputeSpan",
+    "TransferSpan",
+    "Trace",
+    "merge_intervals",
+    "subtract_intervals",
+    "total_length",
+]
+
+Interval = tuple[float, float]
+
+
+@dataclasses.dataclass(frozen=True)
+class ComputeSpan:
+    """One kernel execution on one GPU."""
+
+    gpu: int
+    start: float
+    end: float
+    label: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclasses.dataclass(frozen=True)
+class TransferSpan:
+    """One completed transfer.
+
+    Attributes:
+        gpu: The GPU this transfer belongs to (for overlap accounting); for
+            a GPU-to-GPU bounce this is the *destination* GPU, whose compute
+            waits on it.
+        kind: Free-form category, e.g. ``"stage-upload"``, ``"activation"``,
+            ``"allgather"``, ``"grad-offload"``.
+    """
+
+    gpu: int
+    start: float
+    end: float
+    nbytes: float
+    kind: str = ""
+    label: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def bandwidth(self) -> float:
+        """Average achieved bandwidth in bytes/s (0 for instantaneous)."""
+        if self.duration <= 0:
+            return 0.0
+        return self.nbytes / self.duration
+
+
+def merge_intervals(intervals: Iterable[Interval]) -> list[Interval]:
+    """Union a set of (start, end) intervals into disjoint sorted intervals."""
+    merged: list[Interval] = []
+    for start, end in sorted(intervals):
+        if end <= start:
+            continue
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def subtract_intervals(base: Sequence[Interval], holes: Sequence[Interval]) -> list[Interval]:
+    """Set difference ``base \\ holes``; both inputs may overlap internally."""
+    base = merge_intervals(base)
+    holes = merge_intervals(holes)
+    result: list[Interval] = []
+    hole_index = 0
+    for start, end in base:
+        cursor = start
+        while hole_index < len(holes) and holes[hole_index][1] <= cursor:
+            hole_index += 1
+        index = hole_index
+        while index < len(holes) and holes[index][0] < end:
+            hole_start, hole_end = holes[index]
+            if hole_start > cursor:
+                result.append((cursor, hole_start))
+            cursor = max(cursor, hole_end)
+            if cursor >= end:
+                break
+            index += 1
+        if cursor < end:
+            result.append((cursor, end))
+    return result
+
+
+def total_length(intervals: Iterable[Interval]) -> float:
+    """Sum of interval lengths after merging overlaps."""
+    return sum(end - start for start, end in merge_intervals(intervals))
+
+
+class Trace:
+    """Recorded activity of one simulated training step."""
+
+    def __init__(self, n_gpus: int) -> None:
+        if n_gpus <= 0:
+            raise ValueError(f"n_gpus must be positive, got {n_gpus}")
+        self.n_gpus = n_gpus
+        self.compute: list[ComputeSpan] = []
+        self.transfers: list[TransferSpan] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def add_compute(self, gpu: int, start: float, end: float, label: str = "") -> None:
+        self.compute.append(ComputeSpan(gpu, start, end, label))
+
+    def add_transfer(
+        self, gpu: int, start: float, end: float, nbytes: float, kind: str = "", label: str = ""
+    ) -> None:
+        self.transfers.append(TransferSpan(gpu, start, end, nbytes, kind, label))
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def makespan(self) -> float:
+        """End-to-end step time: the last compute or transfer completion."""
+        ends = [span.end for span in self.compute] + [span.end for span in self.transfers]
+        return max(ends, default=0.0)
+
+    def total_transfer_bytes(self, kinds: Iterable[str] | None = None) -> float:
+        """Total bytes moved, optionally restricted to transfer ``kinds``."""
+        wanted = set(kinds) if kinds is not None else None
+        return sum(
+            span.nbytes
+            for span in self.transfers
+            if wanted is None or span.kind in wanted
+        )
+
+    def bandwidth_samples(self, min_bytes: float = 0.0) -> tuple[np.ndarray, np.ndarray]:
+        """Per-transfer (bandwidth, weight) samples for CDF plots.
+
+        Returns:
+            ``(bandwidths, weights)`` arrays; weights are bytes transferred,
+            matching the paper's "fraction of data transferred at bandwidth
+            <= x" CDFs.
+        """
+        spans = [s for s in self.transfers if s.nbytes > min_bytes and s.duration > 0]
+        bandwidths = np.array([s.bandwidth for s in spans], dtype=float)
+        weights = np.array([s.nbytes for s in spans], dtype=float)
+        return bandwidths, weights
+
+    def bandwidth_cdf(self, grid: Sequence[float], min_bytes: float = 0.0) -> np.ndarray:
+        """Byte-weighted CDF of transfer bandwidth evaluated on ``grid``."""
+        bandwidths, weights = self.bandwidth_samples(min_bytes)
+        if len(bandwidths) == 0:
+            return np.zeros(len(grid))
+        order = np.argsort(bandwidths)
+        sorted_bw = bandwidths[order]
+        cum = np.cumsum(weights[order])
+        cum = cum / cum[-1]
+        indices = np.searchsorted(sorted_bw, np.asarray(grid, dtype=float), side="right")
+        return np.where(indices > 0, cum[np.maximum(indices - 1, 0)], 0.0)
+
+    def median_bandwidth(self) -> float:
+        """Byte-weighted median transfer bandwidth."""
+        bandwidths, weights = self.bandwidth_samples()
+        if len(bandwidths) == 0:
+            return 0.0
+        order = np.argsort(bandwidths)
+        cum = np.cumsum(weights[order])
+        idx = int(np.searchsorted(cum, cum[-1] / 2.0))
+        return float(bandwidths[order][min(idx, len(order) - 1)])
+
+    # ------------------------------------------------------------------
+    # Overlap analysis (Figure 8)
+    # ------------------------------------------------------------------
+
+    def gpu_compute_intervals(self, gpu: int) -> list[Interval]:
+        return merge_intervals((s.start, s.end) for s in self.compute if s.gpu == gpu)
+
+    def gpu_transfer_intervals(self, gpu: int) -> list[Interval]:
+        return merge_intervals((s.start, s.end) for s in self.transfers if s.gpu == gpu)
+
+    def non_overlapped_comm_seconds(self, gpu: int) -> float:
+        """Seconds GPU ``gpu`` spends communicating while computing nothing."""
+        comm = self.gpu_transfer_intervals(gpu)
+        busy = self.gpu_compute_intervals(gpu)
+        return total_length(subtract_intervals(comm, busy))
+
+    def non_overlapped_comm_fraction(self) -> float:
+        """Mean over GPUs of non-overlapped communication time / step time."""
+        step = self.makespan
+        if step <= 0:
+            return 0.0
+        fractions = [
+            self.non_overlapped_comm_seconds(gpu) / step for gpu in range(self.n_gpus)
+        ]
+        return float(np.mean(fractions))
+
+    def compute_seconds(self, gpu: int | None = None) -> float:
+        """Total busy compute time, for one GPU or summed over all."""
+        if gpu is None:
+            return sum(total_length(self.gpu_compute_intervals(g)) for g in range(self.n_gpus))
+        return total_length(self.gpu_compute_intervals(gpu))

@@ -1,0 +1,39 @@
+"""MILP solver substrate (replaces Gurobi, which the paper uses for §3.2).
+
+Stack: algebraic model builder -> dense two-phase simplex -> best-first
+branch & bound, with optional scipy/HiGHS backends for cross-validation.
+"""
+
+from repro.solver.branch_bound import BranchAndBoundSolver, MIPSolution, MIPStatus
+from repro.solver.model import (
+    Constraint,
+    ConstraintSense,
+    LinearExpr,
+    LinearProgram,
+    StandardForm,
+    Variable,
+)
+from repro.solver.presolve import PresolveResult, postsolve, presolve
+from repro.solver.scipy_backend import solve_lp_scipy, solve_milp_scipy
+from repro.solver.simplex import LPSolution, LPStatus, SimplexError, solve_standard_form
+
+__all__ = [
+    "BranchAndBoundSolver",
+    "Constraint",
+    "ConstraintSense",
+    "LPSolution",
+    "LPStatus",
+    "LinearExpr",
+    "LinearProgram",
+    "MIPSolution",
+    "MIPStatus",
+    "PresolveResult",
+    "postsolve",
+    "presolve",
+    "SimplexError",
+    "StandardForm",
+    "Variable",
+    "solve_lp_scipy",
+    "solve_milp_scipy",
+    "solve_standard_form",
+]

@@ -1,0 +1,207 @@
+"""Best-first branch & bound for mixed-integer linear programs.
+
+Pairs with the simplex LP backend (or scipy's HiGHS) to solve the paper's
+partitioning MIPs without Gurobi.  Nodes are explored best-bound-first;
+branching splits on the most fractional integer variable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import heapq
+import itertools
+import math
+import time
+
+import numpy as np
+
+from repro.solver.model import LinearProgram, StandardForm
+from repro.solver.simplex import LPStatus, solve_standard_form
+
+__all__ = ["MIPStatus", "MIPSolution", "BranchAndBoundSolver"]
+
+_INT_TOL = 1e-6
+
+
+class MIPStatus(enum.Enum):
+    OPTIMAL = "optimal"
+    FEASIBLE = "feasible"  # stopped early with an incumbent
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    NO_SOLUTION = "no_solution"  # stopped early without an incumbent
+
+
+@dataclasses.dataclass
+class MIPSolution:
+    """Outcome of a MIP solve.
+
+    ``objective`` is in the user's original direction (max stays max).
+    """
+
+    status: MIPStatus
+    x: np.ndarray | None = None
+    objective: float = math.nan
+    nodes_explored: int = 0
+    solve_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (MIPStatus.OPTIMAL, MIPStatus.FEASIBLE)
+
+
+@dataclasses.dataclass(order=True)
+class _Node:
+    bound: float
+    tiebreak: int
+    lb: np.ndarray = dataclasses.field(compare=False)
+    ub: np.ndarray = dataclasses.field(compare=False)
+
+
+class BranchAndBoundSolver:
+    """MILP solver: LP-relaxation bounds + branching on fractional variables.
+
+    Args:
+        lp_backend: ``"simplex"`` (our solver) or ``"scipy"``
+            (:func:`scipy.optimize.linprog`, HiGHS).
+        max_nodes: Node budget before returning the incumbent.
+        time_limit: Wall-clock budget in seconds.
+    """
+
+    def __init__(
+        self,
+        *,
+        lp_backend: str = "simplex",
+        max_nodes: int = 100_000,
+        time_limit: float = 60.0,
+        presolve: bool = False,
+    ) -> None:
+        if lp_backend not in ("simplex", "scipy"):
+            raise ValueError(f"unknown lp_backend {lp_backend!r}")
+        self.lp_backend = lp_backend
+        self.max_nodes = max_nodes
+        self.time_limit = time_limit
+        self.presolve = presolve
+
+    def solve(self, program: LinearProgram) -> MIPSolution:
+        """Solve ``program`` to optimality (or budget exhaustion)."""
+        started = time.perf_counter()
+        original_form = program.to_standard_form()
+        form = original_form
+        reduction = None
+        if self.presolve:
+            from repro.solver.presolve import postsolve, presolve
+
+            reduction = presolve(original_form)
+            if reduction.infeasible:
+                return MIPSolution(
+                    MIPStatus.INFEASIBLE,
+                    solve_seconds=time.perf_counter() - started,
+                )
+            form = reduction.form
+        integer = np.flatnonzero(form.integer)
+
+        counter = itertools.count()
+        root = _Node(-math.inf, next(counter), form.lb.copy(), form.ub.copy())
+        heap = [root]
+        incumbent_x: np.ndarray | None = None
+        incumbent_obj = math.inf  # minimisation-form objective
+        nodes = 0
+        saw_infeasible_root = False
+
+        while heap:
+            if nodes >= self.max_nodes or time.perf_counter() - started > self.time_limit:
+                break
+            node = heapq.heappop(heap)
+            if node.bound >= incumbent_obj - 1e-9:
+                continue
+            relaxation = self._solve_lp(form, node.lb, node.ub)
+            nodes += 1
+            if relaxation.status is LPStatus.INFEASIBLE:
+                if nodes == 1:
+                    saw_infeasible_root = True
+                continue
+            if relaxation.status is LPStatus.UNBOUNDED:
+                if nodes == 1:
+                    return MIPSolution(
+                        MIPStatus.UNBOUNDED,
+                        nodes_explored=nodes,
+                        solve_seconds=time.perf_counter() - started,
+                    )
+                continue
+            assert relaxation.x is not None
+            if relaxation.objective >= incumbent_obj - 1e-9:
+                continue
+
+            fractional = self._most_fractional(relaxation.x, integer)
+            if fractional is None:
+                incumbent_x = relaxation.x.copy()
+                incumbent_obj = relaxation.objective
+                continue
+
+            var, value = fractional
+            floor_ub = node.ub.copy()
+            floor_ub[var] = math.floor(value)
+            if node.lb[var] <= floor_ub[var]:
+                heapq.heappush(
+                    heap,
+                    _Node(relaxation.objective, next(counter), node.lb.copy(), floor_ub),
+                )
+            ceil_lb = node.lb.copy()
+            ceil_lb[var] = math.ceil(value)
+            if ceil_lb[var] <= node.ub[var]:
+                heapq.heappush(
+                    heap,
+                    _Node(relaxation.objective, next(counter), ceil_lb, node.ub.copy()),
+                )
+
+        elapsed = time.perf_counter() - started
+        if incumbent_x is None:
+            status = (
+                MIPStatus.INFEASIBLE
+                if saw_infeasible_root and not heap
+                else (MIPStatus.INFEASIBLE if not heap else MIPStatus.NO_SOLUTION)
+            )
+            return MIPSolution(status, nodes_explored=nodes, solve_seconds=elapsed)
+
+        # Round near-integers exactly.
+        x = incumbent_x.copy()
+        x[integer] = np.round(x[integer])
+        status = MIPStatus.OPTIMAL if not heap or all(
+            n.bound >= incumbent_obj - 1e-9 for n in heap
+        ) else MIPStatus.FEASIBLE
+        if reduction is not None:
+            from repro.solver.presolve import postsolve
+
+            x = postsolve(reduction, x)
+        return MIPSolution(
+            status,
+            x=x,
+            objective=original_form.objective_value(x),
+            nodes_explored=nodes,
+            solve_seconds=elapsed,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _solve_lp(self, form: StandardForm, lb: np.ndarray, ub: np.ndarray):
+        node_form = dataclasses.replace(form, lb=lb, ub=ub)
+        if self.lp_backend == "simplex":
+            return solve_standard_form(node_form)
+        from repro.solver.scipy_backend import solve_lp_scipy
+
+        return solve_lp_scipy(node_form)
+
+    @staticmethod
+    def _most_fractional(
+        x: np.ndarray, integer: np.ndarray
+    ) -> tuple[int, float] | None:
+        best_var = None
+        best_frac = _INT_TOL
+        for var in integer:
+            value = x[var]
+            frac = abs(value - round(value))
+            if frac > best_frac:
+                best_frac = frac
+                best_var = (int(var), float(value))
+        return best_var

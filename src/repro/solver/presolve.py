@@ -1,0 +1,123 @@
+"""Presolve reductions for LPs/MILPs.
+
+Standard reductions applied before the simplex / branch & bound:
+
+1. **fixed variables** (``lb == ub``) are substituted into constraints and
+   the objective;
+2. **singleton inequality rows** (``a * x <= b`` with one nonzero) are
+   converted into variable bounds;
+3. **empty rows** are checked for trivial feasibility and dropped.
+
+Returns a smaller :class:`~repro.solver.model.StandardForm` plus the recipe
+to lift a reduced solution back to the original variable space.  Used by
+:class:`~repro.solver.branch_bound.BranchAndBoundSolver` via the
+``presolve=True`` flag.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.solver.model import StandardForm
+
+__all__ = ["PresolveResult", "presolve", "postsolve"]
+
+_TOL = 1e-9
+
+
+@dataclasses.dataclass
+class PresolveResult:
+    """A reduced form plus the mapping back to the original space."""
+
+    form: StandardForm
+    kept: np.ndarray  # original indices of surviving variables
+    fixed_values: np.ndarray  # values for all original variables (fixed ones set)
+    infeasible: bool = False
+
+    @property
+    def n_removed(self) -> int:
+        return len(self.fixed_values) - len(self.kept)
+
+
+def presolve(form: StandardForm) -> PresolveResult:
+    """Apply the reductions; never changes the optimal objective value."""
+    n = len(form.c)
+    lb = form.lb.astype(float).copy()
+    ub = form.ub.astype(float).copy()
+    a_ub = form.a_ub.copy()
+    b_ub = form.b_ub.astype(float).copy()
+
+    # Reduction 2/3: singleton and empty inequality rows -> bounds.
+    keep_rows = []
+    for row in range(a_ub.shape[0]):
+        nonzero = np.flatnonzero(np.abs(a_ub[row]) > _TOL)
+        if len(nonzero) == 0:
+            if b_ub[row] < -_TOL:
+                return PresolveResult(form, np.arange(n), np.zeros(n), infeasible=True)
+            continue  # trivially satisfied
+        if len(nonzero) == 1:
+            j = int(nonzero[0])
+            coef = a_ub[row, j]
+            bound = b_ub[row] / coef
+            if coef > 0:
+                ub[j] = min(ub[j], bound)
+            else:
+                lb[j] = max(lb[j], bound)
+            continue
+        keep_rows.append(row)
+    a_ub = a_ub[keep_rows]
+    b_ub = b_ub[np.array(keep_rows, dtype=int)] if keep_rows else np.zeros(0)
+
+    # Integrality can tighten bounds further.
+    integer = form.integer
+    lb = np.where(integer & np.isfinite(lb), np.ceil(lb - _TOL), lb)
+    ub = np.where(integer & np.isfinite(ub), np.floor(ub + _TOL), ub)
+    if np.any(lb > ub + _TOL):
+        return PresolveResult(form, np.arange(n), np.zeros(n), infeasible=True)
+
+    # Reduction 1: fixed variables.
+    fixed_mask = np.isfinite(lb) & np.isfinite(ub) & (ub - lb <= _TOL)
+    kept = np.flatnonzero(~fixed_mask)
+    fixed_values = np.where(fixed_mask, (lb + ub) / 2.0, 0.0)
+
+    if fixed_mask.any():
+        if a_ub.size:
+            b_ub = b_ub - a_ub[:, fixed_mask] @ fixed_values[fixed_mask]
+            a_ub = a_ub[:, kept]
+        a_eq = form.a_eq
+        b_eq = form.b_eq.astype(float)
+        if a_eq.size:
+            b_eq = b_eq - a_eq[:, fixed_mask] @ fixed_values[fixed_mask]
+            a_eq = a_eq[:, kept]
+        c = form.c[kept]
+    else:
+        a_eq, b_eq, c = form.a_eq, form.b_eq, form.c
+
+    reduced = StandardForm(
+        c=c,
+        a_ub=a_ub if a_ub.size else np.zeros((0, len(kept))),
+        b_ub=b_ub,
+        a_eq=a_eq if a_eq.size else np.zeros((0, len(kept))),
+        b_eq=b_eq,
+        lb=lb[kept],
+        ub=ub[kept],
+        integer=integer[kept],
+        flip_objective=form.flip_objective,
+    )
+    return PresolveResult(form=reduced, kept=kept, fixed_values=fixed_values)
+
+
+def postsolve(result: PresolveResult, x_reduced: np.ndarray) -> np.ndarray:
+    """Lift a reduced-space solution back to the original variables."""
+    x = result.fixed_values.copy()
+    x[result.kept] = x_reduced
+    return x
+
+
+def objective_offset(form: StandardForm, result: PresolveResult) -> float:
+    """Objective contribution of the fixed variables (minimisation form)."""
+    fixed_mask = np.ones(len(result.fixed_values), dtype=bool)
+    fixed_mask[result.kept] = False
+    return float(form.c[fixed_mask] @ result.fixed_values[fixed_mask])

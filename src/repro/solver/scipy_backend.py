@@ -1,0 +1,70 @@
+"""Optional scipy (HiGHS) backends for LPs and MILPs.
+
+Used to cross-validate the from-scratch simplex and branch & bound, and as a
+faster solver for large partitioning MIPs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import optimize, sparse
+
+from repro.solver.branch_bound import MIPSolution, MIPStatus
+from repro.solver.model import LinearProgram, StandardForm
+from repro.solver.simplex import LPSolution, LPStatus
+
+__all__ = ["solve_lp_scipy", "solve_milp_scipy"]
+
+
+def solve_lp_scipy(form: StandardForm) -> LPSolution:
+    """Solve the LP relaxation of ``form`` with :func:`scipy.optimize.linprog`."""
+    bounds = list(zip(form.lb, [u if math.isfinite(u) else None for u in form.ub]))
+    result = optimize.linprog(
+        form.c,
+        A_ub=form.a_ub if form.a_ub.size else None,
+        b_ub=form.b_ub if form.b_ub.size else None,
+        A_eq=form.a_eq if form.a_eq.size else None,
+        b_eq=form.b_eq if form.b_eq.size else None,
+        bounds=bounds,
+        method="highs",
+    )
+    if result.status == 2:
+        return LPSolution(LPStatus.INFEASIBLE)
+    if result.status == 3:
+        return LPSolution(LPStatus.UNBOUNDED)
+    if not result.success:  # pragma: no cover - solver hiccup
+        return LPSolution(LPStatus.INFEASIBLE)
+    return LPSolution(LPStatus.OPTIMAL, np.asarray(result.x), float(result.fun))
+
+
+def solve_milp_scipy(program: LinearProgram, *, time_limit: float = 60.0) -> MIPSolution:
+    """Solve a MILP with :func:`scipy.optimize.milp` (HiGHS branch & cut)."""
+    form = program.to_standard_form()
+    constraints = []
+    if form.a_ub.size:
+        constraints.append(
+            optimize.LinearConstraint(sparse.csr_matrix(form.a_ub), -np.inf, form.b_ub)
+        )
+    if form.a_eq.size:
+        constraints.append(
+            optimize.LinearConstraint(sparse.csr_matrix(form.a_eq), form.b_eq, form.b_eq)
+        )
+    result = optimize.milp(
+        form.c,
+        constraints=constraints or None,
+        bounds=optimize.Bounds(form.lb, form.ub),
+        integrality=form.integer.astype(int),
+        options={"time_limit": time_limit},
+    )
+    if result.status == 2:
+        return MIPSolution(MIPStatus.INFEASIBLE)
+    if result.status == 3:
+        return MIPSolution(MIPStatus.UNBOUNDED)
+    if result.x is None:
+        return MIPSolution(MIPStatus.NO_SOLUTION)
+    x = np.asarray(result.x)
+    x[form.integer] = np.round(x[form.integer])
+    status = MIPStatus.OPTIMAL if result.status == 0 else MIPStatus.FEASIBLE
+    return MIPSolution(status, x=x, objective=form.objective_value(x))

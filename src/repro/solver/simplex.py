@@ -1,0 +1,226 @@
+"""Dense two-phase primal simplex.
+
+Solves ``min c.x`` subject to ``A_ub x <= b_ub``, ``A_eq x == b_eq`` and
+finite lower bounds ``lb <= x <= ub`` (upper bounds become extra rows).
+Designed for the small/medium LP relaxations produced by the partitioning
+MIPs — correctness over speed: Dantzig pricing with a Bland's-rule fallback
+guarantees termination on degenerate problems.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+
+import numpy as np
+
+from repro.solver.model import StandardForm
+
+__all__ = ["LPStatus", "LPSolution", "solve_standard_form", "SimplexError"]
+
+_TOL = 1e-9
+_BLAND_AFTER = 2000
+_MAX_ITERS = 50_000
+
+
+class SimplexError(RuntimeError):
+    """Raised when the simplex cannot make progress (numerical failure)."""
+
+
+class LPStatus(enum.Enum):
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+
+
+@dataclasses.dataclass
+class LPSolution:
+    """Outcome of an LP solve.
+
+    ``objective`` is reported in minimisation form; callers holding a
+    :class:`~repro.solver.model.StandardForm` can convert with
+    :meth:`~repro.solver.model.StandardForm.objective_value`.
+    """
+
+    status: LPStatus
+    x: np.ndarray | None = None
+    objective: float = math.nan
+
+
+def solve_standard_form(form: StandardForm) -> LPSolution:
+    """Solve the LP relaxation of a standard form (integrality ignored)."""
+    lb, ub = form.lb, form.ub
+    if np.any(~np.isfinite(lb)):
+        raise ValueError("simplex backend requires finite lower bounds")
+    n = len(form.c)
+
+    # Shift to y = x - lb >= 0.
+    b_ub = form.b_ub - form.a_ub @ lb if form.a_ub.size else form.b_ub.copy()
+    b_eq = form.b_eq - form.a_eq @ lb if form.a_eq.size else form.b_eq.copy()
+    offset = float(form.c @ lb)
+
+    rows_ub = [form.a_ub[i] for i in range(form.a_ub.shape[0])]
+    rhs_ub = list(b_ub)
+    for j in range(n):
+        if math.isfinite(ub[j]):
+            row = np.zeros(n)
+            row[j] = 1.0
+            rows_ub.append(row)
+            rhs_ub.append(ub[j] - lb[j])
+
+    a_ub = np.vstack(rows_ub) if rows_ub else np.zeros((0, n))
+    b_ub_arr = np.array(rhs_ub, dtype=float)
+
+    result = _two_phase(form.c.astype(float), a_ub, b_ub_arr, form.a_eq.astype(float), b_eq)
+    if result.status is not LPStatus.OPTIMAL:
+        return result
+    assert result.x is not None
+    x = result.x[:n] + lb
+    return LPSolution(LPStatus.OPTIMAL, x, result.objective + offset)
+
+
+def _two_phase(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    a_eq: np.ndarray,
+    b_eq: np.ndarray,
+) -> LPSolution:
+    """Two-phase simplex on ``min c.y``, ``a_ub y <= b_ub``, ``a_eq y == b_eq``,
+    ``y >= 0``."""
+    n = len(c)
+    m_ub, m_eq = a_ub.shape[0], a_eq.shape[0]
+    m = m_ub + m_eq
+
+    # Build [A | slacks] with rhs >= 0.
+    a = np.zeros((m, n + m_ub))
+    b = np.zeros(m)
+    a[:m_ub, :n] = a_ub
+    a[:m_ub, n : n + m_ub] = np.eye(m_ub)
+    b[:m_ub] = b_ub
+    if m_eq:
+        a[m_ub:, :n] = a_eq
+        b[m_ub:] = b_eq
+
+    needs_artificial = []
+    for i in range(m):
+        if b[i] < 0:
+            a[i] *= -1.0
+            b[i] *= -1.0
+            needs_artificial.append(i)  # slack coefficient is now -1
+        elif i >= m_ub:
+            needs_artificial.append(i)  # equality rows always need one
+
+    n_slack = m_ub
+    n_art = len(needs_artificial)
+    total = n + n_slack + n_art
+    tableau = np.zeros((m, total))
+    tableau[:, : n + n_slack] = a
+    basis = np.empty(m, dtype=int)
+
+    art_col = n + n_slack
+    art_rows = set(needs_artificial)
+    for i in range(m):
+        if i in art_rows:
+            tableau[i, art_col] = 1.0
+            basis[i] = art_col
+            art_col += 1
+        else:
+            basis[i] = n + i  # slack with +1 coefficient
+
+    rhs = b.copy()
+
+    if n_art:
+        # Phase 1: minimise the sum of artificials.
+        c1 = np.zeros(total)
+        c1[n + n_slack :] = 1.0
+        status, obj1 = _iterate(tableau, rhs, basis, c1)
+        if status is LPStatus.UNBOUNDED:  # pragma: no cover - impossible in phase 1
+            raise SimplexError("phase-1 unbounded")
+        if obj1 > 1e-6:
+            return LPSolution(LPStatus.INFEASIBLE)
+        _drive_out_artificials(tableau, rhs, basis, n + n_slack)
+        # Drop redundant rows whose artificial could not be driven out.
+        keep = basis < n + n_slack
+        tableau = tableau[keep]
+        rhs = rhs[keep]
+        basis = basis[keep]
+
+    # Phase 2 over original + slack columns only.
+    c2 = np.zeros(n + n_slack)
+    c2[:n] = c
+    tableau2 = np.ascontiguousarray(tableau[:, : n + n_slack])
+    status, obj = _iterate(tableau2, rhs, basis, c2)
+    if status is LPStatus.UNBOUNDED:
+        return LPSolution(LPStatus.UNBOUNDED)
+
+    x = np.zeros(n + n_slack)
+    for i, col in enumerate(basis):
+        if col < n + n_slack:
+            x[col] = rhs[i]
+    return LPSolution(LPStatus.OPTIMAL, x, obj)
+
+
+def _iterate(
+    tableau: np.ndarray, rhs: np.ndarray, basis: np.ndarray, c: np.ndarray
+) -> tuple[LPStatus, float]:
+    """Run primal simplex pivots in place; returns (status, objective)."""
+    m, total = tableau.shape
+    for iteration in range(_MAX_ITERS):
+        cb = c[basis]
+        # Reduced costs: c_j - cb . B^-1 A_j; tableau is already B^-1 A.
+        reduced = c - cb @ tableau
+        reduced[basis] = 0.0
+        use_bland = iteration >= _BLAND_AFTER
+        if use_bland:
+            candidates = np.flatnonzero(reduced < -_TOL)
+            if candidates.size == 0:
+                return LPStatus.OPTIMAL, float(cb @ rhs)
+            entering = int(candidates[0])
+        else:
+            entering = int(np.argmin(reduced))
+            if reduced[entering] >= -_TOL:
+                return LPStatus.OPTIMAL, float(cb @ rhs)
+
+        column = tableau[:, entering]
+        positive = column > _TOL
+        if not np.any(positive):
+            return LPStatus.UNBOUNDED, -math.inf
+        ratios = np.full(m, math.inf)
+        ratios[positive] = rhs[positive] / column[positive]
+        best = ratios.min()
+        ties = np.flatnonzero(np.abs(ratios - best) <= _TOL * (1 + abs(best)))
+        # Bland tie-break: smallest basis index leaves.
+        leaving = int(ties[np.argmin(basis[ties])]) if use_bland else int(ties[0])
+
+        _pivot(tableau, rhs, leaving, entering)
+        basis[leaving] = entering
+    raise SimplexError(f"simplex exceeded {_MAX_ITERS} iterations")
+
+
+def _pivot(tableau: np.ndarray, rhs: np.ndarray, row: int, col: int) -> None:
+    pivot = tableau[row, col]
+    tableau[row] /= pivot
+    rhs[row] /= pivot
+    for i in range(tableau.shape[0]):
+        if i != row and abs(tableau[i, col]) > _TOL:
+            factor = tableau[i, col]
+            tableau[i] -= factor * tableau[row]
+            rhs[i] -= factor * rhs[row]
+    rhs[rhs < 0] = np.where(rhs[rhs < 0] > -_TOL, 0.0, rhs[rhs < 0])
+
+
+def _drive_out_artificials(
+    tableau: np.ndarray, rhs: np.ndarray, basis: np.ndarray, n_real: int
+) -> None:
+    """Pivot basic artificial variables out of the basis where possible."""
+    for i in range(len(basis)):
+        if basis[i] < n_real:
+            continue
+        row = tableau[i, :n_real]
+        candidates = np.flatnonzero(np.abs(row) > _TOL)
+        if candidates.size:
+            _pivot(tableau, rhs, i, int(candidates[0]))
+            basis[i] = int(candidates[0])
+        # else: redundant row; the artificial stays basic at value 0.

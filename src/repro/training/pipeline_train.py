@@ -1,0 +1,282 @@
+"""Pipeline-schedule training on the numpy transformer.
+
+Executes real gradient computation in the *order* the schedulers prescribe:
+
+* stages are contiguous runs of the model's pipeline layers;
+* stage boundaries cut the autograd graph — each stage's forward consumes a
+  detached activation and backward receives the boundary activation
+  gradient from its successor, exactly like activations/activation
+  gradients crossing GPUs;
+* the :class:`MobiusScheduleTrainer` additionally enforces heterogeneous
+  memory semantics: stage parameters "live in DRAM" and at most
+  ``resident_limit`` stages may be resident per virtual GPU at any moment
+  (current + prefetched), with every swap recorded.
+
+Because both schedules accumulate the same averaged microbatch gradients
+and update synchronously, their parameter trajectories match plain
+accumulation bit-for-bit up to float summation order — the §3.1 convergence
+argument, which the tests assert.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.autograd.optim import Adam
+from repro.autograd.tensor import Tensor
+from repro.nn.data import Batch
+from repro.nn.transformer import GPTModel
+from repro.training.microbatch import split_batch
+
+__all__ = ["SwapEvent", "StagePartition", "GPipeScheduleTrainer", "MobiusScheduleTrainer"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SwapEvent:
+    """One stage swap between DRAM and virtual GPU memory."""
+
+    kind: str  # "upload" | "free"
+    stage: int
+    gpu: int
+    phase: str  # "forward" | "backward"
+
+
+@dataclasses.dataclass(frozen=True)
+class StagePartition:
+    """Contiguous partition of a model's pipeline layers into stages."""
+
+    boundaries: tuple[int, ...]
+    n_layers: int
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.boundaries) + 1
+
+    def stage_range(self, stage: int) -> tuple[int, int]:
+        cuts = (0, *self.boundaries, self.n_layers)
+        return cuts[stage], cuts[stage + 1]
+
+    @staticmethod
+    def uniform(n_layers: int, n_stages: int) -> "StagePartition":
+        if not 1 <= n_stages <= n_layers:
+            raise ValueError(f"cannot split {n_layers} layers into {n_stages} stages")
+        boundaries = tuple(
+            round(n_layers * i / n_stages) for i in range(1, n_stages)
+        )
+        return StagePartition(boundaries, n_layers)
+
+
+class _StagedStep:
+    """Shared staged forward/backward machinery for one optimizer step.
+
+    With ``recompute`` (activation checkpointing, the configuration the
+    paper evaluates under), the forward pass stores only stage-boundary
+    activations — no autograd graph — and each stage's graph is rebuilt
+    from its checkpoint during backward, exactly like gradient
+    checkpointing on real hardware.  Gradients are identical either way.
+    """
+
+    def __init__(
+        self, model: GPTModel, partition: StagePartition, *, recompute: bool = False
+    ) -> None:
+        self.model = model
+        self.partition = partition
+        self.recompute = recompute
+
+    def run_stage_forward(self, stage: int, micro_input):
+        """Forward one microbatch through one stage.
+
+        Returns ``(boundary_input, output)`` where ``boundary_input`` is the
+        detached graph root that will receive the activation gradient.
+        """
+        start, stop = self.partition.stage_range(stage)
+        if stage == 0:
+            boundary = None
+            out = micro_input  # raw token ids
+        else:
+            boundary = Tensor(micro_input.data.copy(), requires_grad=True)
+            out = boundary
+        for layer in self.model.pipeline_layers[start:stop]:
+            out = layer(out)
+        return boundary, out
+
+    def forward_checkpoint(self, stage: int, micro_input):
+        """Forward one microbatch keeping only the boundary activation."""
+        from repro.autograd.tensor import no_grad
+
+        with no_grad():
+            _, out = self.run_stage_forward(stage, micro_input)
+        return None, out
+
+    def forward(self, stage: int, micro_input):
+        if self.recompute:
+            return self.forward_checkpoint(stage, micro_input)
+        return self.run_stage_forward(stage, micro_input)
+
+    def rebuild_for_backward(self, stage: int, saved, micro_input):
+        """Materialise the stage's graph for backward.
+
+        ``saved`` is the forward result; without recompute it already holds
+        the graph, with recompute the stage forward is replayed from its
+        input checkpoint.
+        """
+        if not self.recompute:
+            return saved
+        return self.run_stage_forward(stage, micro_input)
+
+    def backward_stage(self, outputs, seed_grad):
+        """Backward through one stage's graph; returns the input's gradient."""
+        boundary, out = outputs
+        out.backward(seed_grad)
+        return None if boundary is None else boundary.grad
+
+
+class GPipeScheduleTrainer:
+    """GPipe: one resident stage per GPU, all-forward then all-backward."""
+
+    def __init__(
+        self,
+        model: GPTModel,
+        n_gpus: int,
+        *,
+        lr: float = 3e-4,
+        n_microbatches: int | None = None,
+        recompute: bool = False,
+    ) -> None:
+        self.model = model
+        self.n_gpus = n_gpus
+        self.n_microbatches = n_microbatches or n_gpus
+        self.partition = StagePartition.uniform(model.n_pipeline_layers, n_gpus)
+        self.optimizer = Adam(model.parameters(), lr=lr)
+        self.recompute = recompute
+
+    def step(self, batch: Batch) -> float:
+        """One synchronous GPipe step; returns the mean loss."""
+        micros = split_batch(batch, self.n_microbatches)
+        staged = _StagedStep(self.model, self.partition, recompute=self.recompute)
+        s, m = self.partition.n_stages, len(micros)
+        self.optimizer.zero_grad()
+
+        acts = [[None] * m for _ in range(s)]
+        for j in range(s):
+            for mb in range(m):
+                source = micros[mb].inputs if j == 0 else acts[j - 1][mb][1]
+                acts[j][mb] = staged.forward(j, source)
+
+        total = 0.0
+        seeds = [[None] * m for _ in range(s)]
+        from repro.autograd.ops import cross_entropy_logits
+
+        for j in range(s - 1, -1, -1):
+            for mb in range(m):
+                source = micros[mb].inputs if j == 0 else acts[j - 1][mb][1]
+                graph = staged.rebuild_for_backward(j, acts[j][mb], source)
+                if j == s - 1:
+                    boundary, out = graph
+                    loss = cross_entropy_logits(out, micros[mb].targets) * (1.0 / m)
+                    total += loss.item()
+                    loss.backward()
+                    seed = None if boundary is None else boundary.grad
+                else:
+                    seed = staged.backward_stage(graph, seeds[j + 1][mb])
+                if j:
+                    seeds[j][mb] = seed
+
+        self.optimizer.step()
+        return total
+
+
+class MobiusScheduleTrainer:
+    """Mobius: more stages than GPUs, swapped through heterogeneous memory.
+
+    Stage ``j`` executes on virtual GPU ``j % n_gpus``; at most
+    ``resident_limit`` stages are resident per GPU (the current one plus the
+    prefetched next one).  Swaps are recorded in :attr:`swap_events` and the
+    residency invariant is enforced, so tests can check the §3.1 schedule
+    semantics while the gradients stay identical to GPipe's.
+    """
+
+    def __init__(
+        self,
+        model: GPTModel,
+        n_gpus: int,
+        n_stages: int | None = None,
+        *,
+        lr: float = 3e-4,
+        n_microbatches: int | None = None,
+        resident_limit: int = 2,
+        recompute: bool = False,
+    ) -> None:
+        self.model = model
+        self.n_gpus = n_gpus
+        self.n_microbatches = n_microbatches or n_gpus
+        stages = n_stages or min(2 * n_gpus, model.n_pipeline_layers)
+        self.partition = StagePartition.uniform(model.n_pipeline_layers, stages)
+        self.optimizer = Adam(model.parameters(), lr=lr)
+        self.resident_limit = resident_limit
+        self.recompute = recompute
+        self.swap_events: list[SwapEvent] = []
+        self._resident: dict[int, list[int]] = {g: [] for g in range(n_gpus)}
+
+    def gpu_of_stage(self, stage: int) -> int:
+        return stage % self.n_gpus
+
+    def _upload(self, stage: int, phase: str) -> None:
+        gpu = self.gpu_of_stage(stage)
+        resident = self._resident[gpu]
+        if stage in resident:
+            return
+        if len(resident) >= self.resident_limit:
+            evicted = resident.pop(0)
+            self.swap_events.append(SwapEvent("free", evicted, gpu, phase))
+        resident.append(stage)
+        self.swap_events.append(SwapEvent("upload", stage, gpu, phase))
+
+    def _free(self, stage: int, phase: str) -> None:
+        gpu = self.gpu_of_stage(stage)
+        if stage in self._resident[gpu]:
+            self._resident[gpu].remove(stage)
+            self.swap_events.append(SwapEvent("free", stage, gpu, phase))
+
+    def step(self, batch: Batch) -> float:
+        """One synchronous Mobius step; returns the mean loss."""
+        micros = split_batch(batch, self.n_microbatches)
+        staged = _StagedStep(self.model, self.partition, recompute=self.recompute)
+        s, m = self.partition.n_stages, len(micros)
+        n = self.n_gpus
+        self.optimizer.zero_grad()
+
+        acts = [[None] * m for _ in range(s)]
+        for j in range(s):
+            self._upload(j, "forward")
+            for mb in range(m):
+                source = micros[mb].inputs if j == 0 else acts[j - 1][mb][1]
+                acts[j][mb] = staged.forward(j, source)
+            if j < s - n:  # the top N stages stay resident for backward
+                self._free(j, "forward")
+
+        total = 0.0
+        seeds = [[None] * m for _ in range(s)]
+        from repro.autograd.ops import cross_entropy_logits
+
+        for j in range(s - 1, -1, -1):
+            self._upload(j, "backward")
+            for mb in range(m):
+                source = micros[mb].inputs if j == 0 else acts[j - 1][mb][1]
+                graph = staged.rebuild_for_backward(j, acts[j][mb], source)
+                if j == s - 1:
+                    boundary, out = graph
+                    loss = cross_entropy_logits(out, micros[mb].targets) * (1.0 / m)
+                    total += loss.item()
+                    loss.backward()
+                    seed = None if boundary is None else boundary.grad
+                else:
+                    seed = staged.backward_stage(graph, seeds[j + 1][mb])
+                if j:
+                    seeds[j][mb] = seed
+            self._free(j, "backward")
+
+        self.optimizer.step()
+        return total

@@ -1,0 +1,180 @@
+"""Numeric gradient checks for the fused NN operations."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.ops import (
+    causal_mask_fill,
+    cross_entropy_logits,
+    dropout,
+    embedding,
+    gelu,
+    layer_norm,
+    softmax,
+)
+from repro.autograd.tensor import Tensor
+
+from tests.autograd.test_tensor import numeric_grad
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestGelu:
+    def test_known_values(self):
+        x = Tensor([0.0])
+        assert gelu(x).data[0] == pytest.approx(0.0)
+        x = Tensor([100.0])
+        assert gelu(x).data[0] == pytest.approx(100.0, rel=1e-4)
+
+    def test_numeric_grad(self, rng):
+        x = Tensor(rng.normal(size=6).astype(np.float32), requires_grad=True)
+        gelu(x).sum().backward()
+        ng = numeric_grad(lambda: float(gelu(Tensor(x.data)).sum().data), x)
+        np.testing.assert_allclose(x.grad, ng, atol=2e-2)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = Tensor(rng.normal(size=(3, 5)))
+        out = softmax(x)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(3), atol=1e-6)
+
+    def test_stability_with_large_logits(self):
+        out = softmax(Tensor([[1000.0, 1000.0]]))
+        np.testing.assert_allclose(out.data, [[0.5, 0.5]])
+
+    def test_numeric_grad(self, rng):
+        x = Tensor(rng.normal(size=(2, 4)).astype(np.float32), requires_grad=True)
+        w = rng.normal(size=(2, 4)).astype(np.float32)
+        (softmax(x) * Tensor(w)).sum().backward()
+        ng = numeric_grad(
+            lambda: float((softmax(Tensor(x.data)) * Tensor(w)).sum().data), x
+        )
+        np.testing.assert_allclose(x.grad, ng, atol=2e-2)
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_log_vocab(self):
+        logits = Tensor(np.zeros((2, 8)))
+        loss = cross_entropy_logits(logits, np.array([0, 3]))
+        assert loss.item() == pytest.approx(np.log(8), rel=1e-5)
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((1, 4), -100.0)
+        logits[0, 2] = 100.0
+        loss = cross_entropy_logits(Tensor(logits), np.array([2]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-5)
+
+    def test_grad_sums_to_zero(self, rng):
+        logits = Tensor(rng.normal(size=(3, 5)).astype(np.float32), requires_grad=True)
+        cross_entropy_logits(logits, np.array([0, 1, 2])).backward()
+        np.testing.assert_allclose(logits.grad.sum(axis=-1), np.zeros(3), atol=1e-6)
+
+    def test_numeric_grad(self, rng):
+        logits = Tensor(rng.normal(size=(2, 4)).astype(np.float32), requires_grad=True)
+        targets = np.array([1, 3])
+        cross_entropy_logits(logits, targets).backward()
+        ng = numeric_grad(
+            lambda: float(cross_entropy_logits(Tensor(logits.data), targets).data),
+            logits,
+        )
+        np.testing.assert_allclose(logits.grad, ng, atol=1e-2)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            cross_entropy_logits(Tensor(np.zeros((2, 4))), np.array([0, 1, 2]))
+
+    def test_3d_logits(self, rng):
+        logits = Tensor(rng.normal(size=(2, 3, 5)).astype(np.float32), requires_grad=True)
+        targets = rng.integers(0, 5, size=(2, 3))
+        loss = cross_entropy_logits(logits, targets)
+        loss.backward()
+        assert logits.grad.shape == (2, 3, 5)
+
+
+class TestLayerNorm:
+    def test_normalises(self, rng):
+        x = Tensor(rng.normal(size=(4, 8)) * 5 + 3)
+        w = Tensor(np.ones(8))
+        b = Tensor(np.zeros(8))
+        out = layer_norm(x, w, b)
+        np.testing.assert_allclose(out.data.mean(axis=-1), np.zeros(4), atol=1e-5)
+        np.testing.assert_allclose(out.data.std(axis=-1), np.ones(4), atol=1e-2)
+
+    def test_numeric_grads_all_inputs(self, rng):
+        x = Tensor(rng.normal(size=(2, 6)).astype(np.float32), requires_grad=True)
+        w = Tensor(rng.normal(size=6).astype(np.float32), requires_grad=True)
+        b = Tensor(rng.normal(size=6).astype(np.float32), requires_grad=True)
+        mix = rng.normal(size=(2, 6)).astype(np.float32)
+        (layer_norm(x, w, b) * Tensor(mix)).sum().backward()
+
+        def value():
+            return float(
+                (layer_norm(Tensor(x.data), Tensor(w.data), Tensor(b.data)) * Tensor(mix))
+                .sum()
+                .data
+            )
+
+        np.testing.assert_allclose(x.grad, numeric_grad(value, x), atol=3e-2)
+        np.testing.assert_allclose(w.grad, numeric_grad(value, w), atol=3e-2)
+        np.testing.assert_allclose(b.grad, numeric_grad(value, b), atol=3e-2)
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        table = Tensor(np.arange(12.0).reshape(4, 3))
+        out = embedding(table, np.array([[0, 2]]))
+        np.testing.assert_allclose(out.data, [[[0, 1, 2], [6, 7, 8]]])
+
+    def test_repeated_indices_accumulate(self):
+        table = Tensor(np.zeros((3, 2)), requires_grad=True)
+        embedding(table, np.array([1, 1, 1])).sum().backward()
+        np.testing.assert_allclose(table.grad, [[0, 0], [3, 3], [0, 0]])
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        x = Tensor(rng.normal(size=10))
+        out = dropout(x, 0.5, rng, training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_zero_p_is_identity(self, rng):
+        x = Tensor(rng.normal(size=10))
+        assert dropout(x, 0.0, rng) is x
+
+    def test_scaling_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones(100_000))
+        out = dropout(x, 0.5, rng)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_grad_matches_mask(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones(64).astype(np.float32), requires_grad=True)
+        out = dropout(x, 0.5, rng)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, out.data)
+
+    def test_invalid_p_rejected(self, rng):
+        with pytest.raises(ValueError):
+            dropout(Tensor([1.0]), 1.0, rng)
+
+
+class TestCausalMask:
+    def test_future_positions_masked(self):
+        scores = Tensor(np.zeros((1, 3, 3)))
+        out = causal_mask_fill(scores)
+        assert out.data[0, 0, 1] == -1e9
+        assert out.data[0, 2, 2] == 0.0
+
+    def test_grad_zero_on_masked(self):
+        scores = Tensor(np.zeros((2, 2)).astype(np.float32), requires_grad=True)
+        causal_mask_fill(scores).sum().backward()
+        np.testing.assert_allclose(scores.grad, [[1, 0], [1, 1]])
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            causal_mask_fill(Tensor(np.zeros((2, 3))))

@@ -1,0 +1,89 @@
+"""Tests for optimizers and the loss scaler."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.optim import SGD, Adam, LossScaler
+from repro.autograd.tensor import Tensor
+
+
+def make_param(value):
+    return Tensor(np.array(value, dtype=np.float32), requires_grad=True)
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = make_param([1.0])
+        p.grad = np.array([0.5], dtype=np.float32)
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95])
+
+    def test_momentum_accumulates(self):
+        p = make_param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()  # v = 1, p = -1
+        opt.step()  # v = 1.9, p = -2.9
+        np.testing.assert_allclose(p.data, [-2.9], atol=1e-6)
+
+    def test_skips_params_without_grad(self):
+        p = make_param([1.0])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_zero_grad(self):
+        p = make_param([1.0])
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_no_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_bad_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([make_param([1.0])], lr=0.0)
+
+
+class TestAdam:
+    def test_first_step_magnitude_is_lr(self):
+        # With bias correction, |step 1| == lr regardless of grad scale.
+        p = make_param([0.0])
+        p.grad = np.array([123.0], dtype=np.float32)
+        Adam([p], lr=0.01).step()
+        np.testing.assert_allclose(np.abs(p.data), [0.01], rtol=1e-4)
+
+    def test_descends_quadratic(self):
+        p = make_param([5.0])
+        opt = Adam([p], lr=0.5)
+        for _ in range(200):
+            opt.zero_grad()
+            p.grad = 2 * p.data  # d/dp p^2
+            opt.step()
+        assert abs(float(p.data[0])) < 0.1
+
+    def test_weight_decay_pulls_to_zero(self):
+        p = make_param([1.0])
+        opt = Adam([p], lr=0.1, weight_decay=0.5)
+        for _ in range(100):
+            opt.zero_grad()
+            p.grad = np.zeros(1, dtype=np.float32)
+            opt.step()
+        assert abs(float(p.data[0])) < 0.5
+
+
+class TestLossScaler:
+    def test_scale_and_unscale_roundtrip(self):
+        p = make_param([1.0])
+        loss = (p * 3.0).sum()
+        scaler = LossScaler(scale=1024.0)
+        scaler.scale_loss(loss).backward()
+        assert scaler.unscale_([p])
+        np.testing.assert_allclose(p.grad, [3.0], rtol=1e-5)
+
+    def test_overflow_detection(self):
+        p = make_param([1.0])
+        p.grad = np.array([np.inf], dtype=np.float32)
+        assert not LossScaler().unscale_([p])

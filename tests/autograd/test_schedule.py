@@ -1,0 +1,96 @@
+"""Tests for learning-rate schedules and gradient clipping."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.autograd.optim import SGD
+from repro.autograd.schedule import WarmupCosine, WarmupLinear, clip_grad_norm
+from repro.autograd.tensor import Tensor
+
+
+def make_optimizer(lr=1.0):
+    p = Tensor(np.zeros(3, dtype=np.float32), requires_grad=True)
+    return SGD([p], lr=lr), p
+
+
+class TestWarmupCosine:
+    def test_warmup_ramps_linearly(self):
+        opt, _ = make_optimizer()
+        schedule = WarmupCosine(opt, warmup_steps=10, total_steps=100)
+        lrs = [schedule.step() for _ in range(10)]
+        assert lrs[0] == pytest.approx(0.1)
+        assert lrs[-1] == pytest.approx(1.0)
+        assert all(a < b for a, b in zip(lrs, lrs[1:]))
+
+    def test_cosine_decays_to_min(self):
+        opt, _ = make_optimizer()
+        schedule = WarmupCosine(opt, warmup_steps=0, total_steps=50, min_lr=0.1)
+        for _ in range(50):
+            lr = schedule.step()
+        assert lr == pytest.approx(0.1, abs=1e-6)
+
+    def test_midpoint_is_half(self):
+        opt, _ = make_optimizer()
+        schedule = WarmupCosine(opt, warmup_steps=0, total_steps=100)
+        assert schedule.lr_at(50) == pytest.approx(0.5, abs=1e-6)
+
+    def test_sets_optimizer_lr(self):
+        opt, _ = make_optimizer()
+        schedule = WarmupCosine(opt, warmup_steps=5, total_steps=50)
+        schedule.step()
+        assert opt.lr == pytest.approx(0.2)
+
+    def test_invalid_configuration(self):
+        opt, _ = make_optimizer()
+        with pytest.raises(ValueError):
+            WarmupCosine(opt, warmup_steps=10, total_steps=5)
+
+
+class TestWarmupLinear:
+    def test_decays_to_zero(self):
+        opt, _ = make_optimizer()
+        schedule = WarmupLinear(opt, warmup_steps=0, total_steps=20)
+        for _ in range(20):
+            lr = schedule.step()
+        assert lr == pytest.approx(0.0, abs=1e-9)
+
+    def test_peak_at_warmup_end(self):
+        opt, _ = make_optimizer()
+        schedule = WarmupLinear(opt, warmup_steps=4, total_steps=20)
+        assert schedule.lr_at(4) == pytest.approx(1.0)
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = Tensor(np.zeros(4, dtype=np.float32), requires_grad=True)
+        p.grad = np.full(4, 0.1, dtype=np.float32)
+        norm = clip_grad_norm([p], max_norm=10.0)
+        assert norm == pytest.approx(math.sqrt(4 * 0.01))
+        np.testing.assert_allclose(p.grad, np.full(4, 0.1))
+
+    def test_clips_to_max_norm(self):
+        p = Tensor(np.zeros(4, dtype=np.float32), requires_grad=True)
+        p.grad = np.full(4, 10.0, dtype=np.float32)
+        clip_grad_norm([p], max_norm=1.0)
+        assert math.sqrt(float(np.sum(p.grad**2))) == pytest.approx(1.0, rel=1e-5)
+
+    def test_global_norm_across_params(self):
+        a = Tensor(np.zeros(1, dtype=np.float32), requires_grad=True)
+        b = Tensor(np.zeros(1, dtype=np.float32), requires_grad=True)
+        a.grad = np.array([3.0], dtype=np.float32)
+        b.grad = np.array([4.0], dtype=np.float32)
+        norm = clip_grad_norm([a, b], max_norm=2.5)
+        assert norm == pytest.approx(5.0)
+        # Both scaled by the same factor (2.5 / 5).
+        assert a.grad[0] == pytest.approx(1.5)
+        assert b.grad[0] == pytest.approx(2.0)
+
+    def test_skips_missing_grads(self):
+        p = Tensor(np.zeros(1, dtype=np.float32), requires_grad=True)
+        assert clip_grad_norm([p], max_norm=1.0) == 0.0
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], max_norm=0.0)

@@ -1,0 +1,199 @@
+"""Tests for the autograd tensor core: arithmetic, shapes, backward."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autograd.tensor import Tensor, no_grad
+
+
+def numeric_grad(f, x, eps=1e-3):
+    """Central-difference gradient of scalar f w.r.t. tensor x's data."""
+    grad = np.zeros_like(x.data)
+    it = np.nditer(x.data, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x.data[idx]
+        x.data[idx] = orig + eps
+        hi = f()
+        x.data[idx] = orig - eps
+        lo = f()
+        x.data[idx] = orig
+        grad[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestArithmetic:
+    def test_add_backward(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = Tensor([3.0, 4.0], requires_grad=True)
+        (x + y).sum().backward()
+        np.testing.assert_allclose(x.grad, [1, 1])
+        np.testing.assert_allclose(y.grad, [1, 1])
+
+    def test_mul_backward(self):
+        x = Tensor([2.0, 3.0], requires_grad=True)
+        y = Tensor([5.0, 7.0], requires_grad=True)
+        (x * y).sum().backward()
+        np.testing.assert_allclose(x.grad, [5, 7])
+        np.testing.assert_allclose(y.grad, [2, 3])
+
+    def test_broadcast_add_unbroadcasts_grad(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        (x + b).sum().backward()
+        np.testing.assert_allclose(b.grad, [2, 2, 2])
+
+    def test_scalar_operations(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = 3 * x + 1 - x / 2
+        y.backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [2.5])
+
+    def test_pow_backward(self):
+        x = Tensor([3.0], requires_grad=True)
+        (x**2).backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [6.0])
+
+    def test_div_backward(self):
+        x = Tensor([4.0], requires_grad=True)
+        (1.0 / x).backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [-1 / 16])
+
+    def test_matmul_backward_numeric(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        w = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        (x @ w).sum().backward()
+        ng = numeric_grad(lambda: float((Tensor(x.data) @ Tensor(w.data)).sum().data), x)
+        np.testing.assert_allclose(x.grad, ng, atol=1e-2)
+
+    def test_batched_matmul(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        w = Tensor(rng.normal(size=(2, 4, 5)), requires_grad=True)
+        out = x @ w
+        assert out.shape == (2, 3, 5)
+        out.sum().backward()
+        assert x.grad.shape == x.shape
+        assert w.grad.shape == w.shape
+
+
+class TestShapes:
+    def test_reshape_roundtrip_grad(self):
+        x = Tensor(np.arange(6.0), requires_grad=True)
+        x.reshape(2, 3).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones(6))
+
+    def test_transpose_grad(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        y = x.transpose(1, 0)
+        assert y.shape == (3, 2)
+        (y * Tensor(np.arange(6.0).reshape(3, 2))).sum().backward()
+        assert x.grad.shape == (2, 3)
+
+    def test_default_transpose_reverses(self):
+        x = Tensor(np.zeros((2, 3, 4)))
+        assert x.transpose().shape == (4, 3, 2)
+
+    def test_getitem_grad_scatter(self):
+        x = Tensor(np.arange(5.0), requires_grad=True)
+        x[np.array([1, 1, 3])].sum().backward()
+        np.testing.assert_allclose(x.grad, [0, 2, 0, 1, 0])
+
+    def test_slice_grad(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        x[0].sum().backward()
+        np.testing.assert_allclose(x.grad, [[1, 1, 1], [0, 0, 0]])
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        y = x.sum(axis=1, keepdims=True)
+        assert y.shape == (2, 1)
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+    def test_sum_negative_axis(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        x.sum(axis=-1).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+    def test_mean_scales_grad(self):
+        x = Tensor(np.ones(4), requires_grad=True)
+        x.mean().backward()
+        np.testing.assert_allclose(x.grad, np.full(4, 0.25))
+
+    def test_exp_log_tanh_numeric(self):
+        rng = np.random.default_rng(2)
+        for op in ("exp", "log", "tanh"):
+            data = np.abs(rng.normal(size=4)) + 0.5
+            x = Tensor(data, requires_grad=True)
+            getattr(x, op)().sum().backward()
+            ng = numeric_grad(
+                lambda op=op, x=x: float(getattr(Tensor(x.data), op)().sum().data), x
+            )
+            np.testing.assert_allclose(x.grad, ng, atol=1e-2)
+
+
+class TestAutogradMechanics:
+    def test_grad_accumulates_across_uses(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x * 2 + x * 3
+        y.backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_backward_needs_scalar_or_seed(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_backward_on_non_grad_tensor(self):
+        x = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_no_grad_context(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+
+    def test_detach(self):
+        x = Tensor([1.0], requires_grad=True)
+        assert not x.detach().requires_grad
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).backward(np.array([1.0]))
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph_single_traversal(self):
+        x = Tensor([2.0], requires_grad=True)
+        a = x * 3
+        b = a + a  # a used twice
+        b.backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [6.0])
+
+    def test_float32_storage(self):
+        assert Tensor([1.0]).data.dtype == np.float32
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    data=hnp.arrays(
+        np.float32,
+        hnp.array_shapes(min_dims=1, max_dims=2, max_side=4),
+        elements=st.floats(min_value=-3, max_value=3, width=32),
+    )
+)
+def test_sum_grad_is_ones(data):
+    """Property: d(sum(x))/dx == 1 for any shape."""
+    x = Tensor(data, requires_grad=True)
+    x.sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(data))

@@ -1,0 +1,92 @@
+"""Tests for the beyond-the-paper extensions."""
+
+import pytest
+
+from repro.core.api import MobiusConfig
+from repro.core.extensions import (
+    advise_microbatch_size,
+    simulate_mobius_steps,
+    simulate_with_ssd,
+)
+from repro.hardware.topology import topo_2_2
+
+
+@pytest.fixture
+def config():
+    return MobiusConfig(partition_time_limit=1.0)
+
+
+class TestSSDTier:
+    def test_ssd_is_slower(self, tiny_model, config):
+        comparison = simulate_with_ssd(tiny_model, topo_2_2(), config=config)
+        assert comparison.slowdown > 1.0
+
+    def test_slower_ssd_hurts_more(self, tiny_model, config):
+        fast = simulate_with_ssd(
+            tiny_model, topo_2_2(), ssd_bandwidth=6e9, config=config
+        )
+        slow = simulate_with_ssd(
+            tiny_model, topo_2_2(), ssd_bandwidth=1.5e9, config=config
+        )
+        assert slow.ssd_step_seconds > fast.ssd_step_seconds
+        assert slow.slowdown > fast.slowdown
+
+    def test_dram_baseline_matches_plain_simulation(self, tiny_model, config):
+        from repro.core.api import run_mobius
+
+        comparison = simulate_with_ssd(tiny_model, topo_2_2(), config=config)
+        plain = run_mobius(tiny_model, topo_2_2(), config)
+        assert comparison.dram_step_seconds == pytest.approx(
+            plain.step_seconds, rel=0.05
+        )
+
+
+class TestMultiStep:
+    def test_steps_chain(self, tiny_model, config):
+        run = simulate_mobius_steps(tiny_model, topo_2_2(), n_steps=3, config=config)
+        assert run.n_steps == 3
+        assert run.total_seconds > run.first_step_seconds
+
+    def test_amortised_at_most_first_step_plus_epsilon(self, tiny_model, config):
+        run = simulate_mobius_steps(tiny_model, topo_2_2(), n_steps=3, config=config)
+        # Later steps cannot be faster than the dependency chain allows, but
+        # amortised time should stay within ~2x of a single step.
+        single = run.first_step_seconds
+        assert run.amortised_step_seconds <= 2.0 * single
+
+    def test_invalid_step_count(self, tiny_model, config):
+        with pytest.raises(ValueError):
+            simulate_mobius_steps(tiny_model, topo_2_2(), n_steps=0, config=config)
+
+    def test_boundaries_monotone(self, tiny_model, config):
+        run = simulate_mobius_steps(tiny_model, topo_2_2(), n_steps=3, config=config)
+        assert run.step_boundaries == sorted(run.step_boundaries)
+
+
+class TestMicrobatchAdvisor:
+    def test_returns_feasible_choice(self, tiny_model):
+        advice = advise_microbatch_size(
+            tiny_model, topo_2_2(), candidates=(1, 2, 4)
+        )
+        assert advice.best_microbatch_size in (1, 2, 4)
+        assert advice.throughputs[advice.best_microbatch_size] == max(
+            advice.throughputs.values()
+        )
+
+    def test_throughput_and_steps_consistent(self, tiny_model):
+        advice = advise_microbatch_size(tiny_model, topo_2_2(), candidates=(1, 2))
+        for mbs, throughput in advice.throughputs.items():
+            samples = 4 * mbs  # 4 GPUs -> M = 4 microbatches
+            assert throughput == pytest.approx(samples / advice.step_seconds[mbs])
+
+    def test_all_infeasible_raises(self, tiny_model):
+        import dataclasses
+
+        from repro.hardware.gpu import RTX_3090TI
+        from repro.hardware.topology import commodity_server
+
+        # A GPU too small for even one layer.
+        tiny_gpu = dataclasses.replace(RTX_3090TI, memory_bytes=2 * 1024**3)
+        topology = commodity_server([2, 2], tiny_gpu)
+        with pytest.raises(ValueError):
+            advise_microbatch_size(tiny_model, topology, candidates=(64,))

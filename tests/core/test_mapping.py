@@ -1,0 +1,99 @@
+"""Tests for cross mapping (Eqs. 12-13)."""
+
+import itertools
+
+import pytest
+
+from repro.core.mapping import (
+    contention_degree,
+    cross_mapping,
+    sequential_mapping,
+)
+from repro.core.plan import Mapping
+from repro.hardware.topology import commodity_server, topo_1_3, topo_2_2, topo_4, topo_4_4
+
+
+class TestContentionDegree:
+    def test_matches_hand_computation(self):
+        # Topo 2+2, sequential mapping, 4 stages: GPU pairs under the same
+        # RC are (0,1) and (2,3) -> stage pairs (0,1) and (2,3), each with
+        # shared = 2 and distance 1; same-GPU pairs don't exist for S = 4.
+        topo = topo_2_2()
+        degree = contention_degree(topo, Mapping.sequential(4), 4)
+        assert degree == pytest.approx(2 / 1 + 2 / 1)
+
+    def test_cross_mapping_reduces_hand_case(self):
+        # Interleave the two root complexes: adjacent stages never share.
+        topo = topo_2_2()
+        crossed = Mapping((0, 2, 1, 3))
+        assert contention_degree(topo, crossed, 4) < contention_degree(
+            topo, Mapping.sequential(4), 4
+        )
+
+    def test_single_rc_is_mapping_invariant(self):
+        # With all GPUs under one root complex, every permutation scores
+        # identically.
+        topo = topo_4()
+        scores = {
+            contention_degree(topo, Mapping(p), 8)
+            for p in itertools.permutations(range(4))
+        }
+        assert len(scores) == 1
+
+    def test_distance_decay(self):
+        # Stage pairs further apart contribute less (1 / |i - j|).
+        topo = topo_2_2()
+        mapping = Mapping.sequential(4)
+        short = contention_degree(topo, mapping, 5)
+        assert short > contention_degree(topo, mapping, 4)
+
+    def test_invalid_stage_count(self):
+        with pytest.raises(ValueError):
+            contention_degree(topo_2_2(), Mapping.sequential(4), 0)
+
+
+class TestCrossMapping:
+    @pytest.mark.parametrize("topo_factory", [topo_2_2, topo_1_3, topo_4, topo_4_4])
+    def test_exhaustive_optimum(self, topo_factory):
+        topo = topo_factory()
+        n_stages = 2 * topo.n_gpus
+        result = cross_mapping(topo, n_stages)
+        best = min(
+            contention_degree(topo, Mapping(p), n_stages)
+            for p in itertools.permutations(range(topo.n_gpus))
+        )
+        assert result.contention == pytest.approx(best)
+
+    def test_evaluates_all_permutations(self):
+        result = cross_mapping(topo_2_2(), 8)
+        assert result.schemes_evaluated == 24
+
+    def test_beats_sequential_on_2_2(self):
+        topo = topo_2_2()
+        crossed = cross_mapping(topo, 8)
+        sequential = contention_degree(topo, Mapping.sequential(4), 8)
+        assert crossed.contention < sequential
+
+    def test_adjacent_stages_on_different_rcs_where_possible(self):
+        topo = topo_2_2()
+        result = cross_mapping(topo, 8)
+        perm = result.mapping.perm
+        for a, b in zip(perm, perm[1:]):
+            assert not topo.share_root_complex(a, b)
+
+    def test_search_time_recorded(self):
+        result = cross_mapping(topo_4_4(), 16)
+        assert result.search_seconds > 0
+
+    def test_large_server_uses_heuristic(self):
+        topo = commodity_server([4, 4, 4])  # 12 GPUs > exact-search limit
+        result = cross_mapping(topo, 24)
+        assert result.schemes_evaluated == 1
+        perm = result.mapping.perm
+        assert sorted(perm) == list(range(12))
+        # Heuristic interleaves root complexes.
+        assert not topo.share_root_complex(perm[0], perm[1])
+
+    def test_sequential_mapping_identity(self):
+        result = sequential_mapping(topo_2_2())
+        assert result.mapping.perm == (0, 1, 2, 3)

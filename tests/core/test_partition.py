@@ -1,0 +1,109 @@
+"""Tests for the MIP partition algorithm and the §4.3 baselines."""
+
+import pytest
+
+from repro.core.partition import (
+    max_stage_partition,
+    min_stage_partition,
+    mip_partition,
+)
+from repro.hardware.gpu import RTX_3090TI
+from repro.models.costmodel import CostModel
+from repro.models.spec import LayerKind, build_gpt_like
+
+BW = 13.1e9
+
+
+@pytest.fixture
+def model():
+    return build_gpt_like("m", n_blocks=8, hidden_dim=1024, n_heads=8)
+
+
+@pytest.fixture
+def cm():
+    return CostModel(RTX_3090TI, 2)
+
+
+class TestMipPartition:
+    def test_finds_feasible_partition(self, model, cm):
+        result = mip_partition(model, cm, 2, 2, BW, time_limit=2.0)
+        assert result.timings.feasible
+        assert result.partition.n_stages >= 1
+        assert result.method == "mip"
+
+    def test_small_instance_solved_to_optimality(self, model, cm):
+        result = mip_partition(model, cm, 2, 2, BW, time_limit=30.0)
+        assert result.optimal
+
+    def test_beats_or_matches_baselines(self, model, cm):
+        mip = mip_partition(model, cm, 2, 2, BW, time_limit=10.0)
+        maxs = max_stage_partition(model, cm, 2, 2, BW)
+        mins = min_stage_partition(model, cm, 2, 2, BW)
+        assert mip.timings.step_seconds <= maxs.timings.step_seconds + 1e-9
+        assert mip.timings.step_seconds <= mins.timings.step_seconds + 1e-9
+
+    def test_memory_constrained_search(self, model, cm):
+        biggest_layer = max(
+            cm.stage_cost(model, i, i + 1).mem_peak(2) for i in range(model.n_layers)
+        )
+        gpu_memory = int(biggest_layer * 2.5)
+        result = mip_partition(model, cm, 2, 2, BW, gpu_memory=gpu_memory, time_limit=5.0)
+        for stage in range(result.partition.n_stages):
+            start, stop = result.partition.stage_layers(stage)
+            assert cm.stage_cost(model, start, stop).mem_peak(2) <= gpu_memory
+
+    def test_impossible_memory_raises(self, model, cm):
+        with pytest.raises(ValueError):
+            mip_partition(model, cm, 2, 2, BW, gpu_memory=1000, time_limit=1.0)
+
+    def test_deterministic(self, model, cm):
+        a = mip_partition(model, cm, 2, 2, BW, time_limit=5.0)
+        b = mip_partition(model, cm, 2, 2, BW, time_limit=5.0)
+        assert a.partition.boundaries == b.partition.boundaries
+
+    def test_solve_time_recorded(self, model, cm):
+        result = mip_partition(model, cm, 2, 2, BW, time_limit=1.0)
+        assert 0 < result.solve_seconds < 5.0
+        assert result.nodes_explored > 0
+
+
+class TestMaxStagePartition:
+    def test_greedy_packs_to_memory_limit(self, model, cm):
+        biggest_layer = max(
+            cm.stage_cost(model, i, i + 1).mem_peak(2) for i in range(model.n_layers)
+        )
+        gpu_memory = int(biggest_layer * 3.2)
+        result = max_stage_partition(model, cm, 2, 2, BW, gpu_memory=gpu_memory)
+        # Each stage (except possibly the last) cannot absorb its successor's
+        # first layer.
+        partition = result.partition
+        for stage in range(partition.n_stages - 1):
+            start, stop = partition.stage_layers(stage)
+            grown = cm.stage_cost(model, start, stop + 1)
+            assert grown.mem_peak(2) > gpu_memory
+
+    def test_single_layer_too_big_raises(self, model, cm):
+        with pytest.raises(ValueError):
+            max_stage_partition(model, cm, 2, 2, BW, gpu_memory=1000)
+
+    def test_fewer_stages_than_min_stage(self, model, cm):
+        maxs = max_stage_partition(model, cm, 2, 2, BW)
+        mins = min_stage_partition(model, cm, 2, 2, BW)
+        assert maxs.partition.n_stages <= mins.partition.n_stages
+
+
+class TestMinStagePartition:
+    def test_one_block_per_stage(self, model, cm):
+        result = min_stage_partition(model, cm, 2, 2, BW)
+        n_blocks = sum(
+            1 for l in model.layers if l.kind == LayerKind.TRANSFORMER_BLOCK
+        )
+        # Embedding merges into the first block's stage; norm+head into the
+        # last block's stage.
+        assert result.partition.n_stages == n_blocks
+        start0, stop0 = result.partition.stage_layers(0)
+        assert model.layers[start0].kind == LayerKind.EMBEDDING
+
+    def test_infeasible_min_stage_raises(self, model, cm):
+        with pytest.raises(ValueError):
+            min_stage_partition(model, cm, 2, 2, BW, gpu_memory=1000)

@@ -1,0 +1,126 @@
+"""Tests for partitions, mappings and execution plans."""
+
+import pytest
+
+from repro.core.plan import ExecutionPlan, Mapping, Partition
+from repro.models.spec import build_gpt_like
+
+
+@pytest.fixture
+def model():
+    return build_gpt_like("m", n_blocks=6, hidden_dim=256, n_heads=4)
+
+
+class TestPartition:
+    def test_stage_ranges(self, model):
+        partition = Partition(model, (2, 5))
+        assert partition.n_stages == 3
+        assert partition.stage_layers(0) == (0, 2)
+        assert partition.stage_layers(1) == (2, 5)
+        assert partition.stage_layers(2) == (5, model.n_layers)
+
+    def test_no_boundaries_single_stage(self, model):
+        partition = Partition(model, ())
+        assert partition.n_stages == 1
+        assert partition.stage_layers(0) == (0, model.n_layers)
+
+    def test_invalid_boundaries(self, model):
+        with pytest.raises(ValueError):
+            Partition(model, (3, 3))
+        with pytest.raises(ValueError):
+            Partition(model, (5, 2))
+        with pytest.raises(ValueError):
+            Partition(model, (0,))
+        with pytest.raises(ValueError):
+            Partition(model, (model.n_layers,))
+
+    def test_stage_index_validated(self, model):
+        partition = Partition(model, (4,))
+        with pytest.raises(ValueError):
+            partition.stage_layers(2)
+
+    def test_uniform_covers_all_layers(self, model):
+        for n_stages in range(1, model.n_layers + 1):
+            partition = Partition.uniform(model, n_stages)
+            assert partition.n_stages == n_stages
+            cuts = partition.cuts
+            assert cuts[0] == 0 and cuts[-1] == model.n_layers
+
+    def test_uniform_balanced_sizes(self, model):
+        partition = Partition.uniform(model, 3)
+        sizes = [b - a for a, b in zip(partition.cuts, partition.cuts[1:])]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_uniform_invalid_count(self, model):
+        with pytest.raises(ValueError):
+            Partition.uniform(model, 0)
+        with pytest.raises(ValueError):
+            Partition.uniform(model, model.n_layers + 1)
+
+
+class TestMapping:
+    def test_residue_assignment(self):
+        mapping = Mapping((2, 0, 1))
+        assert [mapping.gpu_of_stage(j) for j in range(6)] == [2, 0, 1, 2, 0, 1]
+
+    def test_sequential(self):
+        mapping = Mapping.sequential(4)
+        assert mapping.perm == (0, 1, 2, 3)
+        assert mapping.gpu_of_stage(5) == 1
+
+    def test_invalid_permutations(self):
+        with pytest.raises(ValueError):
+            Mapping((0, 0, 1))
+        with pytest.raises(ValueError):
+            Mapping((1, 2, 3))
+
+    def test_negative_stage_rejected(self):
+        with pytest.raises(ValueError):
+            Mapping.sequential(2).gpu_of_stage(-1)
+
+
+class TestExecutionPlan:
+    def make_plan(self, model, n_stages=4, n_gpus=2):
+        partition = Partition.uniform(model, n_stages)
+        return ExecutionPlan(
+            partition=partition,
+            mapping=Mapping.sequential(n_gpus),
+            n_microbatches=n_gpus,
+            microbatch_size=1,
+            prefetch_fwd_bytes=(0,) * n_stages,
+            prefetch_bwd_bytes=(0,) * n_stages,
+        )
+
+    def test_stages_of_gpu(self, model):
+        plan = self.make_plan(model)
+        assert plan.stages_of_gpu(0) == [0, 2]
+        assert plan.stages_of_gpu(1) == [1, 3]
+
+    def test_prefetch_length_validated(self, model):
+        partition = Partition.uniform(model, 4)
+        with pytest.raises(ValueError):
+            ExecutionPlan(
+                partition=partition,
+                mapping=Mapping.sequential(2),
+                n_microbatches=2,
+                microbatch_size=1,
+                prefetch_fwd_bytes=(0,),
+                prefetch_bwd_bytes=(0,) * 4,
+            )
+
+    def test_positive_counts_validated(self, model):
+        partition = Partition.uniform(model, 2)
+        with pytest.raises(ValueError):
+            ExecutionPlan(
+                partition=partition,
+                mapping=Mapping.sequential(2),
+                n_microbatches=0,
+                microbatch_size=1,
+                prefetch_fwd_bytes=(0, 0),
+                prefetch_bwd_bytes=(0, 0),
+            )
+
+    def test_describe_mentions_stages(self, model):
+        plan = self.make_plan(model)
+        text = plan.describe()
+        assert "stage 0" in text and "stage 3" in text

@@ -1,0 +1,60 @@
+"""Tests for execution-plan serialization."""
+
+import pytest
+
+from repro.core.api import MobiusConfig, plan_mobius
+from repro.core.pipeline import simulate_mobius
+from repro.core.serialization import load_plan, plan_from_json, plan_to_json, save_plan
+from repro.hardware.topology import topo_2_2
+from repro.models.spec import build_gpt_like
+
+
+@pytest.fixture
+def model():
+    return build_gpt_like("ser", n_blocks=6, hidden_dim=512, n_heads=8)
+
+
+@pytest.fixture
+def plan(model):
+    return plan_mobius(
+        model, topo_2_2(), MobiusConfig(partition_time_limit=0.3)
+    ).plan
+
+
+class TestPlanSerialization:
+    def test_roundtrip_preserves_plan(self, model, plan):
+        restored = plan_from_json(plan_to_json(plan), model)
+        assert restored.partition.boundaries == plan.partition.boundaries
+        assert restored.mapping.perm == plan.mapping.perm
+        assert restored.prefetch_fwd_bytes == plan.prefetch_fwd_bytes
+        assert restored.n_microbatches == plan.n_microbatches
+
+    def test_restored_plan_simulates_identically(self, model, plan):
+        from repro.hardware.gpu import RTX_3090TI
+        from repro.models.costmodel import CostModel
+
+        topology = topo_2_2()
+        cm = CostModel(RTX_3090TI, plan.microbatch_size)
+        restored = plan_from_json(plan_to_json(plan), model)
+        original = simulate_mobius(plan, topology, cm)
+        replayed = simulate_mobius(restored, topology, cm)
+        assert replayed.step_seconds == pytest.approx(original.step_seconds)
+
+    def test_file_roundtrip(self, model, plan, tmp_path):
+        path = str(tmp_path / "plan.json")
+        save_plan(plan, path)
+        restored = load_plan(path, model)
+        assert restored.partition.boundaries == plan.partition.boundaries
+
+    def test_wrong_model_rejected(self, plan):
+        other = build_gpt_like("other", n_blocks=8, hidden_dim=512, n_heads=8)
+        with pytest.raises(ValueError, match="plan was built for"):
+            plan_from_json(plan_to_json(plan), other)
+
+    def test_unknown_version_rejected(self, model, plan):
+        import json
+
+        payload = json.loads(plan_to_json(plan))
+        payload["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            plan_from_json(json.dumps(payload), model)

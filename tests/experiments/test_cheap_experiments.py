@@ -1,0 +1,23 @@
+"""Smoke tests for the fastest experiment harnesses (the benchmark suite
+covers the rest with full shape assertions)."""
+
+from repro.experiments import fig2_deepspeed_cdf, fig6_traffic, sec23_deepspeed_profile
+
+
+class TestCheapExperiments:
+    def test_fig2_cdf_shape(self):
+        table = fig2_deepspeed_cdf.run()
+        cdf = table.column("cdf")
+        assert cdf == sorted(cdf)  # monotone
+        assert cdf[-1] == 1.0
+
+    def test_fig6_fast(self):
+        table = fig6_traffic.run(fast=True)
+        assert len(table.rows) == 2
+        for row in table.rows:
+            assert float(row[6]) > 3 * float(row[7])  # DS moves much more
+
+    def test_sec23_profile(self):
+        table = sec23_deepspeed_profile.run()
+        measured = dict(zip(table.column("metric"), table.column("measured")))
+        assert float(measured["comm fraction of step"]) > 0.7

@@ -1,0 +1,32 @@
+"""Every registered experiment module conforms to the harness contract."""
+
+import importlib
+import inspect
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+@pytest.mark.parametrize("name", ALL_EXPERIMENTS)
+def test_experiment_module_contract(name):
+    module = importlib.import_module(f"repro.experiments.{name}")
+    assert callable(module.run), name
+    assert callable(module.main), name
+    # run() takes at most a `fast` keyword.
+    params = inspect.signature(module.run).parameters
+    assert set(params) <= {"fast"}, name
+
+
+def test_registry_matches_files():
+    import pathlib
+
+    import repro.experiments as pkg
+
+    directory = pathlib.Path(pkg.__file__).parent
+    modules = {
+        p.stem
+        for p in directory.glob("*.py")
+        if p.stem not in ("__init__", "runner")
+    }
+    assert modules == set(ALL_EXPERIMENTS)

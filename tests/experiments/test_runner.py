@@ -1,0 +1,57 @@
+"""Tests for the experiment infrastructure and cheap experiments."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentTable, run_system
+from repro.experiments.table1_gpus import run as run_table1
+from repro.hardware.topology import topo_2_2
+
+
+class TestExperimentTable:
+    def test_add_row_validates_length(self):
+        table = ExperimentTable("t", ("a", "b"))
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_format_contains_values(self):
+        table = ExperimentTable("demo", ("name", "value"))
+        table.add_row("x", 1.5)
+        text = table.format()
+        assert "demo" in text and "1.500" in text
+
+    def test_column_extraction(self):
+        table = ExperimentTable("t", ("a", "b"))
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == [2, 4]
+
+    def test_notes_rendered(self):
+        table = ExperimentTable("t", ("a",))
+        table.notes.append("hello")
+        assert "note: hello" in table.format()
+
+
+class TestRunSystem:
+    def test_unknown_system_rejected(self, tiny_model):
+        with pytest.raises(ValueError):
+            run_system("megatron", tiny_model, topo_2_2())
+
+    def test_oom_reported_not_raised(self):
+        from repro.models.zoo import gpt_8b
+
+        result = run_system("gpipe", gpt_8b(), topo_2_2(), microbatch_size=1)
+        assert result.status == "oom"
+        assert not result.ok
+
+    def test_mobius_result_has_plan(self, tiny_model):
+        result = run_system("mobius", tiny_model, topo_2_2(), microbatch_size=1)
+        assert result.ok
+        assert "plan_report" in result.extras
+
+
+class TestTable1:
+    def test_reproduces_paper_rows(self):
+        table = run_table1()
+        assert len(table.rows) == 5
+        attrs = table.column("attribute")
+        assert "Price" in attrs and "GPUDirect P2P" in attrs

@@ -1,0 +1,82 @@
+"""Tests for GPU device models."""
+
+import pytest
+
+from repro.hardware.gpu import (
+    A100,
+    GPU_PRESETS,
+    RTX_3090TI,
+    V100,
+    GPUSpec,
+    Precision,
+)
+
+
+class TestPresets:
+    def test_table1_prices(self):
+        assert RTX_3090TI.price_usd == 2_000
+        assert A100.price_usd == 14_000
+        assert A100.price_usd / RTX_3090TI.price_usd == 7  # "7x lower price"
+
+    def test_table1_fp32(self):
+        assert RTX_3090TI.fp32_tflops == 40.0
+        assert A100.fp32_tflops == 19.0
+
+    def test_table1_tensor_cores(self):
+        assert RTX_3090TI.tensor_cores == 336
+        assert A100.tensor_cores == 432
+
+    def test_table1_connectivity(self):
+        assert not RTX_3090TI.supports_p2p
+        assert not RTX_3090TI.supports_nvlink
+        assert A100.supports_p2p and A100.supports_nvlink
+        assert V100.supports_p2p and V100.supports_nvlink
+
+    def test_commodity_memory_is_24gb(self):
+        assert RTX_3090TI.memory_bytes == 24 * 1024**3
+
+    def test_presets_indexed_by_name(self):
+        assert GPU_PRESETS["RTX 3090-Ti"] is RTX_3090TI
+        assert set(GPU_PRESETS) == {"RTX 3090-Ti", "A100", "V100"}
+
+
+class TestComputeSeconds:
+    def test_linear_in_flops(self):
+        one = RTX_3090TI.compute_seconds(1e12)
+        two = RTX_3090TI.compute_seconds(2e12)
+        assert two == pytest.approx(2 * one)
+
+    def test_zero_flops_is_instant(self):
+        assert RTX_3090TI.compute_seconds(0.0) == 0.0
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            RTX_3090TI.compute_seconds(-1.0)
+
+    def test_fp32_slower_than_fp16(self):
+        fp16 = RTX_3090TI.compute_seconds(1e12, Precision.FP16)
+        fp32 = RTX_3090TI.compute_seconds(1e12, Precision.FP32)
+        assert fp32 > fp16
+
+    def test_utilization_derates_peak(self):
+        spec = GPUSpec(
+            name="x",
+            memory_bytes=1,
+            fp32_tflops=1.0,
+            fp16_tflops=10.0,
+            tensor_cores=0,
+            price_usd=0.0,
+            supports_p2p=False,
+            supports_nvlink=False,
+            utilization=0.5,
+        )
+        # 1e13 FLOPs at 10 TFLOP/s * 0.5 = 2 seconds.
+        assert spec.compute_seconds(1e13) == pytest.approx(2.0)
+
+    def test_peak_flops(self):
+        assert RTX_3090TI.peak_flops(Precision.FP32) == pytest.approx(40e12)
+        assert RTX_3090TI.peak_flops(Precision.FP16) == pytest.approx(160e12)
+
+    def test_spec_is_immutable(self):
+        with pytest.raises(Exception):
+            RTX_3090TI.price_usd = 1.0

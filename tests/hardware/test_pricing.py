@@ -1,0 +1,40 @@
+"""Tests for server pricing (Figure 15b inputs)."""
+
+import pytest
+
+from repro.hardware.pricing import (
+    COMMODITY_4X3090TI,
+    COMMODITY_8X3090TI,
+    EC2_P3_8XLARGE,
+    ServerRental,
+    per_step_price,
+)
+
+
+class TestRentals:
+    def test_ec2_p3_rate(self):
+        assert EC2_P3_8XLARGE.hourly_usd == pytest.approx(12.24)
+        assert EC2_P3_8XLARGE.n_gpus == 4
+
+    def test_commodity_cheaper_per_hour(self):
+        assert COMMODITY_4X3090TI.hourly_usd < EC2_P3_8XLARGE.hourly_usd
+
+    def test_8gpu_scales_4gpu(self):
+        assert COMMODITY_8X3090TI.hourly_usd == pytest.approx(
+            2 * COMMODITY_4X3090TI.hourly_usd
+        )
+
+    def test_price_for_one_hour(self):
+        assert EC2_P3_8XLARGE.price_for(3600.0) == pytest.approx(12.24)
+
+    def test_price_linear_in_time(self):
+        rental = ServerRental("x", 10.0, 1)
+        assert rental.price_for(360.0) == pytest.approx(1.0)
+        assert rental.price_for(720.0) == pytest.approx(2.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EC2_P3_8XLARGE.price_for(-1.0)
+
+    def test_per_step_price_helper(self):
+        assert per_step_price(EC2_P3_8XLARGE, 3600.0) == pytest.approx(12.24)

@@ -1,0 +1,82 @@
+"""Tests for simulated profiling with layer similarity."""
+
+import pytest
+
+from repro.hardware.gpu import RTX_3090TI
+from repro.models.costmodel import CostModel
+from repro.models.profiler import Profiler
+from repro.models.spec import build_gpt_like
+from repro.models.zoo import gpt_8b, gpt_15b
+
+
+@pytest.fixture
+def model():
+    return build_gpt_like("m", n_blocks=8, hidden_dim=512, n_heads=8)
+
+
+@pytest.fixture
+def profiler(model):
+    return Profiler(CostModel(RTX_3090TI, 2))
+
+
+class TestSimilarityCompression:
+    def test_unique_layer_count(self, model, profiler):
+        report = profiler.profile(model)
+        assert report.n_unique_layers == 4  # embedding, block, norm, head
+
+    def test_full_profiling_measures_every_layer(self, model, profiler):
+        report = profiler.profile(model, use_similarity=False)
+        assert report.n_unique_layers == model.n_layers
+
+    def test_similarity_is_faster(self, model, profiler):
+        compressed = profiler.profile(model)
+        full = profiler.profile(model, use_similarity=False)
+        assert compressed.profiling_seconds < full.profiling_seconds
+
+    def test_profiling_time_scales_with_unique_layers_not_total(self):
+        # Figure 12 observation: 8B and 15B profile in similar time despite
+        # different layer counts, because unique-layer counts match.
+        cm8 = CostModel(RTX_3090TI, 2)
+        cm15 = CostModel(RTX_3090TI, 1)
+        time8 = Profiler(cm8).profile(gpt_8b()).profiling_seconds
+        time15 = Profiler(cm15).profile(gpt_15b()).profiling_seconds
+        assert time8 == pytest.approx(time15, rel=0.25)
+
+    def test_one_cost_per_layer(self, model, profiler):
+        report = profiler.profile(model)
+        assert len(report.layer_costs) == model.n_layers
+        for index, cost in enumerate(report.layer_costs):
+            assert cost.layer is model.layers[index]
+
+
+class TestMeasurementFidelity:
+    def test_zero_noise_is_exact(self, model, profiler):
+        cm = profiler.cost_model
+        report = profiler.profile(model)
+        for index, cost in enumerate(report.layer_costs):
+            truth = cm.layer_cost(model.layers[index])
+            assert cost.fwd_seconds == pytest.approx(truth.fwd_seconds)
+            assert cost.param_bytes == truth.param_bytes
+
+    def test_noise_is_bounded_and_deterministic(self, model):
+        cm = CostModel(RTX_3090TI, 2)
+        a = Profiler(cm, noise=0.1, seed=7).profile(model)
+        b = Profiler(cm, noise=0.1, seed=7).profile(model)
+        for ca, cb in zip(a.layer_costs, b.layer_costs):
+            assert ca.fwd_seconds == cb.fwd_seconds
+        for index, cost in enumerate(a.layer_costs):
+            truth = cm.layer_cost(model.layers[index])
+            assert abs(cost.fwd_seconds / truth.fwd_seconds - 1.0) <= 0.1 + 1e-9
+
+    def test_invalid_configuration_rejected(self, model):
+        cm = CostModel(RTX_3090TI, 2)
+        with pytest.raises(ValueError):
+            Profiler(cm, measure_runs=0)
+        with pytest.raises(ValueError):
+            Profiler(cm, noise=1.5)
+
+    def test_more_runs_cost_more_time(self, model):
+        cm = CostModel(RTX_3090TI, 2)
+        short = Profiler(cm, measure_runs=1, warmup_runs=0).profile(model)
+        long = Profiler(cm, measure_runs=10, warmup_runs=5).profile(model)
+        assert long.profiling_seconds > short.profiling_seconds

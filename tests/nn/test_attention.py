@@ -1,0 +1,45 @@
+"""Tests for causal self-attention."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.nn.attention import CausalSelfAttention
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestCausalSelfAttention:
+    def test_output_shape(self, rng):
+        attn = CausalSelfAttention(32, 4, rng=rng)
+        out = attn(Tensor(rng.normal(size=(2, 7, 32))))
+        assert out.shape == (2, 7, 32)
+
+    def test_causality(self, rng):
+        """Changing a future token must not affect earlier outputs."""
+        attn = CausalSelfAttention(16, 4, rng=rng)
+        x = rng.normal(size=(1, 6, 16)).astype(np.float32)
+        base = attn(Tensor(x)).data.copy()
+        perturbed = x.copy()
+        perturbed[0, 4] += 10.0  # poke token 4
+        out = attn(Tensor(perturbed)).data
+        np.testing.assert_allclose(out[0, :4], base[0, :4], atol=1e-5)
+        assert not np.allclose(out[0, 4], base[0, 4])
+
+    def test_heads_must_divide_dim(self, rng):
+        with pytest.raises(ValueError):
+            CausalSelfAttention(30, 4, rng=rng)
+
+    def test_gradients_flow_to_all_weights(self, rng):
+        attn = CausalSelfAttention(16, 2, rng=rng)
+        attn(Tensor(rng.normal(size=(1, 4, 16)), requires_grad=True)).sum().backward()
+        for param in attn.parameters():
+            assert param.grad is not None
+
+    def test_single_token_sequence(self, rng):
+        attn = CausalSelfAttention(16, 2, rng=rng)
+        out = attn(Tensor(rng.normal(size=(1, 1, 16))))
+        assert out.shape == (1, 1, 16)

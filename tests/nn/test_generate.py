@@ -1,0 +1,84 @@
+"""Tests for sampling and perplexity evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.nn.data import SyntheticCorpus
+from repro.nn.generate import generate, perplexity
+from repro.nn.transformer import GPTConfig, GPTModel
+
+CONFIG = GPTConfig(vocab_size=32, seq_len=16, dim=32, n_heads=4, n_blocks=2)
+
+
+@pytest.fixture
+def model():
+    return GPTModel(CONFIG, seed=0)
+
+
+class TestGenerate:
+    def test_appends_requested_tokens(self, model):
+        out = generate(model, np.array([1, 2, 3]), max_new_tokens=5)
+        assert out.shape == (8,)
+        np.testing.assert_array_equal(out[:3], [1, 2, 3])
+
+    def test_tokens_in_vocab(self, model):
+        out = generate(model, np.array([0]), max_new_tokens=20)
+        assert out.min() >= 0 and out.max() < CONFIG.vocab_size
+
+    def test_greedy_is_deterministic(self, model):
+        a = generate(model, np.array([5]), max_new_tokens=8, temperature=0.0)
+        b = generate(model, np.array([5]), max_new_tokens=8, temperature=0.0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sampling_reproducible_with_rng(self, model):
+        a = generate(
+            model, np.array([5]), max_new_tokens=8, rng=np.random.default_rng(1)
+        )
+        b = generate(
+            model, np.array([5]), max_new_tokens=8, rng=np.random.default_rng(1)
+        )
+        np.testing.assert_array_equal(a, b)
+
+    def test_top_k_restricts_support(self, model):
+        # With top_k=1, sampling degenerates to greedy.
+        greedy = generate(model, np.array([5]), max_new_tokens=6, temperature=0.0)
+        topk = generate(model, np.array([5]), max_new_tokens=6, top_k=1)
+        np.testing.assert_array_equal(greedy, topk)
+
+    def test_window_longer_than_seq_len(self, model):
+        prompt = np.arange(10) % CONFIG.vocab_size
+        out = generate(model, prompt, max_new_tokens=CONFIG.seq_len + 4)
+        assert len(out) == 10 + CONFIG.seq_len + 4
+
+    def test_invalid_inputs(self, model):
+        with pytest.raises(ValueError):
+            generate(model, np.array([]), max_new_tokens=1)
+        with pytest.raises(ValueError):
+            generate(model, np.array([1]), temperature=-1.0)
+
+    def test_model_left_in_train_mode(self, model):
+        generate(model, np.array([1]), max_new_tokens=1)
+        assert model.training
+
+
+class TestPerplexity:
+    def test_random_model_near_uniform(self, model):
+        corpus = SyntheticCorpus(vocab_size=32, n_tokens=2000, seed=0)
+        ppl = perplexity(model, corpus, n_batches=2, batch_size=4)
+        assert ppl == pytest.approx(32.0, rel=0.3)
+
+    def test_training_reduces_perplexity(self, model):
+        from repro.training.microbatch import ReferenceTrainer
+
+        corpus = SyntheticCorpus(vocab_size=32, n_tokens=5000, seed=0)
+        before = perplexity(model, corpus, n_batches=2, batch_size=4)
+        trainer = ReferenceTrainer(model, n_microbatches=2, lr=3e-3)
+        for _, batch in zip(range(15), corpus.batches(4, CONFIG.seq_len, seed=1)):
+            trainer.step(batch)
+        after = perplexity(model, corpus, n_batches=2, batch_size=4)
+        assert after < before
+
+    def test_invalid_batches(self, model):
+        corpus = SyntheticCorpus(vocab_size=32, n_tokens=2000)
+        with pytest.raises(ValueError):
+            perplexity(model, corpus, n_batches=0)

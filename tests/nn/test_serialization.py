@@ -1,0 +1,100 @@
+"""Tests for model checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.nn.serialization import load_model, load_state_dict, save_model, state_dict
+from repro.nn.transformer import GPTConfig, GPTModel
+
+CONFIG = GPTConfig(vocab_size=32, seq_len=8, dim=16, n_heads=2, n_blocks=2)
+
+
+class TestStateDict:
+    def test_roundtrip_restores_weights(self):
+        source = GPTModel(CONFIG, seed=1)
+        target = GPTModel(CONFIG, seed=2)
+        load_state_dict(target, state_dict(source))
+        for a, b in zip(source.parameters(), target.parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_state_dict_is_a_copy(self):
+        model = GPTModel(CONFIG, seed=1)
+        state = state_dict(model)
+        key = next(iter(state))
+        state[key][...] = 123.0
+        assert not np.any(next(iter(_vals(model, key))) == 123.0)
+
+    def test_covers_all_parameters(self):
+        model = GPTModel(CONFIG, seed=1)
+        state = state_dict(model)
+        total = sum(v.size for v in state.values())
+        assert total == model.n_parameters()
+
+    def test_strict_missing_key(self):
+        model = GPTModel(CONFIG, seed=1)
+        state = state_dict(model)
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError):
+            load_state_dict(model, state)
+
+    def test_strict_unexpected_key(self):
+        model = GPTModel(CONFIG, seed=1)
+        state = state_dict(model)
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            load_state_dict(model, state)
+
+    def test_non_strict_partial_load(self):
+        model = GPTModel(CONFIG, seed=1)
+        state = state_dict(model)
+        key = next(iter(state))
+        loaded = load_state_dict(model, {key: state[key]}, strict=False)
+        assert loaded == [key]
+
+    def test_shape_mismatch(self):
+        model = GPTModel(CONFIG, seed=1)
+        state = state_dict(model)
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            load_state_dict(model, state)
+
+
+def _vals(model, key):
+    from repro.nn.serialization import _named_parameters
+
+    yield _named_parameters(model)[key].data
+
+
+class TestNpzRoundtrip:
+    def test_save_load(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        source = GPTModel(CONFIG, seed=1)
+        save_model(source, path)
+        target = GPTModel(CONFIG, seed=9)
+        load_model(target, path)
+        for a, b in zip(source.parameters(), target.parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_pretrain_then_finetune_workflow(self, tmp_path):
+        """The §2.1 workflow: pretrain, checkpoint, fine-tune from it."""
+        from repro.nn.data import SyntheticCorpus
+        from repro.training.microbatch import ReferenceTrainer
+
+        path = str(tmp_path / "pretrained.npz")
+        corpus = SyntheticCorpus(vocab_size=32, n_tokens=3000, seed=0)
+        pretrain_model = GPTModel(CONFIG, seed=0)
+        trainer = ReferenceTrainer(pretrain_model, n_microbatches=2, lr=1e-2)
+        stream = corpus.batches(4, 8, seed=1)
+        for _, batch in zip(range(10), stream):
+            trainer.step(batch)
+        save_model(pretrain_model, path)
+
+        finetune_model = GPTModel(CONFIG, seed=42)
+        load_model(finetune_model, path)
+        downstream = SyntheticCorpus(vocab_size=32, n_tokens=3000, seed=7)
+        batch = next(downstream.batches(4, 8, seed=2))
+        warm_loss = finetune_model.loss(batch.inputs, batch.targets).item()
+        cold_loss = GPTModel(CONFIG, seed=42).loss(batch.inputs, batch.targets).item()
+        # The pretrained start is better than random init even on new data.
+        assert warm_loss < cold_loss

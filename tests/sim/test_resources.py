@@ -1,0 +1,215 @@
+"""Tests for compute units and the bandwidth-shared flow network."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.topology import commodity_server, topo_2_2, topo_4
+from repro.sim.engine import Simulator
+from repro.sim.resources import ComputeUnit, FlowNetwork
+
+GB = 1e9
+PCIE = 13.1 * GB
+
+
+def run_flows(topology, flows):
+    """Start all flows at t=0; returns dict flow_index -> completion time."""
+    sim = Simulator()
+    network = FlowNetwork(sim, topology)
+    done = {}
+    for index, (path, nbytes, priority) in enumerate(flows):
+        network.start_flow(
+            path, nbytes, (lambda i=index: done.__setitem__(i, sim.now)), priority=priority
+        )
+    sim.run()
+    return done
+
+
+class TestComputeUnit:
+    def test_serial_fifo(self):
+        sim = Simulator()
+        unit = ComputeUnit(sim, "gpu0")
+        ends = []
+        unit.submit(1.0, lambda: ends.append(sim.now))
+        unit.submit(2.0, lambda: ends.append(sim.now))
+        sim.run()
+        assert ends == [1.0, 3.0]
+
+    def test_busy_seconds_accumulate(self):
+        sim = Simulator()
+        unit = ComputeUnit(sim, "gpu0")
+        unit.submit(1.5, lambda: None)
+        unit.submit(0.5, lambda: None)
+        sim.run()
+        assert unit.busy_seconds == pytest.approx(2.0)
+
+    def test_zero_length_task(self):
+        sim = Simulator()
+        unit = ComputeUnit(sim, "gpu0")
+        fired = []
+        unit.submit(0.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [0.0]
+
+    def test_negative_duration_rejected(self):
+        unit = ComputeUnit(Simulator(), "gpu0")
+        with pytest.raises(ValueError):
+            unit.submit(-1.0, lambda: None)
+
+    def test_submission_during_execution_queues(self):
+        sim = Simulator()
+        unit = ComputeUnit(sim, "gpu0")
+        ends = []
+
+        def first_done():
+            ends.append(sim.now)
+            unit.submit(1.0, lambda: ends.append(sim.now))
+
+        unit.submit(1.0, first_done)
+        sim.run()
+        assert ends == [1.0, 2.0]
+
+
+class TestFlowTiming:
+    def test_single_flow_at_link_bandwidth(self):
+        topo = topo_2_2()
+        done = run_flows(topo, [(topo.path_from_dram(0), PCIE, 0)])
+        assert done[0] == pytest.approx(1.0, rel=1e-6)
+
+    def test_two_flows_same_rc_halve(self):
+        topo = topo_4()
+        flows = [(topo.path_from_dram(g), PCIE, 0) for g in (0, 1)]
+        done = run_flows(topo, flows)
+        assert done[0] == pytest.approx(2.0, rel=1e-6)
+        assert done[1] == pytest.approx(2.0, rel=1e-6)
+
+    def test_flows_on_different_rcs_do_not_contend(self):
+        topo = topo_2_2()
+        flows = [(topo.path_from_dram(0), PCIE, 0), (topo.path_from_dram(2), PCIE, 0)]
+        done = run_flows(topo, flows)
+        assert done[0] == pytest.approx(1.0, rel=1e-6)
+        assert done[1] == pytest.approx(1.0, rel=1e-6)
+
+    def test_upload_and_download_full_duplex(self):
+        topo = topo_2_2()
+        flows = [(topo.path_from_dram(0), PCIE, 0), (topo.path_to_dram(0), PCIE, 0)]
+        done = run_flows(topo, flows)
+        assert done[0] == pytest.approx(1.0, rel=1e-6)
+        assert done[1] == pytest.approx(1.0, rel=1e-6)
+
+    def test_released_bandwidth_reassigned(self):
+        # Short and long flow share a link: after the short one finishes,
+        # the long one speeds up. 0.5 + ((2-1)/13.1GB remaining at full).
+        topo = topo_4()
+        flows = [
+            (topo.path_from_dram(0), 0.5 * PCIE, 0),
+            (topo.path_from_dram(1), 1.0 * PCIE, 0),
+        ]
+        done = run_flows(topo, flows)
+        assert done[0] == pytest.approx(1.0, rel=1e-6)
+        assert done[1] == pytest.approx(1.5, rel=1e-6)
+
+    def test_zero_byte_flow_completes_instantly(self):
+        topo = topo_2_2()
+        done = run_flows(topo, [(topo.path_from_dram(0), 0.0, 0)])
+        assert done[0] == 0.0
+
+    def test_empty_path_completes_instantly(self):
+        done = run_flows(topo_2_2(), [((), 123.0, 0)])
+        assert done[0] == 0.0
+
+    def test_negative_bytes_rejected(self):
+        topo = topo_2_2()
+        network = FlowNetwork(Simulator(), topo)
+        with pytest.raises(ValueError):
+            network.start_flow(topo.path_from_dram(0), -1.0, lambda: None)
+
+    def test_tiny_residue_terminates(self):
+        # Regression: sub-byte float residues used to livelock the loop.
+        topo = topo_4()
+        flows = [
+            (topo.path_from_dram(0), PCIE / 3.0, 0),
+            (topo.path_from_dram(1), PCIE / 7.0, 0),
+            (topo.path_from_dram(2), PCIE / 11.0, 0),
+        ]
+        done = run_flows(topo, flows)
+        assert len(done) == 3
+
+
+class TestPriorities:
+    def test_high_priority_preempts(self):
+        topo = topo_4()
+        flows = [
+            (topo.path_from_dram(0), PCIE, 1),
+            (topo.path_from_dram(1), PCIE, 0),
+        ]
+        done = run_flows(topo, flows)
+        assert done[0] == pytest.approx(1.0, rel=1e-6)  # full bandwidth
+        assert done[1] == pytest.approx(2.0, rel=1e-6)  # waits, then full
+
+    def test_equal_priority_shares(self):
+        topo = topo_4()
+        flows = [(topo.path_from_dram(g), PCIE, 5) for g in (0, 1)]
+        done = run_flows(topo, flows)
+        assert done[0] == pytest.approx(2.0, rel=1e-6)
+
+    def test_low_priority_uses_leftover(self):
+        # High-priority flow only on one link; low-priority elsewhere runs
+        # at full speed.
+        topo = topo_2_2()
+        flows = [
+            (topo.path_from_dram(0), PCIE, 1),
+            (topo.path_from_dram(2), PCIE, 0),
+        ]
+        done = run_flows(topo, flows)
+        assert done[1] == pytest.approx(1.0, rel=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    sizes=st.lists(
+        st.floats(min_value=1e6, max_value=5e10), min_size=1, max_size=6
+    ),
+    gpus=st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=6),
+)
+def test_makespan_bounded_by_capacity(sizes, gpus):
+    """Property: completion time is at least volume/capacity on the most
+    loaded edge, and at most total volume over the slowest link (full
+    serialisation)."""
+    if len(sizes) != len(gpus):
+        sizes = sizes[: len(gpus)]
+        gpus = gpus[: len(sizes)]
+    topo = topo_2_2()
+    flows = [(topo.path_from_dram(g), s, 0) for g, s in zip(gpus, sizes)]
+    done = run_flows(topo, flows)
+    makespan = max(done.values())
+    # Lower bound: most loaded directed edge.
+    edge_load: dict = {}
+    for path, nbytes, _ in flows:
+        for edge in path:
+            edge_load[edge] = edge_load.get(edge, 0.0) + nbytes
+    lower = max(load / topo.bandwidth_of(edge) for edge, load in edge_load.items())
+    upper = sum(sizes) / min(
+        topo.path_bandwidth(topo.path_from_dram(g)) for g in set(gpus)
+    )
+    assert makespan >= lower * (1 - 1e-6)
+    assert makespan <= upper * (1 + 1e-6) + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    sizes=st.lists(st.floats(min_value=1e6, max_value=2e10), min_size=1, max_size=5),
+    priorities=st.lists(st.integers(min_value=-1, max_value=2), min_size=1, max_size=5),
+)
+def test_all_flows_complete_regardless_of_priorities(sizes, priorities):
+    """Property: every flow eventually completes (no starvation), even with
+    arbitrary priority mixes, and completion order respects work ordering
+    on a single shared link."""
+    k = min(len(sizes), len(priorities))
+    topo = topo_4()
+    flows = [
+        (topo.path_from_dram(i % 4), sizes[i], priorities[i]) for i in range(k)
+    ]
+    done = run_flows(topo, flows)
+    assert len(done) == k
+    assert all(t > 0 or sizes[i] == 0 for i, t in done.items())

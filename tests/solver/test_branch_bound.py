@@ -1,0 +1,103 @@
+"""Tests for branch & bound, cross-validated against scipy's HiGHS MILP."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver.branch_bound import BranchAndBoundSolver, MIPStatus
+from repro.solver.model import LinearProgram
+from repro.solver.scipy_backend import solve_milp_scipy
+
+
+class TestKnownProblems:
+    def test_knapsack(self):
+        lp = LinearProgram()
+        a, b, c = (lp.add_binary(n) for n in "abc")
+        lp.add_constraint(2 * a + 3 * b + 4 * c <= 5)
+        lp.set_objective(3 * a + 4 * b + 5 * c, minimize=False)
+        sol = BranchAndBoundSolver().solve(lp)
+        assert sol.status is MIPStatus.OPTIMAL
+        assert sol.objective == pytest.approx(7.0)
+        assert list(sol.x) == [1, 1, 0]
+
+    def test_integer_rounding_matters(self):
+        # LP relaxation gives x = 2.5; the MIP optimum is x = 2.
+        lp = LinearProgram()
+        x = lp.add_var("x", ub=10, integer=True)
+        lp.add_constraint(2 * x <= 5)
+        lp.set_objective(x, minimize=False)
+        sol = BranchAndBoundSolver().solve(lp)
+        assert sol.objective == pytest.approx(2.0)
+
+    def test_mixed_integer_continuous(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", ub=10, integer=True)
+        y = lp.add_var("y", ub=10)
+        lp.add_constraint(x + y == 7.5)
+        lp.set_objective(2 * x + y)
+        sol = BranchAndBoundSolver().solve(lp)
+        assert sol.objective == pytest.approx(7.5)
+        assert sol.x[0] == pytest.approx(0.0)
+
+    def test_infeasible_integrality(self):
+        # Feasible as an LP (x = 0.5) but infeasible as a pure integer
+        # program.
+        lp = LinearProgram()
+        x = lp.add_var("x", ub=1, integer=True)
+        lp.add_constraint(2 * x == 1)
+        lp.set_objective(x)
+        sol = BranchAndBoundSolver().solve(lp)
+        assert sol.status is MIPStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", integer=True)
+        lp.set_objective(-x)
+        sol = BranchAndBoundSolver().solve(lp)
+        assert sol.status is MIPStatus.UNBOUNDED
+
+    def test_scipy_lp_backend(self):
+        lp = LinearProgram()
+        a, b = lp.add_binary("a"), lp.add_binary("b")
+        lp.add_constraint(a + b <= 1)
+        lp.set_objective(2 * a + 3 * b, minimize=False)
+        sol = BranchAndBoundSolver(lp_backend="scipy").solve(lp)
+        assert sol.objective == pytest.approx(3.0)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            BranchAndBoundSolver(lp_backend="gurobi")
+
+    def test_node_budget_reports_feasible(self):
+        rng = np.random.default_rng(3)
+        lp = LinearProgram()
+        xs = [lp.add_binary(f"x{i}") for i in range(12)]
+        weights = rng.integers(1, 10, size=12)
+        values = rng.integers(1, 10, size=12)
+        lp.add_constraint(sum(int(w) * x for w, x in zip(weights, xs)) <= 25)
+        lp.set_objective(sum(int(v) * x for v, x in zip(values, xs)), minimize=False)
+        sol = BranchAndBoundSolver(max_nodes=3).solve(lp)
+        assert sol.status in (MIPStatus.FEASIBLE, MIPStatus.OPTIMAL, MIPStatus.NO_SOLUTION)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_vars=st.integers(min_value=1, max_value=6),
+)
+def test_matches_highs_on_random_knapsacks(seed, n_vars):
+    """Property: our B&B matches HiGHS on random 0/1 knapsacks."""
+    rng = np.random.default_rng(seed)
+    lp = LinearProgram()
+    xs = [lp.add_binary(f"x{i}") for i in range(n_vars)]
+    weights = rng.integers(1, 8, size=n_vars)
+    values = rng.integers(1, 8, size=n_vars)
+    capacity = int(rng.integers(1, max(2, int(weights.sum()))))
+    lp.add_constraint(sum(int(w) * x for w, x in zip(weights, xs)) <= capacity)
+    lp.set_objective(sum(int(v) * x for v, x in zip(values, xs)), minimize=False)
+
+    ours = BranchAndBoundSolver().solve(lp)
+    reference = solve_milp_scipy(lp)
+    assert ours.ok and reference.ok
+    assert ours.objective == pytest.approx(reference.objective, abs=1e-6)

@@ -1,0 +1,97 @@
+"""Tests for presolve reductions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver.branch_bound import BranchAndBoundSolver, MIPStatus
+from repro.solver.model import LinearProgram
+from repro.solver.presolve import postsolve, presolve
+
+
+class TestReductions:
+    def test_fixed_variable_removed(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", lb=3, ub=3)
+        y = lp.add_var("y", ub=5)
+        lp.add_constraint(x + y <= 7)
+        lp.set_objective(x + y)
+        result = presolve(lp.to_standard_form())
+        assert result.n_removed == 1
+        assert list(result.kept) == [1]
+        # RHS absorbed the fixed value: y <= 4.
+        np.testing.assert_allclose(result.form.b_ub, [4.0])
+
+    def test_singleton_row_becomes_bound(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", ub=10)
+        y = lp.add_var("y", ub=10)
+        lp.add_constraint(2 * x <= 6)  # -> x <= 3
+        lp.add_constraint(x + y <= 12)
+        lp.set_objective(-x - y)
+        result = presolve(lp.to_standard_form())
+        assert result.form.a_ub.shape[0] == 1  # singleton row removed
+        assert result.form.ub[0] == pytest.approx(3.0)
+
+    def test_negative_singleton_tightens_lower_bound(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", ub=10)
+        lp.add_constraint(x >= 2)  # becomes -x <= -2
+        lp.set_objective(x)
+        result = presolve(lp.to_standard_form())
+        assert result.form.lb[0] == pytest.approx(2.0)
+
+    def test_integer_bound_rounding_fixes_variable(self):
+        lp = LinearProgram()
+        x = lp.add_binary("x")
+        lp.add_constraint(x <= 0.4)  # integrality forces x = 0
+        lp.set_objective(x)
+        result = presolve(lp.to_standard_form())
+        assert result.n_removed == 1
+        assert result.fixed_values[0] == 0.0
+
+    def test_infeasible_bounds_detected(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", lb=0, ub=1)
+        lp.add_constraint(x >= 2)
+        lp.set_objective(x)
+        assert presolve(lp.to_standard_form()).infeasible
+
+    def test_empty_row_feasibility(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", ub=1)
+        lp.add_constraint(0.0 * x <= -1.0)  # trivially infeasible
+        lp.set_objective(x)
+        assert presolve(lp.to_standard_form()).infeasible
+
+    def test_postsolve_lifts_solution(self):
+        lp = LinearProgram()
+        lp.add_var("x", lb=2, ub=2)
+        lp.add_var("y", ub=5)
+        lp.set_objective(0.0)
+        result = presolve(lp.to_standard_form())
+        lifted = postsolve(result, np.array([4.0]))
+        np.testing.assert_allclose(lifted, [2.0, 4.0])
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5000))
+def test_presolve_preserves_optimum(seed):
+    """Property: presolved B&B matches plain B&B on random knapsacks with
+    fixed variables and singleton rows mixed in."""
+    rng = np.random.default_rng(seed)
+    lp = LinearProgram()
+    xs = [lp.add_binary(f"x{i}") for i in range(5)]
+    fixed = lp.add_var("fixed", lb=2, ub=2)
+    weights = rng.integers(1, 6, size=5)
+    lp.add_constraint(sum(int(w) * x for w, x in zip(weights, xs)) + fixed <= 9)
+    lp.add_constraint(xs[0] <= float(rng.integers(0, 2)))  # singleton row
+    values = rng.integers(1, 6, size=5)
+    lp.set_objective(sum(int(v) * x for v, x in zip(values, xs)) + fixed, minimize=False)
+
+    plain = BranchAndBoundSolver().solve(lp)
+    reduced = BranchAndBoundSolver(presolve=True).solve(lp)
+    assert plain.status == reduced.status
+    if plain.status is MIPStatus.OPTIMAL:
+        assert reduced.objective == pytest.approx(plain.objective, abs=1e-6)

@@ -1,0 +1,117 @@
+"""Tests for the dense two-phase simplex, cross-validated against HiGHS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver.model import LinearProgram
+from repro.solver.scipy_backend import solve_lp_scipy
+from repro.solver.simplex import LPStatus, solve_standard_form
+
+
+def solve(lp):
+    return solve_standard_form(lp.to_standard_form())
+
+
+class TestBasicLPs:
+    def test_two_variable_optimum(self):
+        lp = LinearProgram()
+        x = lp.add_var("x")
+        y = lp.add_var("y", ub=2)
+        lp.add_constraint(x + y <= 4)
+        lp.add_constraint(x <= 3)
+        lp.set_objective(-(x + y))
+        sol = solve(lp)
+        assert sol.status is LPStatus.OPTIMAL
+        assert sol.objective == pytest.approx(-4.0)
+
+    def test_equality_constraint(self):
+        lp = LinearProgram()
+        x, y = lp.add_var("x"), lp.add_var("y")
+        lp.add_constraint(x + y == 5)
+        lp.set_objective(2 * x + y)
+        sol = solve(lp)
+        assert sol.objective == pytest.approx(5.0)  # all weight on y
+
+    def test_infeasible(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", ub=1)
+        lp.add_constraint(x >= 2)
+        lp.set_objective(x)
+        assert solve(lp).status is LPStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        lp = LinearProgram()
+        x = lp.add_var("x")
+        lp.set_objective(-x)
+        assert solve(lp).status is LPStatus.UNBOUNDED
+
+    def test_shifted_lower_bounds(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", lb=3, ub=10)
+        lp.set_objective(x)
+        sol = solve(lp)
+        assert sol.x[0] == pytest.approx(3.0)
+        assert sol.objective == pytest.approx(3.0)
+
+    def test_negative_lower_bounds(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", lb=-5, ub=5)
+        lp.set_objective(x)
+        sol = solve(lp)
+        assert sol.objective == pytest.approx(-5.0)
+
+    def test_degenerate_constraints(self):
+        # Redundant constraints exercise artificial-variable cleanup.
+        lp = LinearProgram()
+        x, y = lp.add_var("x"), lp.add_var("y")
+        lp.add_constraint(x + y == 4)
+        lp.add_constraint(2 * x + 2 * y == 8)  # redundant
+        lp.set_objective(x - y)
+        sol = solve(lp)
+        assert sol.status is LPStatus.OPTIMAL
+        assert sol.objective == pytest.approx(-4.0)
+
+    def test_zero_objective(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", ub=1)
+        lp.add_constraint(x >= 0.5)
+        lp.set_objective(0.0 * x)
+        sol = solve(lp)
+        assert sol.status is LPStatus.OPTIMAL
+        assert sol.objective == pytest.approx(0.0)
+
+    def test_infinite_lower_bound_rejected(self):
+        lp = LinearProgram()
+        lp.add_var("x", lb=-np.inf)
+        lp.set_objective(0.0)
+        with pytest.raises(ValueError):
+            solve(lp)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_vars=st.integers(min_value=1, max_value=5),
+    n_cons=st.integers(min_value=1, max_value=6),
+)
+def test_matches_highs_on_random_lps(seed, n_vars, n_cons):
+    """Property: on random bounded LPs our simplex matches HiGHS."""
+    rng = np.random.default_rng(seed)
+    lp = LinearProgram()
+    xs = [lp.add_var(f"x{i}", lb=0.0, ub=float(rng.integers(1, 10))) for i in range(n_vars)]
+    for _ in range(n_cons):
+        coefs = rng.integers(-3, 4, size=n_vars).astype(float)
+        rhs = float(rng.integers(-5, 15))
+        expr = sum(c * x for c, x in zip(coefs, xs))
+        if not isinstance(expr, (int, float)):
+            lp.add_constraint(expr <= rhs)
+    objective = sum(float(rng.integers(-5, 6)) * x for x in xs)
+    lp.set_objective(objective)
+
+    ours = solve(lp)
+    reference = solve_lp_scipy(lp.to_standard_form())
+    assert ours.status == reference.status
+    if ours.status is LPStatus.OPTIMAL:
+        assert ours.objective == pytest.approx(reference.objective, abs=1e-6)

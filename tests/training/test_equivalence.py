@@ -1,0 +1,124 @@
+"""The §3.1 convergence guarantee: pipeline schedules == plain accumulation."""
+
+import numpy as np
+import pytest
+
+from repro.nn.data import SyntheticCorpus
+from repro.nn.transformer import GPTConfig, GPTModel
+from repro.training.microbatch import ReferenceTrainer, split_batch
+from repro.training.pipeline_train import (
+    GPipeScheduleTrainer,
+    MobiusScheduleTrainer,
+    StagePartition,
+)
+
+CONFIG = GPTConfig(vocab_size=64, seq_len=16, dim=32, n_heads=4, n_blocks=4)
+
+
+@pytest.fixture
+def batch():
+    corpus = SyntheticCorpus(vocab_size=64, n_tokens=4000, seed=1)
+    return next(corpus.batches(8, 16, seed=2))
+
+
+class TestStagePartition:
+    def test_uniform(self):
+        partition = StagePartition.uniform(6, 3)
+        assert partition.n_stages == 3
+        ranges = [partition.stage_range(j) for j in range(3)]
+        assert ranges == [(0, 2), (2, 4), (4, 6)]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            StagePartition.uniform(3, 5)
+
+
+class TestSplitBatch:
+    def test_even_split(self, batch):
+        micros = split_batch(batch, 4)
+        assert len(micros) == 4
+        assert all(m.inputs.shape[0] == 2 for m in micros)
+
+    def test_uneven_rejected(self, batch):
+        with pytest.raises(ValueError):
+            split_batch(batch, 3)
+
+
+class TestGradientEquivalence:
+    def test_gpipe_matches_reference_exactly(self, batch):
+        ref_model = GPTModel(CONFIG, seed=7)
+        gpipe_model = GPTModel(CONFIG, seed=7)
+        ref_loss = ReferenceTrainer(ref_model, n_microbatches=4).step(batch)
+        gpipe_loss = GPipeScheduleTrainer(gpipe_model, 4).step(batch)
+        assert gpipe_loss == pytest.approx(ref_loss, abs=1e-6)
+        for a, b in zip(ref_model.parameters(), gpipe_model.parameters()):
+            np.testing.assert_allclose(a.data, b.data, atol=1e-6)
+
+    def test_mobius_matches_reference_exactly(self, batch):
+        ref_model = GPTModel(CONFIG, seed=7)
+        mobius_model = GPTModel(CONFIG, seed=7)
+        ReferenceTrainer(ref_model, n_microbatches=4).step(batch)
+        MobiusScheduleTrainer(mobius_model, 2, n_stages=6, n_microbatches=4).step(batch)
+        for a, b in zip(ref_model.parameters(), mobius_model.parameters()):
+            np.testing.assert_allclose(a.data, b.data, atol=1e-6)
+
+    def test_stage_count_does_not_change_math(self, batch):
+        results = []
+        for n_stages in (2, 3, 6):
+            model = GPTModel(CONFIG, seed=7)
+            MobiusScheduleTrainer(model, 2, n_stages=n_stages, n_microbatches=4).step(
+                batch
+            )
+            results.append(np.concatenate([p.data.ravel() for p in model.parameters()]))
+        np.testing.assert_allclose(results[0], results[1], atol=1e-6)
+        np.testing.assert_allclose(results[0], results[2], atol=1e-6)
+
+    def test_multi_step_trajectories_stay_together(self, batch):
+        gpipe_model = GPTModel(CONFIG, seed=7)
+        mobius_model = GPTModel(CONFIG, seed=7)
+        gpipe = GPipeScheduleTrainer(gpipe_model, 4)
+        mobius = MobiusScheduleTrainer(mobius_model, 4)
+        corpus = SyntheticCorpus(vocab_size=64, n_tokens=4000, seed=1)
+        for step, fresh in zip(range(5), corpus.batches(8, 16, seed=3)):
+            a = gpipe.step(fresh)
+            b = mobius.step(fresh)
+            assert a == pytest.approx(b, abs=1e-4)
+
+
+class TestMobiusSwapSemantics:
+    def test_residency_never_exceeds_limit(self, batch):
+        trainer = MobiusScheduleTrainer(
+            GPTModel(CONFIG, seed=0), 2, n_stages=6, n_microbatches=4, resident_limit=2
+        )
+        trainer.step(batch)
+        resident: dict[int, set] = {0: set(), 1: set()}
+        for event in trainer.swap_events:
+            if event.kind == "upload":
+                resident[event.gpu].add(event.stage)
+            else:
+                resident[event.gpu].discard(event.stage)
+            assert len(resident[event.gpu]) <= 2
+
+    def test_stages_map_round_robin(self, batch):
+        trainer = MobiusScheduleTrainer(
+            GPTModel(CONFIG, seed=0), 2, n_stages=6, n_microbatches=4
+        )
+        trainer.step(batch)
+        for event in trainer.swap_events:
+            assert event.gpu == event.stage % 2
+
+    def test_every_swapped_stage_uploaded_twice(self, batch):
+        """Swapped-out stages upload once for forward, once for backward;
+        the resident tail uploads only once."""
+        trainer = MobiusScheduleTrainer(
+            GPTModel(CONFIG, seed=0), 2, n_stages=6, n_microbatches=4
+        )
+        trainer.step(batch)
+        uploads: dict[int, int] = {}
+        for event in trainer.swap_events:
+            if event.kind == "upload":
+                uploads[event.stage] = uploads.get(event.stage, 0) + 1
+        for stage in range(4):  # swapped out (6 stages - 2 resident)
+            assert uploads[stage] == 2
+        for stage in (4, 5):  # resident tail
+            assert uploads[stage] == 1
