@@ -64,30 +64,30 @@ def bandwidth_cdf(
         kinds: Restrict to these transfer kinds (e.g. only ``"allgather"``).
     """
     if grid_gbps is None:
-        grid_gbps = [0.5 * i for i in range(29)]
-    if kinds is not None:
-        filtered = Trace(trace.n_gpus)
-        wanted = set(kinds)
-        filtered.transfers = [t for t in trace.transfers if t.kind in wanted]
-        trace = filtered
-    cdf = trace.bandwidth_cdf([g * GB for g in grid_gbps])
+        grid_gbps = np.arange(29) * 0.5
+    grid = np.asarray(grid_gbps, dtype=float)
+    cdf = trace.bandwidth_cdf(grid * GB, kinds=kinds)
     return BandwidthCDF(
-        grid_gbps=tuple(grid_gbps), cdf=tuple(float(v) for v in cdf), label=label
+        grid_gbps=tuple(grid.tolist()), cdf=tuple(float(v) for v in cdf), label=label
     )
 
 
-def fraction_of_bytes_below(trace: Trace, gbps: float) -> float:
+def fraction_of_bytes_below(
+    trace: Trace, gbps: float, *, kinds: Sequence[str] | None = None
+) -> float:
     """Fraction of transferred bytes moving at bandwidth < ``gbps`` GB/s."""
-    bandwidths, weights = trace.bandwidth_samples()
+    bandwidths, weights = trace.bandwidth_samples(kinds=kinds)
     if len(bandwidths) == 0:
         return 0.0
     mask = bandwidths < gbps * GB
     return float(weights[mask].sum() / weights.sum())
 
 
-def fraction_of_bytes_above(trace: Trace, gbps: float) -> float:
+def fraction_of_bytes_above(
+    trace: Trace, gbps: float, *, kinds: Sequence[str] | None = None
+) -> float:
     """Fraction of transferred bytes moving at bandwidth > ``gbps`` GB/s."""
-    bandwidths, weights = trace.bandwidth_samples()
+    bandwidths, weights = trace.bandwidth_samples(kinds=kinds)
     if len(bandwidths) == 0:
         return 0.0
     mask = bandwidths > gbps * GB

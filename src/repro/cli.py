@@ -18,7 +18,6 @@ Examples:
 from __future__ import annotations
 
 import argparse
-import importlib
 import sys
 from collections.abc import Sequence
 
@@ -79,6 +78,18 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"experiment names (prefix match) or 'all'; known: {', '.join(ALL_EXPERIMENTS)}",
     )
     figures.add_argument("--full", action="store_true", help="full sweeps (slow)")
+    figures.add_argument(
+        "--jobs", type=int, default=1,
+        help="run figures in N parallel worker processes (sharing the cache)",
+    )
+    figures.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the plan/result cache (cold reference run)",
+    )
+    figures.add_argument(
+        "--bench-out", default=None, metavar="PATH",
+        help="write a machine-readable timing report (e.g. BENCH_suite.json)",
+    )
     return parser
 
 
@@ -146,21 +157,19 @@ def _cmd_advise(args: argparse.Namespace) -> int:
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
-    wanted = ALL_EXPERIMENTS if "all" in args.names else [
-        name
-        for name in ALL_EXPERIMENTS
-        if any(name.startswith(prefix) for prefix in args.names)
-    ]
+    from repro.experiments.suite import resolve_names, run_suite
+
+    wanted = resolve_names(args.names)
     if not wanted:
         print(f"no experiments match {args.names}; known: {', '.join(ALL_EXPERIMENTS)}")
         return 1
-    for name in wanted:
-        module = importlib.import_module(f"repro.experiments.{name}")
-        if "fast" in module.run.__code__.co_varnames:
-            tables = module.run(fast=not args.full)
-        else:
-            tables = module.run()
-        print_tables(tables)
+    run_suite(
+        wanted,
+        fast=not args.full,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        bench_path=args.bench_out,
+    )
     return 0
 
 

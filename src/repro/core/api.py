@@ -31,6 +31,7 @@ from repro.hardware.topology import Topology
 from repro.models.costmodel import CostModel
 from repro.models.profiler import ProfileReport, Profiler
 from repro.models.spec import ModelSpec
+from repro.perf.cache import get_cache
 from repro.sim.trace import Trace
 
 __all__ = ["MobiusConfig", "MobiusPlanReport", "MobiusReport", "plan_mobius", "run_mobius"]
@@ -112,7 +113,25 @@ class MobiusReport:
 def plan_mobius(
     model: ModelSpec, topology: Topology, config: MobiusConfig = MobiusConfig()
 ) -> MobiusPlanReport:
-    """Run Mobius's planning pipeline for ``model`` on ``topology``."""
+    """Run Mobius's planning pipeline for ``model`` on ``topology``.
+
+    Results are memoized by content through the global
+    :mod:`repro.perf` cache: planning the same (model, topology, config)
+    triple twice — in this process, or across processes when the disk tier
+    is enabled — returns the stored report without re-solving.  Treat the
+    returned report as immutable.
+    """
+    cache = get_cache()
+    return cache.memoize(
+        "plan",
+        ("plan_mobius", model, topology, config),
+        lambda: _plan_mobius_uncached(model, topology, config),
+    )
+
+
+def _plan_mobius_uncached(
+    model: ModelSpec, topology: Topology, config: MobiusConfig
+) -> MobiusPlanReport:
     microbatch_size = config.microbatch_size or model.default_microbatch_size
     n_gpus = topology.n_gpus
     n_microbatches = config.n_microbatches or n_gpus
@@ -131,8 +150,23 @@ def plan_mobius(
     kwargs = {}
     if config.partition_method == "mip":
         kwargs["time_limit"] = config.partition_time_limit
-    partition_result = partitioner(
-        model, cost_model, n_gpus, n_microbatches, bandwidth, **kwargs
+    # The layer-to-stage split does not depend on the mapping/prefetch knobs
+    # or on the topology's wiring, only on the inputs below — so ablations
+    # that sweep mapping_method (Figure 10) share one budget-limited solve.
+    partition_result = get_cache().memoize(
+        "partition",
+        (
+            "partition",
+            config.partition_method,
+            model,
+            topology.gpu_spec,
+            microbatch_size,
+            n_gpus,
+            n_microbatches,
+            bandwidth,
+            kwargs.get("time_limit"),
+        ),
+        lambda: partitioner(model, cost_model, n_gpus, n_microbatches, bandwidth, **kwargs),
     )
 
     n_stages = partition_result.partition.n_stages

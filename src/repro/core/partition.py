@@ -81,6 +81,9 @@ class _SearchContext:
         self.bandwidth = bandwidth
         self.gpu_memory = gpu_memory
         self._stage_cache: dict[tuple[int, int], StageCost] = {}
+        self._eval_cache: dict[tuple[int, ...], PipelineTimings] = {}
+        self._bound_cache: dict[tuple[int, ...], float] = {}
+        self._max_len_cache: dict[int, int] = {}
         layer_costs = [cost_model.layer_cost(layer) for layer in model.layers]
         self.fwd_suffix = [0.0] * (model.n_layers + 1)
         for i in range(model.n_layers - 1, -1, -1):
@@ -101,22 +104,38 @@ class _SearchContext:
 
     def max_stage_len(self, start: int) -> int:
         """Longest memory-feasible stage beginning at layer ``start``."""
+        cached = self._max_len_cache.get(start)
+        if cached is not None:
+            return cached
         length = 0
         for stop in range(start + 1, self.model.n_layers + 1):
             if self.stage_fits(start, stop):
                 length = stop - start
             else:
                 break
+        self._max_len_cache[start] = length
         return length
 
     def evaluate(self, boundaries: Sequence[int]) -> PipelineTimings:
-        costs = [
-            self.stage_cost(a, b)
-            for a, b in zip((0, *boundaries), (*boundaries, self.model.n_layers))
-        ]
-        return evaluate_pipeline(
-            costs, self.n_gpus, self.n_microbatches, self.bandwidth, self.gpu_memory
-        )
+        """Exact pipeline timings for a full boundary set, memoized.
+
+        The warm start, local search and branch-and-bound all revisit the
+        same boundary tuples (a hill-climb step undone, a DFS leaf reached
+        through a different prefix), so each distinct tuple is evaluated
+        through the Eq. 4-11 recurrence exactly once per search context.
+        """
+        key = tuple(boundaries)
+        cached = self._eval_cache.get(key)
+        if cached is None:
+            costs = [
+                self.stage_cost(a, b)
+                for a, b in zip((0, *key), (*key, self.model.n_layers))
+            ]
+            cached = evaluate_pipeline(
+                costs, self.n_gpus, self.n_microbatches, self.bandwidth, self.gpu_memory
+            )
+            self._eval_cache[key] = cached
+        return cached
 
     def evaluate_prefix_bound(self, cuts: list[int]) -> float:
         """Admissible lower bound on any completion of the stage prefix.
@@ -124,8 +143,18 @@ class _SearchContext:
         ``cuts`` is ``[0, b1, ..., bk]``; the prefix covers ``[0, cuts[-1])``.
         The bound is the prefix's forward finish on the last microbatch plus
         the remaining layers' forward and the entire model's backward, all
-        communication-free.
+        communication-free.  Memoized per prefix: the DFS re-enters the same
+        prefix whenever sibling subtrees are explored.
         """
+        key = tuple(cuts)
+        cached = self._bound_cache.get(key)
+        if cached is not None:
+            return cached
+        bound = self._prefix_bound_uncached(cuts)
+        self._bound_cache[key] = bound
+        return bound
+
+    def _prefix_bound_uncached(self, cuts: list[int]) -> float:
         costs = [self.stage_cost(a, b) for a, b in zip(cuts, cuts[1:])]
         if not costs:
             return self.fwd_suffix[0] + self.total_bwd

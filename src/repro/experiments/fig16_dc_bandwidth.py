@@ -13,7 +13,6 @@ from repro.analysis.bandwidth import fraction_of_bytes_above
 from repro.experiments.runner import ExperimentTable, print_tables, run_system
 from repro.hardware.topology import datacenter_server
 from repro.models.zoo import gpt_8b, gpt_15b
-from repro.sim.trace import Trace
 
 __all__ = ["run", "main"]
 
@@ -25,13 +24,6 @@ _DRAM_KINDS = (
     "grad-offload",
     "shard-restore",
 )
-
-
-def _dram_only(trace: Trace) -> Trace:
-    filtered = Trace(trace.n_gpus)
-    filtered.compute = trace.compute
-    filtered.transfers = [t for t in trace.transfers if t.kind in _DRAM_KINDS]
-    return filtered
 
 
 def run(fast: bool = False) -> ExperimentTable:
@@ -47,12 +39,11 @@ def run(fast: bool = False) -> ExperimentTable:
         for system in ("deepspeed", "mobius"):
             result = run_system(system, model, topology, microbatch_size=2)
             assert result.trace is not None
-            dram = _dram_only(result.trace)
             table.add_row(
                 model.name,
                 system,
-                dram.median_bandwidth() / 1e9,
-                fraction_of_bytes_above(dram, 8.0),
+                result.trace.median_bandwidth(kinds=_DRAM_KINDS) / 1e9,
+                fraction_of_bytes_above(result.trace, 8.0, kinds=_DRAM_KINDS),
             )
     table.notes.append(
         "paper: the DS/Mobius contention gap narrows on the DC server, "

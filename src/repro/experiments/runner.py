@@ -12,7 +12,10 @@ The benchmark suite (``benchmarks/``) wraps the same entry points.
 from __future__ import annotations
 
 import dataclasses
+import math
+import os
 from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
 
 from repro.baselines.deepspeed import DeepSpeedConfig, run_deepspeed
 from repro.baselines.gpipe import (
@@ -24,9 +27,17 @@ from repro.baselines.zero_offload import run_zero_offload
 from repro.core.api import MobiusConfig, run_mobius
 from repro.hardware.topology import Topology
 from repro.models.spec import ModelSpec
+from repro.perf.cache import CacheConfig, configure_cache, get_cache
 from repro.sim.trace import Trace
 
-__all__ = ["ExperimentTable", "SystemResult", "run_system", "SYSTEMS"]
+__all__ = [
+    "ExperimentTable",
+    "ExperimentCell",
+    "SystemResult",
+    "run_system",
+    "run_systems_parallel",
+    "SYSTEMS",
+]
 
 SYSTEMS = ("gpipe", "ds-pipeline", "zero-offload", "deepspeed", "mobius")
 
@@ -48,10 +59,12 @@ class ExperimentTable:
         self.rows.append(tuple(values))
 
     def format(self) -> str:
-        """Fixed-width text rendering."""
+        """Fixed-width text rendering; missing cells (``None``/NaN) show as ``-``."""
         def text(value) -> str:
+            if value is None:
+                return "-"
             if isinstance(value, float):
-                return f"{value:.3f}"
+                return "-" if math.isnan(value) else f"{value:.3f}"
             return str(value)
 
         table = [tuple(map(text, self.columns))] + [
@@ -68,8 +81,19 @@ class ExperimentTable:
         return "\n".join(lines)
 
     def column(self, name: str) -> list:
-        """All values of one column."""
-        index = self.columns.index(name)
+        """All values of one column.
+
+        Raises:
+            KeyError: If ``name`` is not a column, naming the columns that
+                do exist.
+        """
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise KeyError(
+                f"no column {name!r} in table {self.title!r}; "
+                f"available columns: {', '.join(self.columns)}"
+            ) from None
         return [row[index] for row in self.rows]
 
 
@@ -102,8 +126,34 @@ def run_system(
 
     OOM (the expected outcome for large models on all-in-GPU systems)
     is reported as a result, not an exception.
+
+    Results (including OOM outcomes) are memoized by content through the
+    global :mod:`repro.perf` cache, so every figure that re-simulates the
+    same (system, model, topology, batching, config) cell reuses the first
+    simulation.  Each call returns a fresh :class:`SystemResult` shell, but
+    the trace and extras are shared — treat them as immutable.
     """
-    mbs = microbatch_size or model.default_microbatch_size
+    if system not in SYSTEMS:
+        raise ValueError(f"unknown system {system!r}; expected one of {SYSTEMS}")
+    cell = ExperimentCell(
+        system=system,
+        model=model,
+        topology=topology,
+        microbatch_size=microbatch_size,
+        n_microbatches=n_microbatches,
+        mobius_config=mobius_config,
+        deepspeed_config=deepspeed_config,
+    )
+    result = get_cache().memoize("system", cell, lambda: _run_system_uncached(cell))
+    return dataclasses.replace(result, extras=dict(result.extras))
+
+
+def _run_system_uncached(cell: "ExperimentCell") -> SystemResult:
+    system, model, topology = cell.system, cell.model, cell.topology
+    n_microbatches = cell.n_microbatches
+    deepspeed_config = cell.deepspeed_config
+    mobius_config = cell.mobius_config
+    mbs = cell.microbatch_size or model.default_microbatch_size
     try:
         if system == "gpipe":
             report = run_gpipe(
@@ -138,7 +188,97 @@ def run_system(
             )
     except OutOfMemoryError:
         return SystemResult(system, "oom")
-    raise ValueError(f"unknown system {system!r}; expected one of {SYSTEMS}")
+    raise AssertionError(f"unhandled system {system!r}")  # guarded by run_system
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentCell:
+    """One ``run_system`` invocation as a picklable, fingerprintable value.
+
+    Doubles as the cache key for :func:`run_system` and as the unit of work
+    for :func:`run_systems_parallel`.
+    """
+
+    system: str
+    model: ModelSpec
+    topology: Topology
+    microbatch_size: int | None = None
+    n_microbatches: int | None = None
+    mobius_config: MobiusConfig | None = None
+    deepspeed_config: DeepSpeedConfig | None = None
+
+    def run(self) -> SystemResult:
+        return run_system(
+            self.system,
+            self.model,
+            self.topology,
+            microbatch_size=self.microbatch_size,
+            n_microbatches=self.n_microbatches,
+            mobius_config=self.mobius_config,
+            deepspeed_config=self.deepspeed_config,
+        )
+
+
+def _worker_init(config: CacheConfig) -> None:
+    """Adopt the parent's cache configuration in a pool worker."""
+    configure_cache(
+        memory=config.memory, disk=config.disk, directory=config.directory
+    )
+
+
+def run_systems_parallel(
+    cells: Sequence[ExperimentCell], *, jobs: int | None = None
+) -> list[SystemResult]:
+    """Run many experiment cells, fanning out across processes.
+
+    Results come back in ``cells`` order regardless of which worker
+    finished first, and OOM outcomes pass through as ordinary
+    ``status == "oom"`` results exactly as in the serial runner.  Workers
+    inherit the parent's cache configuration, so with the disk tier enabled
+    they share results; either way, every computed result is folded back
+    into the parent's cache so later serial code (and later figures) hits.
+
+    Args:
+        cells: Work items, one per (system, configuration) pair.
+        jobs: Worker processes; ``None`` uses ``os.cpu_count()``.  With one
+            cell or ``jobs <= 1`` everything runs serially in-process.
+    """
+    cells = list(cells)
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs <= 1 or len(cells) <= 1:
+        return [cell.run() for cell in cells]
+
+    cache = get_cache()
+    # Cells already cached locally need no worker round-trip (nor a fresh
+    # solve in a worker whose memory tier starts empty).
+    results: list[SystemResult | None] = []
+    pending: list[tuple[int, ExperimentCell]] = []
+    for index, cell in enumerate(cells):
+        value, found = cache.lookup("system", cell)
+        if found:
+            results.append(value)
+        else:
+            results.append(None)
+            pending.append((index, cell))
+
+    if pending:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(pending)),
+            initializer=_worker_init,
+            initargs=(cache.config,),
+        ) as pool:
+            for (index, cell), result in zip(
+                pending, pool.map(_run_cell, [cell for _, cell in pending])
+            ):
+                results[index] = result
+                cache.store("system", cell, result)
+    return [dataclasses.replace(r, extras=dict(r.extras)) for r in results]
+
+
+def _run_cell(cell: ExperimentCell) -> SystemResult:
+    """Pool-worker entry point (module-level so it pickles)."""
+    return cell.run()
 
 
 def print_tables(tables: "ExperimentTable | Sequence[ExperimentTable]") -> None:

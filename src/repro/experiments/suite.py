@@ -1,0 +1,346 @@
+"""The figure suite runner: every ``fig*`` module, timed, cached, parallel.
+
+Running each experiment module standalone re-plans and re-simulates the
+same (system, model, topology) cells over and over.  This runner executes
+any subset of :data:`repro.experiments.ALL_EXPERIMENTS` with
+
+* a **shared warm cache** — the :mod:`repro.perf` disk tier is enabled for
+  the duration of the run (unless ``use_cache=False``), so a cell computed
+  by one figure is a cache hit for every later figure and for every worker
+  process;
+* optional **process fan-out** — with ``jobs > 1`` whole figure modules run
+  concurrently in a ``ProcessPoolExecutor``, sharing results through the
+  disk tier; output order stays the requested order regardless of
+  completion order;
+* a **timing report** — per-figure wall time and cache hit/miss counts,
+  printed as a summary table and written to a machine-readable
+  ``BENCH_suite.json``.
+
+CLI::
+
+    python -m repro.experiments.suite [--jobs N] [--no-cache] [--full]
+                                      [--baseline] [--bench-out PATH] [names...]
+
+``repro figures`` routes through :func:`run_suite` as well.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import dataclasses
+import importlib
+import io
+import json
+import os
+import platform
+import sys
+import time
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.runner import ExperimentTable
+from repro.perf.cache import (
+    CACHE_VERSION,
+    CacheConfig,
+    cache_overridden,
+    configure_cache,
+    get_cache,
+)
+
+__all__ = ["FigureRun", "SuiteReport", "run_suite", "main", "DEFAULT_BENCH_PATH"]
+
+DEFAULT_BENCH_PATH = "BENCH_suite.json"
+
+
+@dataclasses.dataclass
+class FigureRun:
+    """One experiment module's execution record."""
+
+    name: str
+    seconds: float
+    output: str
+    cache_stats: dict
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seconds": round(self.seconds, 4),
+            "cache": self.cache_stats,
+        }
+
+
+@dataclasses.dataclass
+class SuiteReport:
+    """Everything one suite invocation produced."""
+
+    figures: list[FigureRun]
+    total_seconds: float
+    jobs: int
+    use_cache: bool
+    fast: bool
+
+    @property
+    def cache_totals(self) -> dict:
+        """Hit/miss counters summed over figures and namespaces."""
+        totals = {"hits": 0, "misses": 0}
+        for figure in self.figures:
+            for stats in figure.cache_stats.values():
+                totals["hits"] += stats.get("hits", 0)
+                totals["misses"] += stats.get("misses", 0)
+        return totals
+
+    def summary_table(self) -> ExperimentTable:
+        table = ExperimentTable(
+            title="Suite timing report",
+            columns=("figure", "seconds", "cache_hits", "cache_misses"),
+        )
+        for figure in self.figures:
+            hits = sum(s.get("hits", 0) for s in figure.cache_stats.values())
+            misses = sum(s.get("misses", 0) for s in figure.cache_stats.values())
+            table.add_row(figure.name, figure.seconds, hits, misses)
+        totals = self.cache_totals
+        table.notes.append(
+            f"total {self.total_seconds:.1f}s with jobs={self.jobs}, "
+            f"cache={'on' if self.use_cache else 'off'} "
+            f"({totals['hits']} hits / {totals['misses']} misses)"
+        )
+        return table
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": "mobius-bench-suite/1",
+            "total_seconds": round(self.total_seconds, 4),
+            "jobs": self.jobs,
+            "cache": {
+                "enabled": self.use_cache,
+                "version": CACHE_VERSION,
+                **self.cache_totals,
+            },
+            "fast": self.fast,
+            "machine": {
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+                "cpus": os.cpu_count(),
+            },
+            "figures": [figure.as_dict() for figure in self.figures],
+        }
+
+
+def _execute_figure(name: str, fast: bool) -> FigureRun:
+    """Import and run one experiment module, timing it and its cache use."""
+    from repro.experiments.runner import print_tables
+
+    cache = get_cache()
+    before = {
+        namespace: stats.as_dict() for namespace, stats in cache.stats.items()
+    }
+    started = time.perf_counter()
+    module = importlib.import_module(f"repro.experiments.{name}")
+    if "fast" in module.run.__code__.co_varnames:
+        tables = module.run(fast=fast)
+    else:
+        tables = module.run()
+    seconds = time.perf_counter() - started
+
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        print_tables(tables)
+
+    delta: dict[str, dict] = {}
+    for namespace, stats in cache.stats.items():
+        previous = before.get(namespace, {})
+        entry = {
+            key: value - previous.get(key, 0) for key, value in stats.as_dict().items()
+        }
+        if any(entry.values()):
+            delta[namespace] = entry
+    return FigureRun(name=name, seconds=seconds, output=buffer.getvalue(), cache_stats=delta)
+
+
+def _figure_worker(task: tuple[str, bool, CacheConfig]) -> FigureRun:
+    """Pool entry point: adopt the parent cache config, run one figure."""
+    name, fast, config = task
+    configure_cache(memory=config.memory, disk=config.disk, directory=config.directory)
+    return _execute_figure(name, fast)
+
+
+def resolve_names(requested: Sequence[str]) -> list[str]:
+    """Expand ``all``/prefixes into experiment module names, in paper order."""
+    if not requested or "all" in requested:
+        return list(ALL_EXPERIMENTS)
+    return [
+        name
+        for name in ALL_EXPERIMENTS
+        if any(name.startswith(prefix) for prefix in requested)
+    ]
+
+
+def run_suite(
+    names: Sequence[str] | None = None,
+    *,
+    fast: bool = False,
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: str | None = None,
+    bench_path: str | None = None,
+    stream=None,
+) -> SuiteReport:
+    """Run experiment modules with a shared cache and optional fan-out.
+
+    Args:
+        names: Module names (already resolved); default all experiments.
+        fast: Run each module's CI-friendly subset.
+        jobs: Worker processes for figure-level fan-out (1 = in-process).
+        use_cache: Enable the memory + disk cache tiers for this run.
+            ``False`` disables caching entirely (cold, reference behavior).
+        cache_dir: Override the disk-tier directory.
+        bench_path: If set, write the machine-readable report here.
+        stream: Where to print figure output and the timing table
+            (default ``sys.stdout``).
+    """
+    names = list(names) if names is not None else list(ALL_EXPERIMENTS)
+    stream = stream if stream is not None else sys.stdout
+    override = {
+        "memory": use_cache,
+        "disk": use_cache,
+        "directory": cache_dir,
+    }
+    started = time.perf_counter()
+    with cache_overridden(**override):
+        config = get_cache().config
+        if jobs > 1 and len(names) > 1:
+            tasks = [(name, fast, config) for name in names]
+            with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
+                figures = list(pool.map(_figure_worker, tasks))
+        else:
+            figures = [_execute_figure(name, fast) for name in names]
+    total = time.perf_counter() - started
+
+    report = SuiteReport(
+        figures=figures,
+        total_seconds=total,
+        jobs=jobs,
+        use_cache=use_cache,
+        fast=fast,
+    )
+    for figure in figures:
+        stream.write(figure.output)
+    stream.write(report.summary_table().format() + "\n")
+    if bench_path:
+        write_bench(report, bench_path)
+        stream.write(f"wrote {bench_path}\n")
+    return report
+
+
+def write_bench(
+    report: SuiteReport,
+    path: str,
+    *,
+    baseline: SuiteReport | None = None,
+    cold: SuiteReport | None = None,
+) -> dict:
+    """Write ``BENCH_suite.json``; returns the written document.
+
+    Args:
+        report: The suite's operating-mode run (shared cache warm, if a
+            prior pass or invocation populated it).
+        baseline: A serial, cache-disabled reference pass.
+        cold: A cache-enabled pass that started from an empty cache
+            (intra-run reuse only).
+    """
+    document = report.as_dict()
+    if cold is not None:
+        document["cold_cache"] = cold.as_dict()
+    if baseline is not None:
+        document["baseline"] = baseline.as_dict()
+        if report.total_seconds > 0:
+            document["speedup_vs_baseline"] = round(
+                baseline.total_seconds / report.total_seconds, 3
+            )
+        if cold is not None and cold.total_seconds > 0:
+            document["speedup_cold_vs_baseline"] = round(
+                baseline.total_seconds / cold.total_seconds, 3
+            )
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return document
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.suite",
+        description="run the paper's figure suite with caching and fan-out",
+    )
+    parser.add_argument(
+        "names", nargs="*", default=["all"],
+        help=f"experiment names (prefix match) or 'all'; known: {', '.join(ALL_EXPERIMENTS)}",
+    )
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the plan/result cache"
+    )
+    parser.add_argument("--full", action="store_true", help="full sweeps (slow)")
+    parser.add_argument(
+        "--baseline",
+        action="store_true",
+        help="also run reference passes (serial cache-disabled, then cold-cache) "
+        "and record their speedups; empties the on-disk cache first",
+    )
+    parser.add_argument(
+        "--bench-out", default=DEFAULT_BENCH_PATH, help="timing report path"
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="override the on-disk cache directory"
+    )
+    args = parser.parse_args(argv)
+
+    names = resolve_names(args.names)
+    if not names:
+        print(f"no experiments match {args.names}; known: {', '.join(ALL_EXPERIMENTS)}")
+        return 1
+
+    baseline = cold = None
+    if args.baseline:
+        print("== baseline pass (serial, cache disabled) ==")
+        baseline = run_suite(
+            names, fast=not args.full, jobs=1, use_cache=False, stream=io.StringIO()
+        )
+        print(baseline.summary_table().format())
+        print()
+        # Empty the disk tier so the next pass measures a genuine cold
+        # start (intra-run reuse only), then leave it warm for the final
+        # pass — the suite's operating mode per run_suite's docstring.
+        with cache_overridden(disk=True, directory=args.cache_dir) as cache:
+            cache.clear_disk()
+        print("== cold-cache pass (empty cache) ==")
+        cold = run_suite(
+            names,
+            fast=not args.full,
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            stream=io.StringIO(),
+        )
+        print(cold.summary_table().format())
+        print()
+        print("== warm-cache pass ==")
+
+    report = run_suite(
+        names,
+        fast=not args.full,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        bench_path=None,
+    )
+    if args.bench_out:
+        write_bench(report, args.bench_out, baseline=baseline, cold=cold)
+        print(f"wrote {args.bench_out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

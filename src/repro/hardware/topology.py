@@ -239,6 +239,21 @@ class Topology:
             return ((_gpu_node(src), _gpu_node(dst)),)
         return self.path_to_dram(src) + self.path_from_dram(dst)
 
+    def __mobius_fingerprint__(self) -> tuple:
+        """Canonical content for :func:`repro.perf.fingerprint.fingerprint`.
+
+        Covers every constructor input (the graph and path tables are
+        derived from these, so they need not be encoded separately).
+        """
+        return (
+            self.gpu_spec,
+            self.groups,
+            self.pcie_bandwidth,
+            self.dram_bandwidth,
+            self.nvlink_bandwidth,
+            self.name,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Topology(name={self.name!r}, gpus={self.n_gpus}, "

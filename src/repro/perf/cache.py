@@ -1,0 +1,270 @@
+"""Two-tier (memory + disk) content-addressed result cache.
+
+Layout and lifecycle:
+
+* The **memory tier** is a per-process dict keyed by
+  ``(namespace, fingerprint)``.  It is always safe — entries never outlive
+  the process that computed them — and is enabled by default, so repeated
+  ``plan_mobius``/``run_system`` calls within one figure (or across figures
+  in one suite run) hit it transparently.
+* The **disk tier** persists pickled results under
+  ``<directory>/v<CACHE_VERSION>/<namespace>/<fingerprint>.pkl`` (default
+  directory ``.mobius_cache/``, override with ``MOBIUS_CACHE_DIR``).  It is
+  what lets worker *processes* share results, and it survives across runs,
+  so it is **opt-in**: the suite runner and ``repro figures`` enable it;
+  plain library use and the test suite do not, which keeps stale results
+  from one code revision out of the next run's tests.  The whole directory
+  is safe to delete at any time.
+* ``CACHE_VERSION`` names the on-disk entry format.  Bumping it orphans
+  every existing ``v<N>`` subdirectory — old entries are simply never read
+  again — so stale-format entries can never be returned.
+
+Environment overrides (read at import): ``MOBIUS_CACHE=0`` disables both
+tiers, ``MOBIUS_CACHE_DISK=1`` enables the disk tier, ``MOBIUS_CACHE_DIR``
+relocates it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import os
+import pickle
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Callable
+
+from repro.perf.fingerprint import fingerprint
+
+__all__ = [
+    "CACHE_VERSION",
+    "CacheConfig",
+    "CacheStats",
+    "ResultCache",
+    "cache_overridden",
+    "configure_cache",
+    "get_cache",
+]
+
+#: On-disk entry format version; bump to invalidate all persisted entries.
+CACHE_VERSION = 1
+
+DEFAULT_CACHE_DIR = ".mobius_cache"
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheConfig:
+    """Which tiers are active and where the disk tier lives."""
+
+    memory: bool = True
+    disk: bool = False
+    directory: str = DEFAULT_CACHE_DIR
+
+    @staticmethod
+    def from_env() -> "CacheConfig":
+        enabled = os.environ.get("MOBIUS_CACHE", "1") != "0"
+        return CacheConfig(
+            memory=enabled,
+            disk=enabled and os.environ.get("MOBIUS_CACHE_DISK", "0") == "1",
+            directory=os.environ.get("MOBIUS_CACHE_DIR", DEFAULT_CACHE_DIR),
+        )
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss counters for one namespace."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+        }
+
+
+class ResultCache:
+    """Content-addressed memoization of expensive planning/simulation calls.
+
+    Values are stored as-is in the memory tier and pickled in the disk
+    tier; callers must treat returned values as immutable (or copy before
+    mutating).
+    """
+
+    def __init__(self, config: CacheConfig | None = None) -> None:
+        self.config = config or CacheConfig.from_env()
+        self._memory: dict[tuple[str, str], object] = {}
+        self.stats: dict[str, CacheStats] = {}
+
+    # ------------------------------------------------------------------
+    # Core protocol
+    # ------------------------------------------------------------------
+
+    def memoize(self, namespace: str, key_obj, compute: Callable[[], object]):
+        """Return the cached value for ``key_obj``, computing it on a miss.
+
+        ``key_obj`` is any fingerprintable value describing the *complete*
+        input of ``compute`` — over-keying costs a miss, under-keying would
+        return wrong results, so include everything.
+        """
+        if not (self.config.memory or self.config.disk):
+            return compute()
+        key = (namespace, fingerprint(key_obj))
+        stats = self.stats.setdefault(namespace, CacheStats())
+
+        if self.config.memory and key in self._memory:
+            stats.memory_hits += 1
+            return self._memory[key]
+
+        if self.config.disk:
+            value, found = self._disk_read(key)
+            if found:
+                stats.disk_hits += 1
+                if self.config.memory:
+                    self._memory[key] = value
+                return value
+
+        stats.misses += 1
+        value = compute()
+        self.store(namespace, key_obj, value)
+        return value
+
+    def store(self, namespace: str, key_obj, value) -> None:
+        """Insert a value computed elsewhere (e.g. by a worker process)."""
+        key = (namespace, fingerprint(key_obj))
+        if self.config.memory:
+            self._memory[key] = value
+        if self.config.disk:
+            self._disk_write(key, value)
+
+    def lookup(self, namespace: str, key_obj) -> tuple[object, bool]:
+        """Non-counting probe; returns ``(value, found)``."""
+        key = (namespace, fingerprint(key_obj))
+        if self.config.memory and key in self._memory:
+            return self._memory[key], True
+        if self.config.disk:
+            return self._disk_read(key)
+        return None, False
+
+    # ------------------------------------------------------------------
+    # Disk tier
+    # ------------------------------------------------------------------
+
+    def _entry_path(self, key: tuple[str, str]) -> Path:
+        namespace, digest = key
+        return Path(self.config.directory) / f"v{CACHE_VERSION}" / namespace / f"{digest}.pkl"
+
+    def _disk_read(self, key: tuple[str, str]) -> tuple[object, bool]:
+        path = self._entry_path(key)
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle), True
+        except FileNotFoundError:
+            return None, False
+        except Exception:
+            # Corrupt or truncated entry (e.g. interrupted writer without
+            # atomic rename support): drop it and recompute.
+            with contextlib.suppress(OSError):
+                path.unlink()
+            return None, False
+
+    def _disk_write(self, key: tuple[str, str], value) -> None:
+        path = self._entry_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=path.name, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_name, path)  # atomic: readers never see partial files
+            except BaseException:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp_name)
+                raise
+        except (OSError, pickle.PicklingError):
+            pass  # persistence is best-effort; the computed value still flows
+
+    # ------------------------------------------------------------------
+    # Maintenance / introspection
+    # ------------------------------------------------------------------
+
+    def clear_memory(self) -> None:
+        self._memory.clear()
+
+    def clear_disk(self) -> None:
+        """Delete this cache version's persisted entries (all namespaces)."""
+        shutil.rmtree(
+            Path(self.config.directory) / f"v{CACHE_VERSION}", ignore_errors=True
+        )
+
+    def reset_stats(self) -> None:
+        self.stats.clear()
+
+    def stats_snapshot(self) -> dict:
+        """JSON-ready ``{namespace: {hits, misses, ...}}`` mapping."""
+        return {name: stats.as_dict() for name, stats in sorted(self.stats.items())}
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
+_cache = ResultCache()
+
+
+def get_cache() -> ResultCache:
+    """The process-global cache used by ``plan_mobius``/``run_system``."""
+    return _cache
+
+
+def configure_cache(
+    *,
+    memory: bool | None = None,
+    disk: bool | None = None,
+    directory: str | None = None,
+) -> ResultCache:
+    """Replace the global cache with one using the given configuration.
+
+    Unspecified fields keep their current values.  Returns the new cache
+    (with empty memory tier and fresh stats).
+    """
+    global _cache
+    current = _cache.config
+    _cache = ResultCache(
+        CacheConfig(
+            memory=current.memory if memory is None else memory,
+            disk=current.disk if disk is None else disk,
+            directory=current.directory if directory is None else directory,
+        )
+    )
+    return _cache
+
+
+@contextlib.contextmanager
+def cache_overridden(
+    *,
+    memory: bool | None = None,
+    disk: bool | None = None,
+    directory: str | None = None,
+):
+    """Temporarily swap the global cache (tests, CLI ``--no-cache``)."""
+    global _cache
+    previous = _cache
+    try:
+        yield configure_cache(memory=memory, disk=disk, directory=directory)
+    finally:
+        _cache = previous

@@ -75,17 +75,36 @@ class TransferSpan:
         return self.nbytes / self.duration
 
 
+def _merge_interval_arrays(
+    starts: np.ndarray, ends: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized interval union on parallel start/end arrays.
+
+    Empty intervals (``end <= start``) are dropped; touching intervals
+    merge, matching the historical list implementation.
+    """
+    keep = ends > starts
+    starts, ends = starts[keep], ends[keep]
+    if starts.size == 0:
+        return starts, ends
+    order = np.lexsort((ends, starts))
+    starts, ends = starts[order], ends[order]
+    running_end = np.maximum.accumulate(ends)
+    first = np.empty(starts.size, dtype=bool)
+    first[0] = True
+    np.greater(starts[1:], running_end[:-1], out=first[1:])
+    heads = np.flatnonzero(first)
+    tails = np.append(heads[1:], starts.size) - 1
+    return starts[heads], running_end[tails]
+
+
 def merge_intervals(intervals: Iterable[Interval]) -> list[Interval]:
     """Union a set of (start, end) intervals into disjoint sorted intervals."""
-    merged: list[Interval] = []
-    for start, end in sorted(intervals):
-        if end <= start:
-            continue
-        if merged and start <= merged[-1][1]:
-            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
-        else:
-            merged.append((start, end))
-    return merged
+    pairs = np.array(list(intervals), dtype=float)
+    if pairs.size == 0:
+        return []
+    starts, ends = _merge_interval_arrays(pairs[:, 0], pairs[:, 1])
+    return list(zip(starts.tolist(), ends.tolist()))
 
 
 def subtract_intervals(base: Sequence[Interval], holes: Sequence[Interval]) -> list[Interval]:
@@ -114,7 +133,11 @@ def subtract_intervals(base: Sequence[Interval], holes: Sequence[Interval]) -> l
 
 def total_length(intervals: Iterable[Interval]) -> float:
     """Sum of interval lengths after merging overlaps."""
-    return sum(end - start for start, end in merge_intervals(intervals))
+    pairs = np.array(list(intervals), dtype=float)
+    if pairs.size == 0:
+        return 0.0
+    starts, ends = _merge_interval_arrays(pairs[:, 0], pairs[:, 1])
+    return float(np.sum(ends - starts))
 
 
 class Trace:
@@ -126,6 +149,11 @@ class Trace:
         self.n_gpus = n_gpus
         self.compute: list[ComputeSpan] = []
         self.transfers: list[TransferSpan] = []
+        # Columnar views of the span lists, rebuilt lazily whenever the
+        # underlying list object or its length changes (spans are
+        # append-only, so that check is sufficient).
+        self._transfer_columns_cache: tuple[tuple[int, int], dict] | None = None
+        self._compute_columns_cache: tuple[tuple[int, int], dict] | None = None
 
     # ------------------------------------------------------------------
     # Recording
@@ -140,40 +168,95 @@ class Trace:
         self.transfers.append(TransferSpan(gpu, start, end, nbytes, kind, label))
 
     # ------------------------------------------------------------------
+    # Columnar views
+    # ------------------------------------------------------------------
+
+    def _transfer_columns(self) -> dict:
+        """Parallel numpy arrays over ``self.transfers``, cached."""
+        token = (id(self.transfers), len(self.transfers))
+        if self._transfer_columns_cache is None or self._transfer_columns_cache[0] != token:
+            spans = self.transfers
+            n = len(spans)
+            columns = {
+                "gpu": np.fromiter((s.gpu for s in spans), dtype=np.int64, count=n),
+                "start": np.fromiter((s.start for s in spans), dtype=float, count=n),
+                "end": np.fromiter((s.end for s in spans), dtype=float, count=n),
+                "nbytes": np.fromiter((s.nbytes for s in spans), dtype=float, count=n),
+                "kind": np.array([s.kind for s in spans], dtype=object),
+            }
+            self._transfer_columns_cache = (token, columns)
+        return self._transfer_columns_cache[1]
+
+    def _compute_columns(self) -> dict:
+        """Parallel numpy arrays over ``self.compute``, cached."""
+        token = (id(self.compute), len(self.compute))
+        if self._compute_columns_cache is None or self._compute_columns_cache[0] != token:
+            spans = self.compute
+            n = len(spans)
+            columns = {
+                "gpu": np.fromiter((s.gpu for s in spans), dtype=np.int64, count=n),
+                "start": np.fromiter((s.start for s in spans), dtype=float, count=n),
+                "end": np.fromiter((s.end for s in spans), dtype=float, count=n),
+            }
+            self._compute_columns_cache = (token, columns)
+        return self._compute_columns_cache[1]
+
+    def _kind_mask(self, kinds: Iterable[str]) -> np.ndarray:
+        column = self._transfer_columns()["kind"]
+        wanted = set(kinds)
+        return np.fromiter(
+            (kind in wanted for kind in column), dtype=bool, count=len(column)
+        )
+
+    # ------------------------------------------------------------------
     # Aggregates
     # ------------------------------------------------------------------
 
     @property
     def makespan(self) -> float:
         """End-to-end step time: the last compute or transfer completion."""
-        ends = [span.end for span in self.compute] + [span.end for span in self.transfers]
-        return max(ends, default=0.0)
+        compute_end = self._compute_columns()["end"]
+        transfer_end = self._transfer_columns()["end"]
+        ends = np.concatenate([compute_end, transfer_end])
+        return float(ends.max()) if ends.size else 0.0
 
     def total_transfer_bytes(self, kinds: Iterable[str] | None = None) -> float:
         """Total bytes moved, optionally restricted to transfer ``kinds``."""
-        wanted = set(kinds) if kinds is not None else None
-        return sum(
-            span.nbytes
-            for span in self.transfers
-            if wanted is None or span.kind in wanted
-        )
+        nbytes = self._transfer_columns()["nbytes"]
+        if kinds is not None:
+            nbytes = nbytes[self._kind_mask(kinds)]
+        return float(nbytes.sum())
 
-    def bandwidth_samples(self, min_bytes: float = 0.0) -> tuple[np.ndarray, np.ndarray]:
+    def bandwidth_samples(
+        self, min_bytes: float = 0.0, *, kinds: Iterable[str] | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Per-transfer (bandwidth, weight) samples for CDF plots.
+
+        Args:
+            min_bytes: Drop transfers at or below this size.
+            kinds: Restrict to these transfer kinds.
 
         Returns:
             ``(bandwidths, weights)`` arrays; weights are bytes transferred,
             matching the paper's "fraction of data transferred at bandwidth
             <= x" CDFs.
         """
-        spans = [s for s in self.transfers if s.nbytes > min_bytes and s.duration > 0]
-        bandwidths = np.array([s.bandwidth for s in spans], dtype=float)
-        weights = np.array([s.nbytes for s in spans], dtype=float)
-        return bandwidths, weights
+        columns = self._transfer_columns()
+        durations = columns["end"] - columns["start"]
+        mask = (columns["nbytes"] > min_bytes) & (durations > 0)
+        if kinds is not None:
+            mask &= self._kind_mask(kinds)
+        return columns["nbytes"][mask] / durations[mask], columns["nbytes"][mask]
 
-    def bandwidth_cdf(self, grid: Sequence[float], min_bytes: float = 0.0) -> np.ndarray:
+    def bandwidth_cdf(
+        self,
+        grid: Sequence[float],
+        min_bytes: float = 0.0,
+        *,
+        kinds: Iterable[str] | None = None,
+    ) -> np.ndarray:
         """Byte-weighted CDF of transfer bandwidth evaluated on ``grid``."""
-        bandwidths, weights = self.bandwidth_samples(min_bytes)
+        bandwidths, weights = self.bandwidth_samples(min_bytes, kinds=kinds)
         if len(bandwidths) == 0:
             return np.zeros(len(grid))
         order = np.argsort(bandwidths)
@@ -183,9 +266,9 @@ class Trace:
         indices = np.searchsorted(sorted_bw, np.asarray(grid, dtype=float), side="right")
         return np.where(indices > 0, cum[np.maximum(indices - 1, 0)], 0.0)
 
-    def median_bandwidth(self) -> float:
+    def median_bandwidth(self, *, kinds: Iterable[str] | None = None) -> float:
         """Byte-weighted median transfer bandwidth."""
-        bandwidths, weights = self.bandwidth_samples()
+        bandwidths, weights = self.bandwidth_samples(kinds=kinds)
         if len(bandwidths) == 0:
             return 0.0
         order = np.argsort(bandwidths)
@@ -197,11 +280,18 @@ class Trace:
     # Overlap analysis (Figure 8)
     # ------------------------------------------------------------------
 
+    def _gpu_intervals(self, columns: dict, gpu: int) -> list[Interval]:
+        mask = columns["gpu"] == gpu
+        starts, ends = _merge_interval_arrays(
+            columns["start"][mask], columns["end"][mask]
+        )
+        return list(zip(starts.tolist(), ends.tolist()))
+
     def gpu_compute_intervals(self, gpu: int) -> list[Interval]:
-        return merge_intervals((s.start, s.end) for s in self.compute if s.gpu == gpu)
+        return self._gpu_intervals(self._compute_columns(), gpu)
 
     def gpu_transfer_intervals(self, gpu: int) -> list[Interval]:
-        return merge_intervals((s.start, s.end) for s in self.transfers if s.gpu == gpu)
+        return self._gpu_intervals(self._transfer_columns(), gpu)
 
     def non_overlapped_comm_seconds(self, gpu: int) -> float:
         """Seconds GPU ``gpu`` spends communicating while computing nothing."""

@@ -25,6 +25,17 @@ class TestExperimentTable:
         table.add_row(3, 4)
         assert table.column("b") == [2, 4]
 
+    def test_unknown_column_raises_keyerror_naming_columns(self):
+        table = ExperimentTable("t", ("model", "step_s"))
+        with pytest.raises(KeyError, match=r"no column 'stepz'.*model, step_s"):
+            table.column("stepz")
+
+    def test_format_renders_missing_cells_as_dash(self):
+        table = ExperimentTable("t", ("a", "b", "c"))
+        table.add_row(None, float("nan"), 1.5)
+        lines = table.format().splitlines()
+        assert lines[-1].split() == ["-", "-", "1.500"]
+
     def test_notes_rendered(self):
         table = ExperimentTable("t", ("a",))
         table.notes.append("hello")

@@ -1,0 +1,79 @@
+"""Suite runner: timing report, bench output, name resolution."""
+
+import io
+import json
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.suite import resolve_names, run_suite, write_bench
+from repro.perf.cache import CACHE_VERSION
+
+
+class TestResolveNames:
+    def test_all_keyword(self):
+        assert resolve_names(["all"]) == list(ALL_EXPERIMENTS)
+
+    def test_prefix_match_preserves_paper_order(self):
+        assert resolve_names(["fig2", "table1"]) == ["table1_gpus", "fig2_deepspeed_cdf"]
+
+    def test_unknown_prefix_empty(self):
+        assert resolve_names(["fig99"]) == []
+
+
+class TestRunSuite:
+    def test_cheap_figure_runs_and_reports(self, tmp_path):
+        stream = io.StringIO()
+        bench = tmp_path / "BENCH_suite.json"
+        report = run_suite(
+            ["table1_gpus"],
+            fast=True,
+            jobs=1,
+            use_cache=True,
+            cache_dir=str(tmp_path / "cache"),
+            bench_path=str(bench),
+            stream=stream,
+        )
+        output = stream.getvalue()
+        assert "3090-Ti" in output
+        assert "Suite timing report" in output
+        assert report.figures[0].name == "table1_gpus"
+        assert report.figures[0].seconds >= 0
+
+        document = json.loads(bench.read_text())
+        assert document["schema"] == "mobius-bench-suite/1"
+        assert document["cache"]["version"] == CACHE_VERSION
+        assert document["figures"][0]["name"] == "table1_gpus"
+        assert document["total_seconds"] > 0
+
+    def test_no_cache_mode(self, tmp_path):
+        stream = io.StringIO()
+        report = run_suite(
+            ["table1_gpus"],
+            fast=True,
+            use_cache=False,
+            stream=stream,
+        )
+        assert not report.use_cache
+        assert report.cache_totals == {"hits": 0, "misses": 0}
+
+    def test_bench_records_baseline_speedup(self, tmp_path):
+        stream = io.StringIO()
+        kwargs = dict(fast=True, use_cache=False, stream=stream)
+        baseline = run_suite(["table1_gpus"], **kwargs)
+        optimized = run_suite(["table1_gpus"], **kwargs)
+        path = tmp_path / "bench.json"
+        document = write_bench(optimized, str(path), baseline=baseline)
+        assert "baseline" in document
+        assert document["speedup_vs_baseline"] > 0
+        assert json.loads(path.read_text())["baseline"]["total_seconds"] > 0
+
+    def test_bench_records_cold_pass(self, tmp_path):
+        stream = io.StringIO()
+        kwargs = dict(fast=True, use_cache=False, stream=stream)
+        baseline = run_suite(["table1_gpus"], **kwargs)
+        cold = run_suite(["table1_gpus"], **kwargs)
+        warm = run_suite(["table1_gpus"], **kwargs)
+        document = write_bench(
+            warm, str(tmp_path / "bench.json"), baseline=baseline, cold=cold
+        )
+        assert document["cold_cache"]["total_seconds"] > 0
+        assert document["speedup_cold_vs_baseline"] > 0

@@ -1,0 +1,154 @@
+"""Cache correctness: tiering, persistence, versioning, and result equality."""
+
+import dataclasses
+
+import pytest
+
+import repro.perf.cache as cache_module
+from repro.core.api import MobiusConfig, plan_mobius
+from repro.experiments.runner import run_system
+from repro.hardware.topology import topo_2_2
+from repro.perf.cache import CacheConfig, ResultCache, cache_overridden, get_cache
+
+
+@pytest.fixture
+def disk_cache(tmp_path):
+    with cache_overridden(memory=True, disk=True, directory=str(tmp_path)) as cache:
+        yield cache
+
+
+class TestResultCache:
+    def test_memory_hit_skips_compute(self, disk_cache):
+        calls = []
+        first = disk_cache.memoize("ns", ("key",), lambda: calls.append(1) or "value")
+        second = disk_cache.memoize("ns", ("key",), lambda: calls.append(1) or "other")
+        assert first == second == "value"
+        assert len(calls) == 1
+        assert disk_cache.stats["ns"].memory_hits == 1
+
+    def test_disk_survives_a_new_process_worth_of_state(self, tmp_path):
+        """A fresh cache over the same directory (= another process) hits."""
+        config = CacheConfig(memory=True, disk=True, directory=str(tmp_path))
+        writer = ResultCache(config)
+        writer.memoize("ns", ("key",), lambda: {"answer": 42})
+        reader = ResultCache(config)
+        value = reader.memoize("ns", ("key",), lambda: pytest.fail("should hit disk"))
+        assert value == {"answer": 42}
+        assert reader.stats["ns"].disk_hits == 1
+
+    def test_version_bump_invalidates_stale_entries(self, tmp_path, monkeypatch):
+        config = CacheConfig(memory=False, disk=True, directory=str(tmp_path))
+        ResultCache(config).memoize("ns", ("key",), lambda: "v1-result")
+        monkeypatch.setattr(cache_module, "CACHE_VERSION", cache_module.CACHE_VERSION + 1)
+        calls = []
+        value = ResultCache(config).memoize(
+            "ns", ("key",), lambda: calls.append(1) or "recomputed"
+        )
+        assert value == "recomputed" and calls == [1]
+
+    def test_corrupt_entry_recomputed(self, tmp_path):
+        config = CacheConfig(memory=False, disk=True, directory=str(tmp_path))
+        cache = ResultCache(config)
+        cache.memoize("ns", ("key",), lambda: "good")
+        [entry] = list(tmp_path.rglob("*.pkl"))
+        entry.write_bytes(b"not a pickle")
+        assert ResultCache(config).memoize("ns", ("key",), lambda: "fresh") == "fresh"
+
+    def test_clear_disk_drops_persisted_entries(self, tmp_path):
+        config = CacheConfig(memory=False, disk=True, directory=str(tmp_path))
+        cache = ResultCache(config)
+        cache.memoize("ns", ("key",), lambda: "persisted")
+        assert list(tmp_path.rglob("*.pkl"))
+        cache.clear_disk()
+        assert not list(tmp_path.rglob("*.pkl"))
+        calls = []
+        ResultCache(config).memoize("ns", ("key",), lambda: calls.append(1) or "new")
+        assert calls == [1]
+
+    def test_disabled_cache_always_computes(self):
+        with cache_overridden(memory=False, disk=False) as cache:
+            calls = []
+            cache.memoize("ns", ("key",), lambda: calls.append(1))
+            cache.memoize("ns", ("key",), lambda: calls.append(1))
+            assert len(calls) == 2
+
+
+def _spans(trace):
+    return (tuple(trace.compute), tuple(trace.transfers))
+
+
+class TestPlanAndRunCaching:
+    """Cached planner/simulator results equal their uncached reference."""
+
+    def test_plan_mobius_cached_equals_uncached(self, tiny_model, topo22):
+        config = MobiusConfig(microbatch_size=1)
+        with cache_overridden(memory=False, disk=False):
+            reference = plan_mobius(tiny_model, topo22, config)
+        with cache_overridden(memory=True, disk=False) as cache:
+            warm = plan_mobius(tiny_model, topo22, config)
+            again = plan_mobius(tiny_model, topo22, config)
+            assert cache.stats["plan"].memory_hits == 1
+        assert again is warm  # memoized object, not a re-solve
+        assert warm.plan.partition.boundaries == reference.plan.partition.boundaries
+        assert warm.plan.mapping == reference.plan.mapping
+        assert warm.plan.estimated_step_seconds == reference.plan.estimated_step_seconds
+        assert warm.partition_result.nodes_explored == reference.partition_result.nodes_explored
+        assert warm.profile_report.layer_costs == reference.profile_report.layer_costs
+
+    def test_plan_mobius_disk_roundtrip_equals_memory(self, tiny_model, topo22, tmp_path):
+        config = MobiusConfig(microbatch_size=1)
+        with cache_overridden(memory=True, disk=True, directory=str(tmp_path)):
+            computed = plan_mobius(tiny_model, topo22, config)
+        # Fresh cache, same directory: the result arrives via pickle.
+        with cache_overridden(memory=True, disk=True, directory=str(tmp_path)) as cache:
+            loaded = plan_mobius(tiny_model, topo22, config)
+            assert cache.stats["plan"].disk_hits == 1
+        assert loaded.plan.partition.boundaries == computed.plan.partition.boundaries
+        assert loaded.plan.estimated_step_seconds == computed.plan.estimated_step_seconds
+        assert loaded.profile_report.layer_costs == computed.profile_report.layer_costs
+
+    def test_run_system_cached_equals_uncached(self, tiny_model, topo22):
+        with cache_overridden(memory=False, disk=False):
+            reference = run_system("mobius", tiny_model, topo22, microbatch_size=1)
+        with cache_overridden(memory=True, disk=False) as cache:
+            first = run_system("mobius", tiny_model, topo22, microbatch_size=1)
+            second = run_system("mobius", tiny_model, topo22, microbatch_size=1)
+            assert cache.stats["system"].memory_hits == 1
+        assert first.step_seconds == reference.step_seconds == second.step_seconds
+        assert _spans(first.trace) == _spans(reference.trace) == _spans(second.trace)
+
+    def test_oom_results_cached_too(self):
+        from repro.models.zoo import gpt_8b
+
+        with cache_overridden(memory=True, disk=False) as cache:
+            first = run_system("gpipe", gpt_8b(), topo_2_2(), microbatch_size=1)
+            second = run_system("gpipe", gpt_8b(), topo_2_2(), microbatch_size=1)
+            assert first.status == second.status == "oom"
+            assert cache.stats["system"].memory_hits == 1
+
+    def test_different_config_misses(self, tiny_model, topo22):
+        with cache_overridden(memory=True, disk=False) as cache:
+            run_system("mobius", tiny_model, topo22, microbatch_size=1)
+            run_system("mobius", tiny_model, topo22, microbatch_size=2)
+            assert cache.stats["system"].misses == 2
+            assert cache.stats["system"].hits == 0
+
+    def test_returned_shell_is_fresh_but_payload_shared(self, tiny_model, topo22):
+        with cache_overridden(memory=True, disk=False):
+            first = run_system("mobius", tiny_model, topo22, microbatch_size=1)
+            second = run_system("mobius", tiny_model, topo22, microbatch_size=1)
+        assert first is not second  # callers may tag their own extras
+        first.extras["marker"] = True
+        assert "marker" not in second.extras
+        assert first.trace is second.trace  # the heavy payload is shared
+
+
+class TestGlobalConfiguration:
+    def test_get_cache_returns_singleton(self):
+        assert get_cache() is get_cache()
+
+    def test_override_restores_previous(self):
+        before = get_cache()
+        with cache_overridden(memory=False):
+            assert get_cache() is not before
+        assert get_cache() is before
