@@ -1,0 +1,396 @@
+"""Repo-specific AST lint rules (the ``MOB0xx`` family).
+
+Generic linters cannot know this repo's contracts; these rules encode the
+three that have bitten (or would silently bite) the reproduction:
+
+* **MOB001 — fingerprint stability.**  Every ``@dataclass`` defined in a
+  module whose instances reach :mod:`repro.perf.fingerprint` must be
+  ``frozen=True`` or explicitly registered in the mutable allowlist.  A
+  mutable dataclass used as part of a cache key can be mutated after
+  hashing, silently poisoning the content-addressed result cache.
+
+* **MOB002 — hot-path determinism.**  Modules under ``repro/sim/`` and
+  ``repro/core/`` must not read wall-clock time (``time.time``,
+  ``time.time_ns``, ``datetime.now``) or draw unseeded randomness
+  (``import random``, legacy ``numpy.random.*`` calls).  The simulator's
+  virtual clock is the only time source there; ``time.perf_counter`` is
+  allowed because it only feeds search-duration metadata, never results.
+
+* **MOB003 — task-label contract.**  Task labels built in
+  ``repro/core/pipeline.py`` must come from the :mod:`repro.core.labels`
+  constructors, or be literals matching its compiled patterns — the same
+  patterns :mod:`repro.core.memory_audit` parses.  A drifting label format
+  makes the auditor silently skip events.
+
+All rules are pure :mod:`ast` passes over source text — no imports of the
+linted code, no third-party linter needed.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import Path
+
+from repro.check.findings import CheckReport
+from repro.core.labels import ALL_LABEL_PATTERNS
+
+__all__ = ["LintConfig", "DEFAULT_CONFIG", "lint_source", "lint_file", "lint_tree"]
+
+_CHECKER = "lint"
+
+#: Legacy ``numpy.random`` entry points that bypass explicit Generator state.
+_NUMPY_LEGACY_RANDOM = frozenset(
+    {
+        "rand",
+        "randn",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "seed",
+        "randint",
+        "random_integers",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+    }
+)
+
+#: ``time`` module attributes that read the wall clock.  ``perf_counter`` and
+#: ``monotonic`` are deliberately absent (duration metadata is fine).
+_WALL_CLOCK_ATTRS = frozenset({"time", "time_ns", "ctime", "localtime", "gmtime"})
+
+_TASK_CONSTRUCTORS = frozenset({"Task", "ComputeTask", "TransferTask", "BarrierTask"})
+
+_LABELS_MODULE = "repro.core.labels"
+
+
+@dataclasses.dataclass(frozen=True)
+class LintConfig:
+    """Which files each MOB rule applies to (repo-relative POSIX paths).
+
+    Attributes:
+        fingerprint_modules: Modules whose dataclasses become fingerprint
+            cache-key material (MOB001).
+        mutable_allowlist: Qualified names (``repro.core.api.MobiusReport``)
+            of dataclasses that are deliberately mutable — cached *values*,
+            never keys.
+        hot_path_prefixes: Path prefixes where MOB002's determinism rule
+            applies.
+        label_modules: Files whose task-label expressions must honour the
+            :mod:`repro.core.labels` contract (MOB003).
+    """
+
+    fingerprint_modules: tuple[str, ...] = (
+        "src/repro/core/plan.py",
+        "src/repro/core/api.py",
+        "src/repro/models/spec.py",
+        "src/repro/models/costmodel.py",
+        "src/repro/hardware/gpu.py",
+    )
+    mutable_allowlist: frozenset[str] = frozenset(
+        {
+            "repro.core.api.MobiusPlanReport",
+            "repro.core.api.MobiusReport",
+        }
+    )
+    hot_path_prefixes: tuple[str, ...] = ("src/repro/sim/", "src/repro/core/")
+    label_modules: tuple[str, ...] = ("src/repro/core/pipeline.py",)
+
+
+DEFAULT_CONFIG = LintConfig()
+
+
+def _module_name(rel_path: str) -> str:
+    parts = Path(rel_path).with_suffix("").parts
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    return ".".join(parts)
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> ast.expr | ast.Call | None:
+    """The ``@dataclass`` decorator of ``node``, if any."""
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return deco
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return deco
+    return None
+
+
+def _is_frozen(decorator: ast.expr) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False
+    for kw in decorator.keywords:
+        if kw.arg == "frozen":
+            return isinstance(kw.value, ast.Constant) and kw.value.value is True
+    return False
+
+
+def _check_fingerprint_dataclasses(
+    tree: ast.Module, rel_path: str, config: LintConfig, report: CheckReport
+) -> None:
+    module = _module_name(rel_path)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        decorator = _dataclass_decorator(node)
+        if decorator is None or _is_frozen(decorator):
+            continue
+        qualname = f"{module}.{node.name}"
+        if qualname in config.mutable_allowlist:
+            continue
+        report.add(
+            _CHECKER,
+            "MOB001",
+            f"dataclass {node.name!r} reaches repro.perf.fingerprint but is "
+            f"neither frozen=True nor allowlisted as a registered mutable "
+            f"({qualname})",
+            subject=f"{rel_path}:{node.lineno}",
+        )
+
+
+def _attr_chain(node: ast.expr) -> list[str]:
+    """``numpy.random.seed`` -> ['numpy', 'random', 'seed'] (best effort)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+def _check_hot_path_determinism(
+    tree: ast.Module, rel_path: str, report: CheckReport
+) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    report.add(
+                        _CHECKER,
+                        "MOB002",
+                        "stdlib 'random' imported in a simulator/planner hot "
+                        "path; use a seeded numpy Generator passed in "
+                        "explicitly",
+                        subject=f"{rel_path}:{node.lineno}",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                report.add(
+                    _CHECKER,
+                    "MOB002",
+                    "stdlib 'random' imported in a simulator/planner hot "
+                    "path; use a seeded numpy Generator passed in explicitly",
+                    subject=f"{rel_path}:{node.lineno}",
+                )
+            elif node.module == "time":
+                bad = sorted(
+                    alias.name
+                    for alias in node.names
+                    if alias.name in _WALL_CLOCK_ATTRS
+                )
+                if bad:
+                    report.add(
+                        _CHECKER,
+                        "MOB002",
+                        f"wall-clock import(s) {', '.join(bad)} from 'time' in "
+                        "a hot path; the simulator's virtual clock is the only "
+                        "time source here",
+                        subject=f"{rel_path}:{node.lineno}",
+                    )
+        elif isinstance(node, ast.Attribute):
+            chain = _attr_chain(node)
+            if len(chain) >= 2 and chain[0] == "time" and chain[-1] in _WALL_CLOCK_ATTRS:
+                report.add(
+                    _CHECKER,
+                    "MOB002",
+                    f"wall-clock read time.{chain[-1]} in a hot path; the "
+                    "simulator's virtual clock is the only time source here",
+                    subject=f"{rel_path}:{node.lineno}",
+                )
+            elif (
+                len(chain) >= 3
+                and chain[-2] == "random"
+                and chain[0] in ("np", "numpy")
+                and chain[-1] in _NUMPY_LEGACY_RANDOM
+            ):
+                report.add(
+                    _CHECKER,
+                    "MOB002",
+                    f"legacy numpy.random.{chain[-1]} in a hot path; pass a "
+                    "seeded numpy.random.Generator in explicitly",
+                    subject=f"{rel_path}:{node.lineno}",
+                )
+            elif chain[-1:] == ["now"] and "datetime" in chain[:-1]:
+                report.add(
+                    _CHECKER,
+                    "MOB002",
+                    "datetime.now() in a hot path; results must not depend on "
+                    "wall-clock time",
+                    subject=f"{rel_path}:{node.lineno}",
+                )
+
+
+def _labels_module_names(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """Names bound from :mod:`repro.core.labels`: (functions, module aliases)."""
+    functions: set[str] = set()
+    modules: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == _LABELS_MODULE:
+            for alias in node.names:
+                functions.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == _LABELS_MODULE:
+                    modules.add(alias.asname or alias.name)
+    return functions, modules
+
+
+def _literal_label(node: ast.expr) -> str | None:
+    """Best-effort literal text of a label expression, or None.
+
+    f-string placeholders are substituted with ``"0"`` — the contract's
+    patterns are anchored, so an ad-hoc f-string only passes when its static
+    skeleton already has the blessed shape.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        parts: list[str] = []
+        for value in node.values:
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                parts.append(value.value)
+            else:
+                parts.append("0")
+        return "".join(parts)
+    return None
+
+
+def _check_task_labels(
+    tree: ast.Module, rel_path: str, report: CheckReport
+) -> None:
+    helper_funcs, helper_modules = _labels_module_names(tree)
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name not in _TASK_CONSTRUCTORS:
+            continue
+
+        label_expr: ast.expr | None = None
+        for kw in node.keywords:
+            if kw.arg == "label":
+                label_expr = kw.value
+        if label_expr is None and node.args:
+            label_expr = node.args[0]  # Task's first positional field
+        if label_expr is None:
+            continue
+
+        # Helper-constructor calls satisfy the contract by construction.
+        if isinstance(label_expr, ast.Call):
+            target = label_expr.func
+            if isinstance(target, ast.Name) and target.id in helper_funcs:
+                continue
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in helper_modules
+            ):
+                continue
+
+        literal = _literal_label(label_expr)
+        if literal is not None:
+            if not any(p.fullmatch(literal) for p in ALL_LABEL_PATTERNS):
+                report.add(
+                    _CHECKER,
+                    "MOB003",
+                    f"task label {literal!r} does not match the "
+                    "repro.core.labels contract parsed by memory_audit; use "
+                    "a labels.* constructor",
+                    subject=f"{rel_path}:{label_expr.lineno}",
+                )
+            continue
+
+        report.add(
+            _CHECKER,
+            "MOB003",
+            "task label built from an expression the linter cannot verify "
+            "against the repro.core.labels contract; use a labels.* "
+            "constructor",
+            subject=f"{rel_path}:{label_expr.lineno}",
+            severity="warning",
+        )
+
+
+def lint_source(
+    source: str, rel_path: str, config: LintConfig = DEFAULT_CONFIG
+) -> CheckReport:
+    """Lint one module's source text.
+
+    Args:
+        source: Python source.
+        rel_path: Repo-relative POSIX path (selects which rules apply).
+        config: Rule scoping; defaults to this repo's layout.
+    """
+    report = CheckReport()
+    try:
+        tree = ast.parse(source, filename=rel_path)
+    except SyntaxError as exc:
+        report.add(
+            _CHECKER,
+            "MOB000",
+            f"syntax error: {exc.msg}",
+            subject=f"{rel_path}:{exc.lineno or 0}",
+        )
+        return report
+
+    if rel_path in config.fingerprint_modules:
+        _check_fingerprint_dataclasses(tree, rel_path, config, report)
+    if any(rel_path.startswith(prefix) for prefix in config.hot_path_prefixes):
+        _check_hot_path_determinism(tree, rel_path, report)
+    if rel_path in config.label_modules:
+        _check_task_labels(tree, rel_path, report)
+
+    return report
+
+
+def lint_file(
+    path: Path | str, root: Path | str, config: LintConfig = DEFAULT_CONFIG
+) -> CheckReport:
+    """Lint one file, resolving its rule scope relative to ``root``."""
+    path = Path(path)
+    rel_path = path.relative_to(root).as_posix()
+    return lint_source(path.read_text(encoding="utf-8"), rel_path, config)
+
+
+def lint_tree(
+    root: Path | str, config: LintConfig = DEFAULT_CONFIG
+) -> CheckReport:
+    """Lint every module the config scopes to under ``root`` (repo root)."""
+    root = Path(root)
+    report = CheckReport()
+
+    scoped: set[str] = set(config.fingerprint_modules) | set(config.label_modules)
+    for prefix in config.hot_path_prefixes:
+        for path in sorted((root / prefix).glob("**/*.py")):
+            scoped.add(path.relative_to(root).as_posix())
+
+    for rel_path in sorted(scoped):
+        path = root / rel_path
+        if path.is_file():
+            report.extend(lint_source(path.read_text(encoding="utf-8"), rel_path, config))
+    return report

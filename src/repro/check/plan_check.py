@@ -1,0 +1,226 @@
+"""Static verification of an :class:`~repro.core.plan.ExecutionPlan`.
+
+The MIP partitioner promises the paper's constraints analytically; this
+checker replays a finished plan against the same constraint system *without
+re-running the planner*, so a plan deserialized from disk, produced by a
+cached solve, or hand-edited in a test is validated on its own:
+
+* **Eq. 4** — every stage's forward and backward footprint fits in usable
+  GPU memory;
+* **Eq. 5** — each prefetch budget fits in the memory left next to the
+  stage currently executing on the same GPU (the prefetch reservation);
+* **Eqs. 6-11 structure** — round-robin stage ownership (``S >= N``, one
+  mapping slot per GPU), serial microbatches with ``M = N``, and a resident
+  tail that never carries a backward re-upload budget;
+* **objective replay** — the Eq. 3 step time recomputed from the cost model
+  must match the planner's ``estimated_step_seconds``.
+
+Each violated constraint yields one :class:`~repro.check.findings.Finding`
+naming the offending stage/GPU and the slack (negative by the violation
+amount, in the constraint's unit).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.check.findings import CheckReport
+from repro.core.plan import ExecutionPlan
+from repro.core.timing import evaluate_pipeline
+from repro.hardware.topology import Topology
+from repro.models.costmodel import CostModel
+
+__all__ = ["check_plan"]
+
+_CHECKER = "plan"
+
+#: Relative tolerance for the objective replay (float-identical in theory;
+#: loosened slightly for serialization round-trips).
+_OBJECTIVE_RTOL = 1e-6
+
+
+def check_plan(
+    plan: ExecutionPlan,
+    topology: Topology,
+    cost_model: CostModel,
+    *,
+    bandwidth: float | None = None,
+    replay_objective: bool = True,
+) -> CheckReport:
+    """Verify ``plan`` against the MIP formulation's constraints.
+
+    Args:
+        plan: The plan to verify.
+        topology: Server the plan targets (GPU count, link bandwidth).
+        cost_model: Cost source the plan was built with; supplies the
+            per-stage memory footprints and the usable-memory bound ``G``.
+        bandwidth: Average bandwidth ``B`` used by the planner; defaults to
+            the topology's PCIe link bandwidth (the planner's default).
+        replay_objective: Also recompute the Eq. 3 objective and compare it
+            to ``plan.estimated_step_seconds`` (skipped when that is NaN).
+
+    Returns:
+        A report with one finding per violated constraint.
+    """
+    report = CheckReport()
+    n = plan.n_gpus
+    s = plan.n_stages
+    m = plan.n_microbatches
+    gpu_memory = cost_model.usable_gpu_bytes()
+    bandwidth = bandwidth if bandwidth is not None else topology.pcie_bandwidth
+
+    if n != topology.n_gpus:
+        report.add(
+            _CHECKER,
+            "PLAN-GPUS",
+            f"plan maps stages over {n} GPUs but topology "
+            f"{topology.name!r} has {topology.n_gpus}",
+            subject=f"mapping {plan.mapping.perm}",
+        )
+        # Every later check indexes GPUs through the mapping; stop here.
+        return report
+
+    if m != n:
+        report.add(
+            _CHECKER,
+            "PLAN-MN",
+            f"Mobius sets the microbatch count M = N (§3.1); plan has "
+            f"M={m}, N={n}",
+            subject=f"n_microbatches={m}",
+            slack=float(n - m),
+        )
+
+    if s < n:
+        report.add(
+            _CHECKER,
+            "PLAN-RR",
+            f"round-robin ownership (Eqs. 6-11) needs at least one stage per "
+            f"GPU; plan has S={s} < N={n}, leaving {n - s} GPU(s) idle",
+            subject=f"n_stages={s}",
+            slack=float(s - n),
+        )
+
+    stage_costs = plan.partition.stage_costs(cost_model)
+    gpu_of = [plan.mapping.gpu_of_stage(j) for j in range(s)]
+
+    # ------------------------------------------------------------------
+    # Eq. 4: stage footprints fit in usable GPU memory.
+    # ------------------------------------------------------------------
+    for j, cost in enumerate(stage_costs):
+        for phase, needed in (("fwd", cost.mem_fwd(m)), ("bwd", cost.mem_bwd(m))):
+            slack = gpu_memory - needed
+            if slack < 0:
+                report.add(
+                    _CHECKER,
+                    "PLAN-EQ4",
+                    f"stage {j} {phase} footprint {needed / 1e9:.3f}GB exceeds "
+                    f"usable GPU memory {gpu_memory / 1e9:.3f}GB",
+                    subject=f"stage {j} / gpu {gpu_of[j]}",
+                    slack=float(slack),
+                )
+
+    # ------------------------------------------------------------------
+    # Eq. 5: prefetch budgets fit in the reservation next to the stage
+    # currently executing on the same GPU, and never exceed the upload.
+    # ------------------------------------------------------------------
+    for j, cost in enumerate(stage_costs):
+        pf_fwd = plan.prefetch_fwd_bytes[j]
+        pf_bwd = plan.prefetch_bwd_bytes[j]
+        upload_fwd = cost.param_bytes
+        upload_bwd = cost.param_bytes + m * cost.input_activation_bytes
+
+        for name, value, upload in (
+            ("forward", pf_fwd, upload_fwd),
+            ("backward", pf_bwd, upload_bwd),
+        ):
+            if value < 0:
+                report.add(
+                    _CHECKER,
+                    "PLAN-PF-RANGE",
+                    f"stage {j} {name} prefetch budget is negative ({value})",
+                    subject=f"stage {j} / gpu {gpu_of[j]}",
+                    slack=float(value),
+                )
+            elif value > upload:
+                report.add(
+                    _CHECKER,
+                    "PLAN-PF-RANGE",
+                    f"stage {j} {name} prefetch budget {value / 1e9:.3f}GB "
+                    f"exceeds its upload size {upload / 1e9:.3f}GB",
+                    subject=f"stage {j} / gpu {gpu_of[j]}",
+                    slack=float(upload - value),
+                )
+
+        if j >= n and pf_fwd > 0:
+            # While stage j-N runs forward on this GPU, the GPU must hold
+            # its Eq. 4 footprint *plus* stage j's prefetched bytes.
+            room = gpu_memory - stage_costs[j - n].mem_fwd(m)
+            slack = room - pf_fwd
+            if slack < 0:
+                report.add(
+                    _CHECKER,
+                    "PLAN-EQ5-FWD",
+                    f"stage {j} forward prefetch {pf_fwd / 1e9:.3f}GB does not "
+                    f"fit beside stage {j - n}'s forward footprint "
+                    f"(room {room / 1e9:.3f}GB)",
+                    subject=f"stage {j} / gpu {gpu_of[j]}",
+                    slack=float(slack),
+                )
+
+        if j < s - n and pf_bwd > 0:
+            room = gpu_memory - stage_costs[j + n].mem_bwd(m)
+            slack = room - pf_bwd
+            if slack < 0:
+                report.add(
+                    _CHECKER,
+                    "PLAN-EQ5-BWD",
+                    f"stage {j} backward prefetch {pf_bwd / 1e9:.3f}GB does "
+                    f"not fit beside stage {j + n}'s backward footprint "
+                    f"(room {room / 1e9:.3f}GB)",
+                    subject=f"stage {j} / gpu {gpu_of[j]}",
+                    slack=float(slack),
+                )
+
+        if j >= s - n and pf_bwd != 0:
+            # Eq. 11: the top N stages stay resident between forward and
+            # backward — a backward re-upload budget is meaningless there
+            # and signals a corrupted plan.
+            report.add(
+                _CHECKER,
+                "PLAN-RESIDENT",
+                f"resident-tail stage {j} carries a backward prefetch budget "
+                f"of {pf_bwd} bytes; resident stages are never re-uploaded",
+                subject=f"stage {j} / gpu {gpu_of[j]}",
+                slack=float(-pf_bwd),
+            )
+
+    # ------------------------------------------------------------------
+    # Objective replay (Eq. 3): the analytic recurrence must agree with
+    # the planner's promise.
+    # ------------------------------------------------------------------
+    if replay_objective and report.ok:
+        timings = evaluate_pipeline(stage_costs, n, m, bandwidth, gpu_memory)
+        if not timings.feasible:
+            report.add(
+                _CHECKER,
+                "PLAN-REPLAY",
+                f"analytic replay declares the plan infeasible: "
+                f"{timings.infeasible_reason}",
+                subject="objective replay",
+            )
+        elif math.isfinite(plan.estimated_step_seconds):
+            promised = plan.estimated_step_seconds
+            recomputed = timings.step_seconds
+            drift = abs(recomputed - promised)
+            if drift > _OBJECTIVE_RTOL * max(1e-12, abs(promised)):
+                report.add(
+                    _CHECKER,
+                    "PLAN-OBJ",
+                    f"planner promised a step time of {promised:.6f}s but the "
+                    f"Eq. 3 replay computes {recomputed:.6f}s",
+                    subject="objective replay",
+                    severity="warning",
+                    slack=float(promised - recomputed),
+                )
+
+    return report

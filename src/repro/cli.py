@@ -6,13 +6,16 @@ Subcommands:
 * ``compare``  — simulate every system (GPipe, DeepSpeed pipeline,
   ZeRO-Offload, ZeRO-3 heterogeneous memory, Mobius) on one configuration;
 * ``advise``   — sweep microbatch sizes for the best throughput;
-* ``figures``  — regenerate paper figures by name (or ``all``).
+* ``figures``  — regenerate paper figures by name (or ``all``);
+* ``check``    — verify planner output, traces and source contracts
+  (:mod:`repro.check`); exits non-zero on findings, ``--json`` for CI.
 
 Examples:
     python -m repro plan --model 15B --topology 2+2
     python -m repro compare --model 8B --topology 4 --microbatch 1
     python -m repro advise --model 8B --topology 2+2
     python -m repro figures fig5 fig6
+    python -m repro check --json
 """
 
 from __future__ import annotations
@@ -89,6 +92,26 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument(
         "--bench-out", default=None, metavar="PATH",
         help="write a machine-readable timing report (e.g. BENCH_suite.json)",
+    )
+
+    check = sub.add_parser(
+        "check",
+        help="verify planner output, traces and source contracts",
+    )
+    check.add_argument(
+        "--json", action="store_true", help="machine-readable report for CI"
+    )
+    check.add_argument(
+        "--no-corpus", action="store_true",
+        help="skip the plan/mapping/trace corpus (lint only)",
+    )
+    check.add_argument(
+        "--no-lint", action="store_true",
+        help="skip the MOB0xx source lint (corpus only)",
+    )
+    check.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="repo root for the source lint (default: auto-detected)",
     )
     return parser
 
@@ -173,11 +196,41 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.check import CheckReport, lint_tree, run_corpus
+
+    report = CheckReport()
+
+    if not args.no_lint:
+        root = (
+            Path(args.root)
+            if args.root is not None
+            else Path(__file__).resolve().parents[2]
+        )
+        if (root / "src" / "repro").is_dir():
+            report.extend(lint_tree(root))
+        elif not args.json:
+            print(f"note: no src/repro under {root}; skipping source lint")
+
+    if not args.no_corpus:
+        progress = None if args.json else lambda name: print(f"checking {name} ...")
+        report.extend(run_corpus(progress=progress))
+
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "plan": _cmd_plan,
     "compare": _cmd_compare,
     "advise": _cmd_advise,
     "figures": _cmd_figures,
+    "check": _cmd_check,
 }
 
 

@@ -9,15 +9,23 @@ exceeds usable GPU memory — closing the loop between the MIP's promises and
 the simulator's behaviour.
 
 The auditor reads the emitter's structured task labels (``U{j}.pre``,
-``F{j},{mb}``, ``Ub{j}.rem.param-upload``, ...), which are an internal
-contract of :mod:`repro.core.pipeline`.
+``F{j},{mb}``, ``Ub{j}.rem.param-upload``, ...).  The label grammar is the
+shared contract of :mod:`repro.core.labels`, which the emitter
+(:mod:`repro.core.pipeline`) builds against and the ``MOB003`` lint rule
+enforces statically.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import re
 
+from repro.core.labels import (
+    BWD_UPLOAD_RE as _BWD_UPLOAD_RE,
+    COMPUTE_RE as _COMPUTE_RE,
+    GRAD_OFFLOAD_RE as _GRAD_OFF_RE,
+    STASH_OFFLOAD_RE as _STASH_OFF_RE,
+    UPLOAD_RE as _UPLOAD_RE,
+)
 from repro.core.pipeline import build_mobius_tasks
 from repro.core.plan import ExecutionPlan
 from repro.hardware.topology import Topology
@@ -25,12 +33,6 @@ from repro.models.costmodel import CostModel, StageCost
 from repro.sim.tasks import Task, TaskGraphRunner
 
 __all__ = ["MemoryAudit", "audit_mobius_memory"]
-
-_UPLOAD_RE = re.compile(r"^U(\d+)(?:\.(pre|rem))?$")
-_BWD_UPLOAD_RE = re.compile(r"^Ub(\d+)\.(pre|rem)\.")
-_COMPUTE_RE = re.compile(r"^([FB])(\d+),(\d+)$")
-_STASH_OFF_RE = re.compile(r"^S(\d+),(\d+)\.off$")
-_GRAD_OFF_RE = re.compile(r"^Og(\d+)$")
 
 
 @dataclasses.dataclass

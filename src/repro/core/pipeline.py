@@ -23,6 +23,14 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro.core.labels import (
+    activation_label,
+    bwd_upload_label,
+    compute_label,
+    fwd_upload_label,
+    grad_offload_label,
+    stash_offload_label,
+)
 from repro.core.plan import ExecutionPlan
 from repro.hardware.topology import Topology
 from repro.models.costmodel import CostModel, StageCost
@@ -104,7 +112,7 @@ def build_mobius_tasks(
             # Initial stages: uploaded before the pipeline starts.
             upload_done_fwd[j] = add(
                 TransferTask(
-                    label=f"U{j}",
+                    label=fwd_upload_label(j),
                     path=path,
                     nbytes=cost.param_bytes,
                     gpu=gpu[j],
@@ -120,7 +128,7 @@ def build_mobius_tasks(
             # on this GPU — it opens once that stage starts computing.
             pre = add(
                 TransferTask(
-                    label=f"U{j}.pre",
+                    label=fwd_upload_label(j, "pre"),
                     path=path,
                     nbytes=pre_bytes,
                     gpu=gpu[j],
@@ -132,7 +140,7 @@ def build_mobius_tasks(
             # forward microbatch.
             upload_done_fwd[j] = add(
                 TransferTask(
-                    label=f"U{j}.rem",
+                    label=fwd_upload_label(j, "rem"),
                     path=path,
                     nbytes=rem_bytes,
                     gpu=gpu[j],
@@ -149,7 +157,7 @@ def build_mobius_tasks(
                 deps.append(act_out[j - 1][mb])
             fwd[j][mb] = add(
                 ComputeTask(
-                    label=f"F{j},{mb}",
+                    label=compute_label("F", j, mb),
                     gpu=gpu[j],
                     seconds=cost.fwd_seconds,
                 ).after(*deps)
@@ -158,7 +166,7 @@ def build_mobius_tasks(
             if j + 1 < s and gpu[j] != gpu[j + 1]:
                 act_out[j][mb] = add(
                     TransferTask(
-                        label=f"A{j},{mb}",
+                        label=activation_label("A", j, mb),
                         path=topology.gpu_to_gpu_path(gpu[j], gpu[j + 1]),
                         nbytes=cost.output_activation_bytes,
                         gpu=gpu[j + 1],
@@ -172,7 +180,7 @@ def build_mobius_tasks(
             if not resident(j):
                 add(
                     TransferTask(
-                        label=f"S{j},{mb}.off",
+                        label=stash_offload_label(j, mb),
                         path=topology.path_to_dram(gpu[j]),
                         nbytes=cost.input_activation_bytes,
                         gpu=gpu[j],
@@ -213,7 +221,7 @@ def build_mobius_tasks(
                     pre_tasks.append(
                         add(
                             TransferTask(
-                                label=f"Ub{j}.pre.{kind}",
+                                label=bwd_upload_label(j, "pre", kind),
                                 path=path,
                                 nbytes=nbytes,
                                 gpu=gpu[j],
@@ -227,7 +235,7 @@ def build_mobius_tasks(
             for nbytes, kind in ((rem_param, "param-upload"), (rem_stash, "act-upload")):
                 task = add(
                     TransferTask(
-                        label=f"Ub{j}.rem.{kind}",
+                        label=bwd_upload_label(j, "rem", kind),
                         path=path,
                         nbytes=nbytes,
                         gpu=gpu[j],
@@ -248,7 +256,7 @@ def build_mobius_tasks(
                 deps.append(fwd[j][m - 1])  # Eq. 11: backward after forward
             bwd[j][mb] = add(
                 ComputeTask(
-                    label=f"B{j},{mb}",
+                    label=compute_label("B", j, mb),
                     gpu=gpu[j],
                     seconds=cost.bwd_seconds,
                 ).after(*deps)
@@ -256,7 +264,7 @@ def build_mobius_tasks(
             if j and gpu[j] != gpu[j - 1]:
                 grad_in[j][mb] = add(
                     TransferTask(
-                        label=f"G{j},{mb}",
+                        label=activation_label("G", j, mb),
                         path=topology.gpu_to_gpu_path(gpu[j], gpu[j - 1]),
                         nbytes=cost.input_activation_bytes,
                         gpu=gpu[j - 1],
@@ -270,7 +278,7 @@ def build_mobius_tasks(
         # Offload this stage's FP16 gradients for the CPU optimizer.
         add(
             TransferTask(
-                label=f"Og{j}",
+                label=grad_offload_label(j),
                 path=topology.path_to_dram(gpu[j]),
                 nbytes=cost.grad_bytes,
                 gpu=gpu[j],

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 
 import networkx as nx
 
@@ -196,6 +196,25 @@ class Topology:
             return self._capacity[edge].bandwidth
         except KeyError:
             raise KeyError(f"edge {edge!r} is not part of topology {self.name!r}") from None
+
+    def iter_links(self) -> Iterator[tuple[Edge, float]]:
+        """All directed edges with their capacities in bytes/s.
+
+        The static checkers (:mod:`repro.check.trace_check`) iterate links to
+        verify that no trace implies more bytes through an edge than its
+        capacity allows.
+        """
+        for edge, capacity in self._capacity.items():
+            yield edge, capacity.bandwidth
+
+    @property
+    def max_link_bandwidth(self) -> float:
+        """The fastest directed link in the server (bytes/s).
+
+        No single transfer, whatever its path, can exceed this rate — a
+        topology-wide ceiling usable even when the path is unknown.
+        """
+        return max(capacity.bandwidth for capacity in self._capacity.values())
 
     def path_bandwidth(self, path: Path) -> float:
         """Uncontended bandwidth of a path (minimum edge capacity)."""

@@ -128,6 +128,12 @@ class TaskGraphRunner:
         self.compute_units = [
             ComputeUnit(self.sim, f"gpu{i}") for i in range(topology.n_gpus)
         ]
+        #: Introspection hooks for post-run verification: the task list and
+        #: trace of the most recent :meth:`execute` call (``None`` before).
+        #: :mod:`repro.check.trace_check` replays these against the
+        #: topology's causality and link-capacity invariants.
+        self.last_tasks: list[Task] | None = None
+        self.last_trace: Trace | None = None
 
     def execute(self, tasks: Sequence[Task]) -> Trace:
         """Run all ``tasks`` to completion and return the recorded trace.
@@ -204,6 +210,8 @@ class TaskGraphRunner:
             raise DeadlockError(
                 f"{remaining} tasks never completed (cycle?): {stuck[:10]}"
             )
+        self.last_tasks = tasks
+        self.last_trace = trace
         return trace
 
     def _submit_compute(self, unit: ComputeUnit, task: ComputeTask, on_done) -> None:

@@ -14,6 +14,7 @@ The analyses of §4.2 are all derived from traces:
 from __future__ import annotations
 
 import dataclasses
+import math
 from collections.abc import Iterable, Sequence
 
 import numpy as np
@@ -159,12 +160,30 @@ class Trace:
     # Recording
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _check_span(what: str, start: float, end: float, label: str) -> None:
+        """Reject spans that would silently corrupt the columnar views."""
+        if not (math.isfinite(start) and math.isfinite(end)):
+            raise ValueError(
+                f"{what} span {label!r} has non-finite times: [{start}, {end}]"
+            )
+        if end < start:
+            raise ValueError(
+                f"{what} span {label!r} ends before it starts: [{start}, {end}]"
+            )
+
     def add_compute(self, gpu: int, start: float, end: float, label: str = "") -> None:
+        self._check_span("compute", start, end, label)
         self.compute.append(ComputeSpan(gpu, start, end, label))
 
     def add_transfer(
         self, gpu: int, start: float, end: float, nbytes: float, kind: str = "", label: str = ""
     ) -> None:
+        self._check_span("transfer", start, end, label)
+        if not math.isfinite(nbytes) or nbytes < 0:
+            raise ValueError(
+                f"transfer span {label!r} has invalid byte count {nbytes!r}"
+            )
         self.transfers.append(TransferSpan(gpu, start, end, nbytes, kind, label))
 
     # ------------------------------------------------------------------

@@ -1,0 +1,136 @@
+"""Tests for the ExecutionPlan constraint replay (repro.check.plan_check)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.check.plan_check import check_plan
+
+
+def _codes(report):
+    return {f.code for f in report}
+
+
+class TestCleanPlans:
+    def test_planner_output_passes(self, planned_tiny):
+        report, topology = planned_tiny
+        result = check_plan(report.plan, topology, report.cost_model)
+        assert result.ok, result.render()
+
+    def test_max_stage_plan_passes(self, planned_tiny_many_stages):
+        report, topology = planned_tiny_many_stages
+        plan = report.plan
+        assert plan.n_stages > plan.n_gpus  # the Eq. 5 constraints are live
+        result = check_plan(plan, topology, report.cost_model)
+        assert result.ok, result.render()
+
+
+class TestSeededViolations:
+    def test_wrong_microbatch_count(self, planned_tiny):
+        report, topology = planned_tiny
+        bad = dataclasses.replace(report.plan, n_microbatches=report.plan.n_gpus + 1)
+        result = check_plan(bad, topology, report.cost_model, replay_objective=False)
+        assert "PLAN-MN" in _codes(result)
+        assert not result.ok
+
+    def test_oversized_prefetch_budget(self, planned_tiny):
+        report, topology = planned_tiny
+        plan = report.plan
+        budgets = list(plan.prefetch_fwd_bytes)
+        budgets[-1] = int(report.cost_model.usable_gpu_bytes() * 2)
+        bad = dataclasses.replace(plan, prefetch_fwd_bytes=tuple(budgets))
+        result = check_plan(bad, topology, report.cost_model, replay_objective=False)
+        assert "PLAN-PF-RANGE" in _codes(result)
+
+    def test_negative_prefetch_budget(self, planned_tiny):
+        report, topology = planned_tiny
+        plan = report.plan
+        budgets = list(plan.prefetch_fwd_bytes)
+        budgets[0] = -1
+        bad = dataclasses.replace(plan, prefetch_fwd_bytes=tuple(budgets))
+        result = check_plan(bad, topology, report.cost_model, replay_objective=False)
+        finding = next(f for f in result if f.code == "PLAN-PF-RANGE")
+        assert finding.slack == -1
+
+    def test_prefetch_overflows_reservation(self, planned_tiny_many_stages):
+        """Eq. 5: a budget equal to the whole upload cannot fit beside the
+        footprint of the stage currently running on the same GPU."""
+        report, topology = planned_tiny_many_stages
+        plan = report.plan
+        n, s = plan.n_gpus, plan.n_stages
+        costs = plan.partition.stage_costs(report.cost_model)
+        gpu_memory = report.cost_model.usable_gpu_bytes()
+
+        assert s > n
+        j = n  # the first stage whose upload overlaps an executing stage
+        room = gpu_memory - costs[j - n].mem_fwd(plan.n_microbatches)
+        budgets = list(plan.prefetch_fwd_bytes)
+        budgets[j] = int(room) + 1
+
+        bad = dataclasses.replace(plan, prefetch_fwd_bytes=tuple(budgets))
+        result = check_plan(bad, topology, report.cost_model, replay_objective=False)
+        assert "PLAN-EQ5-FWD" in _codes(result)
+        assert all(f.slack < 0 for f in result if f.code == "PLAN-EQ5-FWD")
+
+    def test_resident_tail_with_backward_budget(self, planned_tiny):
+        report, topology = planned_tiny
+        plan = report.plan
+        budgets = list(plan.prefetch_bwd_bytes)
+        budgets[-1] = 1024  # the last stage is always in the resident tail
+        bad = dataclasses.replace(plan, prefetch_bwd_bytes=tuple(budgets))
+        result = check_plan(bad, topology, report.cost_model, replay_objective=False)
+        assert "PLAN-RESIDENT" in _codes(result)
+
+    def test_wrong_objective_is_warning_only(self, planned_tiny):
+        report, topology = planned_tiny
+        bad = dataclasses.replace(
+            report.plan,
+            estimated_step_seconds=report.plan.estimated_step_seconds * 2,
+        )
+        result = check_plan(bad, topology, report.cost_model)
+        assert "PLAN-OBJ" in _codes(result)
+        assert result.ok  # drift is reported but does not fail the gate
+        assert result.warnings
+
+    def test_gpu_count_mismatch_short_circuits(self, planned_tiny):
+        from repro.hardware.topology import topo_4_4
+
+        report, _ = planned_tiny
+        result = check_plan(report.plan, topo_4_4(), report.cost_model)
+        assert _codes(result) == {"PLAN-GPUS"}
+
+
+class TestReportShape:
+    def test_findings_name_offending_stage(self, planned_tiny):
+        report, topology = planned_tiny
+        plan = report.plan
+        budgets = list(plan.prefetch_fwd_bytes)
+        budgets[2] = -5
+        bad = dataclasses.replace(plan, prefetch_fwd_bytes=tuple(budgets))
+        result = check_plan(bad, topology, report.cost_model, replay_objective=False)
+        finding = next(f for f in result if f.code == "PLAN-PF-RANGE")
+        assert "stage 2" in finding.subject
+        assert f"gpu {plan.mapping.gpu_of_stage(2)}" in finding.subject
+
+    def test_json_round_trip(self, planned_tiny):
+        import json
+
+        report, topology = planned_tiny
+        result = check_plan(report.plan, topology, report.cost_model)
+        payload = json.loads(result.to_json())
+        assert payload["ok"] is True
+        assert payload["findings"] == []
+
+
+def test_infeasible_replay_is_flagged(planned_tiny):
+    """A plan whose stages cannot fit is caught by the analytic replay."""
+    from repro.models.costmodel import CostModel
+
+    report, topology = planned_tiny
+    tiny_gpu = dataclasses.replace(
+        report.cost_model.gpu_spec, memory_bytes=64 * 2**20
+    )
+    shrunk = CostModel(tiny_gpu, report.cost_model.microbatch_size)
+    result = check_plan(report.plan, topology, shrunk)
+    assert not result.ok
+    assert _codes(result) & {"PLAN-EQ4", "PLAN-REPLAY"}

@@ -37,3 +37,27 @@ def topo4():
 @pytest.fixture
 def rng():
     return np.random.default_rng(0)
+
+
+@pytest.fixture(autouse=True)
+def _auto_sanitize_traces(monkeypatch):
+    """Run the repro.check trace sanitizer on every simulated execution.
+
+    Every trace any test produces through ``TaskGraphRunner.execute`` —
+    Mobius, the baselines, the memory audit — is checked for causality,
+    compute-exclusivity and bandwidth violations for free.  Tests exercising
+    deliberately broken traces bypass this by building ``Trace`` objects
+    directly instead of executing a task graph.
+    """
+    from repro.check.trace_check import sanitize_run
+    from repro.sim.tasks import TaskGraphRunner
+
+    original = TaskGraphRunner.execute
+
+    def execute_and_sanitize(self, tasks):
+        trace = original(self, tasks)
+        report = sanitize_run(self.last_tasks, trace, self.topology)
+        assert report.ok, f"simulated trace failed sanitization:\n{report.render()}"
+        return trace
+
+    monkeypatch.setattr(TaskGraphRunner, "execute", execute_and_sanitize)

@@ -101,3 +101,45 @@ def test_matches_highs_on_random_knapsacks(seed, n_vars):
     reference = solve_milp_scipy(lp)
     assert ours.ok and reference.ok
     assert ours.objective == pytest.approx(reference.objective, abs=1e-6)
+
+
+class TestInfeasibleDetection:
+    """A corrupted or over-constrained MIP must say INFEASIBLE, not crash
+    or return a bogus incumbent (the plan checker trusts this status)."""
+
+    def test_contradictory_bounds_via_constraints(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", ub=10, integer=True)
+        lp.add_constraint(x >= 1)
+        lp.add_constraint(x <= 0)
+        lp.set_objective(x)
+        sol = BranchAndBoundSolver().solve(lp)
+        assert sol.status is MIPStatus.INFEASIBLE
+        assert sol.x is None
+
+    def test_no_integer_point_in_feasible_lp(self):
+        # The LP relaxation is feasible (x = 0.5) but no integer point is.
+        lp = LinearProgram()
+        x = lp.add_var("x", ub=10, integer=True)
+        lp.add_constraint(2 * x == 1)
+        lp.set_objective(x)
+        sol = BranchAndBoundSolver().solve(lp)
+        assert sol.status is MIPStatus.INFEASIBLE
+
+    def test_infeasible_with_presolve(self):
+        # Presolve detects the contradiction before any LP is solved.
+        lp = LinearProgram()
+        x = lp.add_var("x", ub=5, integer=True)
+        lp.add_constraint(x >= 3)
+        lp.add_constraint(x <= 2)
+        sol = BranchAndBoundSolver(presolve=True).solve(lp)
+        assert sol.status is MIPStatus.INFEASIBLE
+
+    def test_scipy_backend_agrees(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", ub=10, integer=True)
+        lp.add_constraint(2 * x == 1)
+        ours = BranchAndBoundSolver().solve(lp)
+        theirs = solve_milp_scipy(lp)
+        assert ours.status is MIPStatus.INFEASIBLE
+        assert theirs.status is MIPStatus.INFEASIBLE

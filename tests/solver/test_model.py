@@ -119,3 +119,48 @@ class TestStandardForm:
         lp.add_var("x")
         form = lp.to_standard_form()
         assert math.isinf(form.ub[0])
+
+
+class TestZeroCoefficientVariables:
+    """Variables multiplied by zero (common when a prefetch term drops out
+    of an Eq. 5 row) must not corrupt the standard form or the solve."""
+
+    def test_zero_coef_kept_in_expression(self):
+        lp = LinearProgram()
+        x, y = lp.add_var("x"), lp.add_var("y")
+        expr = x + 0 * y
+        assert expr.coefs == {0: 1.0, 1: 0.0}
+        assert expr.evaluate(np.array([2.0, 99.0])) == 2.0
+
+    def test_standard_form_row_has_zero_entry(self):
+        lp = LinearProgram()
+        x, y = lp.add_var("x", ub=4), lp.add_var("y", ub=4)
+        lp.add_constraint(x + 0 * y <= 3)
+        lp.set_objective(x + y, minimize=False)
+        form = lp.to_standard_form()
+        assert form.a_ub.shape == (1, 2)
+        assert form.a_ub[0, 1] == 0.0
+
+    def test_solver_ignores_zero_coef_variable(self):
+        from repro.solver.branch_bound import BranchAndBoundSolver, MIPStatus
+
+        lp = LinearProgram()
+        x = lp.add_var("x", ub=4, integer=True)
+        y = lp.add_var("y", ub=4, integer=True)
+        lp.add_constraint(x + 0 * y <= 3)
+        lp.set_objective(x + y, minimize=False)
+        sol = BranchAndBoundSolver().solve(lp)
+        assert sol.status is MIPStatus.OPTIMAL
+        # y is unconstrained by the row: it must reach its own upper bound.
+        assert sol.objective == pytest.approx(7.0)
+        assert list(sol.x) == [3, 4]
+
+    def test_unreferenced_variable_survives_standard_form(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", ub=2)
+        lp.add_var("unused", ub=1)
+        lp.add_constraint(x <= 2)
+        lp.set_objective(x, minimize=False)
+        form = lp.to_standard_form()
+        assert form.c.shape == (2,)
+        assert form.lb.shape == (2,) and form.ub.shape == (2,)
