@@ -91,6 +91,13 @@ class LintConfig:
         "src/repro/models/spec.py",
         "src/repro/models/costmodel.py",
         "src/repro/hardware/gpu.py",
+        # Fault models are part of chaos-report identity: schedules are
+        # hashed for per-attempt failure coins and reports are diffed
+        # byte-for-byte across runs, so every dataclass must be frozen.
+        "src/repro/faults/models.py",
+        "src/repro/faults/recovery.py",
+        "src/repro/faults/replan.py",
+        "src/repro/faults/chaos.py",
     )
     mutable_allowlist: frozenset[str] = frozenset(
         {
@@ -98,7 +105,13 @@ class LintConfig:
             "repro.core.api.MobiusReport",
         }
     )
-    hot_path_prefixes: tuple[str, ...] = ("src/repro/sim/", "src/repro/core/")
+    hot_path_prefixes: tuple[str, ...] = (
+        "src/repro/sim/",
+        "src/repro/core/",
+        # Fault injection must be as deterministic as the simulator it
+        # perturbs: failure coins come from content hashes, never RNGs.
+        "src/repro/faults/",
+    )
     label_modules: tuple[str, ...] = ("src/repro/core/pipeline.py",)
 
 

@@ -8,7 +8,10 @@ Subcommands:
 * ``advise``   — sweep microbatch sizes for the best throughput;
 * ``figures``  — regenerate paper figures by name (or ``all``);
 * ``check``    — verify planner output, traces and source contracts
-  (:mod:`repro.check`); exits non-zero on findings, ``--json`` for CI.
+  (:mod:`repro.check`); exits non-zero on findings, ``--json`` for CI;
+* ``chaos``    — run the fault-injection matrix (:mod:`repro.faults`):
+  every check-corpus cell under dropout/degraded-link/straggler/flaky
+  faults, asserting recovery; exits non-zero if any cell fails.
 
 Examples:
     python -m repro plan --model 15B --topology 2+2
@@ -16,6 +19,7 @@ Examples:
     python -m repro advise --model 8B --topology 2+2
     python -m repro figures fig5 fig6
     python -m repro check --json
+    python -m repro chaos --json
 """
 
 from __future__ import annotations
@@ -112,6 +116,23 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--root", default=None, metavar="DIR",
         help="repo root for the source lint (default: auto-detected)",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="inject faults over the check corpus and verify recovery",
+    )
+    chaos.add_argument(
+        "--json", action="store_true", help="machine-readable report for CI"
+    )
+    chaos.add_argument(
+        "--out", default="BENCH_chaos.json", metavar="PATH",
+        help="where to write the JSON report (default: %(default)s)",
+    )
+    chaos.add_argument("--seed", type=int, default=0, help="fault-schedule seed")
+    chaos.add_argument(
+        "--steps", type=int, default=4,
+        help="training-window length (steps) for goodput accounting",
     )
     return parser
 
@@ -225,12 +246,28 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import run_chaos
+
+    progress = None if args.json else lambda name: print(f"chaos {name} ...")
+    report = run_chaos(seed=args.seed, n_steps=args.steps, progress=progress)
+    with open(args.out, "w") as f:
+        f.write(report.to_json() + "\n")
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+        print(f"report written to {args.out}")
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "plan": _cmd_plan,
     "compare": _cmd_compare,
     "advise": _cmd_advise,
     "figures": _cmd_figures,
     "check": _cmd_check,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -22,6 +22,7 @@ from repro.core.mapping import (
 )
 from repro.core.partition import (
     PartitionResult,
+    PlanInfeasibleError,
     max_stage_partition,
     min_stage_partition,
     mip_partition,
@@ -48,6 +49,7 @@ __all__ = [
     "Partition",
     "PartitionResult",
     "PipelineTimings",
+    "PlanInfeasibleError",
     "build_mobius_tasks",
     "contention_degree",
     "cross_mapping",

@@ -34,10 +34,23 @@ from repro.models.spec import LayerKind, ModelSpec
 
 __all__ = [
     "PartitionResult",
+    "PlanInfeasibleError",
     "mip_partition",
     "max_stage_partition",
     "min_stage_partition",
 ]
+
+
+class PlanInfeasibleError(ValueError):
+    """No memory-feasible plan exists for the given model and resources.
+
+    Raised by every partitioner when the search space is empty — e.g. a
+    single layer exceeds GPU memory, or (after a GPU dropout) the surviving
+    N-1 devices cannot hold any stage split.  A typed error lets callers —
+    the experiment runner and the chaos harness — distinguish "recovery is
+    physically impossible" from a planner bug; it subclasses ``ValueError``
+    for backward compatibility with callers catching the generic form.
+    """
 
 
 @dataclasses.dataclass
@@ -239,7 +252,7 @@ def mip_partition(
         completed.
 
     Raises:
-        ValueError: If no memory-feasible partition exists.
+        PlanInfeasibleError: If no memory-feasible partition exists.
     """
     if gpu_memory is None:
         gpu_memory = cost_model.usable_gpu_bytes()
@@ -283,7 +296,7 @@ def mip_partition(
     dfs([0])
 
     if incumbent is None:
-        raise ValueError(
+        raise PlanInfeasibleError(
             f"no memory-feasible partition of {model.name} for "
             f"G={gpu_memory / 1e9:.1f}GB, M={n_microbatches}"
         )
@@ -317,7 +330,7 @@ def max_stage_partition(
     while position < model.n_layers:
         length = ctx.max_stage_len(position)
         if length == 0:
-            raise ValueError(
+            raise PlanInfeasibleError(
                 f"layer {position} of {model.name} alone exceeds GPU memory"
             )
         position += length
@@ -364,7 +377,7 @@ def min_stage_partition(
     partition = Partition(model, tuple(boundaries))
     timings = ctx.evaluate(boundaries)
     if not timings.feasible:
-        raise ValueError(
+        raise PlanInfeasibleError(
             f"minimum-stage partition of {model.name} infeasible: "
             f"{timings.infeasible_reason}"
         )

@@ -25,6 +25,7 @@ from repro.baselines.gpipe import (
 )
 from repro.baselines.zero_offload import run_zero_offload
 from repro.core.api import MobiusConfig, run_mobius
+from repro.core.partition import PlanInfeasibleError
 from repro.hardware.topology import Topology
 from repro.models.spec import ModelSpec
 from repro.perf.cache import CacheConfig, configure_cache, get_cache
@@ -33,6 +34,7 @@ from repro.sim.trace import Trace
 __all__ = [
     "ExperimentTable",
     "ExperimentCell",
+    "PlanInfeasibleError",
     "SystemResult",
     "run_system",
     "run_systems_parallel",
@@ -125,7 +127,11 @@ def run_system(
     """Run one of the evaluated systems on a configuration.
 
     OOM (the expected outcome for large models on all-in-GPU systems)
-    is reported as a result, not an exception.
+    is reported as a result, not an exception.  Solver infeasibility — the
+    model cannot be partitioned onto the given resources at all — surfaces
+    as the typed :class:`~repro.core.partition.PlanInfeasibleError` (never a
+    bare ``ValueError``), so callers like the chaos harness can distinguish
+    "recovery impossible on N-1 GPUs" from a planner bug.
 
     Results (including OOM outcomes) are memoized by content through the
     global :mod:`repro.perf` cache, so every figure that re-simulates the

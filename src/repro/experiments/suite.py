@@ -111,7 +111,10 @@ class SuiteReport:
     def as_dict(self) -> dict:
         return {
             "schema": "mobius-bench-suite/1",
-            "total_seconds": round(self.total_seconds, 4),
+            # Full-float precision: rounding to a few decimals can collapse a
+            # sub-millisecond warm-cache pass to 0.0, breaking downstream
+            # speedup ratios that divide by this value.
+            "total_seconds": self.total_seconds,
             "jobs": self.jobs,
             "cache": {
                 "enabled": self.use_cache,

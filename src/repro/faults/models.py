@@ -1,0 +1,227 @@
+"""Seeded, declarative fault models for commodity-server misbehaviour.
+
+Mobius targets commodity PCIe servers, whose dominant failure surface the
+paper itself motivates: PCIe bandwidth collapse under contention (§2, the
+DeepSpeed CDF of Figure 2), straggler GPUs, and devices dropping out
+mid-run.  Each fault here is a frozen dataclass describing *what* goes
+wrong and *when*; a :class:`FaultSchedule` bundles faults with a seed so an
+entire chaos run is reproducible bit-for-bit.
+
+Faults are injected through wrapper hooks on the simulator's resources —
+:meth:`repro.sim.resources.FlowNetwork.set_bandwidth_scale` for link
+degradation, and the dispatch hooks of
+:class:`repro.sim.tasks.TaskGraphRunner` (overridden by
+:class:`repro.faults.recovery.FaultInjectingRunner`) for stragglers and
+flaky transfers — never by forking the simulation hot paths.  GPU dropout
+is a run-level fault: it is handled by elastic re-planning
+(:mod:`repro.faults.replan`), not inside a single-step event simulation.
+
+Randomness policy: there is no RNG state at all.  Per-attempt transfer
+failures are decided by hashing ``(seed, label, attempt)`` through
+:func:`repro.perf.fingerprint.fingerprint`, so outcomes are independent of
+call order and identical across processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.hardware.topology import Edge
+from repro.perf.fingerprint import fingerprint
+
+__all__ = [
+    "GpuDropout",
+    "LinkDegradation",
+    "StragglerGpu",
+    "FlakyTransfers",
+    "FaultSchedule",
+    "failure_coin",
+]
+
+
+def _check_window(start: float, end: float) -> None:
+    if math.isnan(start) or math.isnan(end):
+        raise ValueError(f"fault window must not be NaN: [{start}, {end})")
+    if start < 0:
+        raise ValueError(f"fault window must start at or after t=0, got {start}")
+    if end <= start:
+        raise ValueError(f"fault window is empty: [{start}, {end})")
+
+
+@dataclasses.dataclass(frozen=True)
+class GpuDropout:
+    """GPU ``gpu`` dies permanently at absolute run time ``time``.
+
+    Dropout is the only fault that changes the resource *set* rather than
+    its performance; recovery requires re-solving the partition (Eqs. 3-11)
+    and cross mapping (Eqs. 12-13) for the surviving GPUs.
+    """
+
+    gpu: int
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.gpu < 0:
+            raise ValueError(f"gpu index must be non-negative, got {self.gpu}")
+        if not (self.time >= 0 and math.isfinite(self.time)):
+            raise ValueError(f"dropout time must be finite and >= 0, got {self.time}")
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkDegradation:
+    """One directed PCIe link runs at ``factor`` x nominal bandwidth.
+
+    ``end = inf`` models a persistent degradation (a renegotiated x16 -> x4
+    link); a finite window models transient contention from a co-tenant.
+    """
+
+    edge: Edge
+    factor: float
+    start: float = 0.0
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if not (0 < self.factor <= 1 and math.isfinite(self.factor)):
+            raise ValueError(
+                f"degradation factor must be in (0, 1], got {self.factor}"
+            )
+        _check_window(self.start, self.end)
+
+
+@dataclasses.dataclass(frozen=True)
+class StragglerGpu:
+    """GPU ``gpu`` computes ``slowdown`` x slower inside the window.
+
+    The slowdown applies to compute tasks *dispatched* while the window is
+    open (the moment a kernel becomes ready, mirroring how a downclocked
+    GPU stretches every kernel launched on it).
+    """
+
+    gpu: int
+    slowdown: float
+    start: float = 0.0
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.gpu < 0:
+            raise ValueError(f"gpu index must be non-negative, got {self.gpu}")
+        if not (self.slowdown >= 1 and math.isfinite(self.slowdown)):
+            raise ValueError(f"slowdown must be >= 1, got {self.slowdown}")
+        _check_window(self.start, self.end)
+
+
+@dataclasses.dataclass(frozen=True)
+class FlakyTransfers:
+    """Transfers fail (checksum mismatch at completion) with a probability.
+
+    Attributes:
+        failure_rate: Per-attempt failure probability in [0, 1).
+        kinds: Restrict to these transfer kinds (empty = all kinds).
+        start: Window start; a transfer is at risk if dispatched inside.
+        end: Window end (``inf`` = whole run).
+    """
+
+    failure_rate: float
+    kinds: tuple[str, ...] = ()
+    start: float = 0.0
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.failure_rate < 1):
+            raise ValueError(
+                f"failure_rate must be in [0, 1), got {self.failure_rate}"
+            )
+        _check_window(self.start, self.end)
+
+    def applies(self, kind: str, now: float) -> bool:
+        """Whether a transfer of ``kind`` dispatched at ``now`` is at risk."""
+        if self.kinds and kind not in self.kinds:
+            return False
+        return self.start <= now < self.end
+
+
+Fault = GpuDropout | LinkDegradation | StragglerGpu | FlakyTransfers
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSchedule:
+    """A reproducible fault scenario: a seed plus a tuple of fault models."""
+
+    seed: int = 0
+    faults: tuple[Fault, ...] = ()
+
+    def __post_init__(self) -> None:
+        for fault in self.faults:
+            if not isinstance(
+                fault, (GpuDropout, LinkDegradation, StragglerGpu, FlakyTransfers)
+            ):
+                raise TypeError(f"unknown fault model: {fault!r}")
+
+    def _of_type(self, kind: type) -> tuple:
+        return tuple(f for f in self.faults if isinstance(f, kind))
+
+    @property
+    def dropouts(self) -> tuple[GpuDropout, ...]:
+        return self._of_type(GpuDropout)
+
+    @property
+    def link_degradations(self) -> tuple[LinkDegradation, ...]:
+        return self._of_type(LinkDegradation)
+
+    @property
+    def stragglers(self) -> tuple[StragglerGpu, ...]:
+        return self._of_type(StragglerGpu)
+
+    @property
+    def flaky_transfers(self) -> tuple[FlakyTransfers, ...]:
+        return self._of_type(FlakyTransfers)
+
+    def without_dropouts(self) -> "FaultSchedule":
+        """The schedule minus dropout faults (which need run-level handling)."""
+        return FaultSchedule(
+            self.seed, tuple(f for f in self.faults if not isinstance(f, GpuDropout))
+        )
+
+    def without_flaky(self) -> "FaultSchedule":
+        """The schedule minus flaky-transfer faults.
+
+        Degraded-mode execution fetches stages synchronously with inline
+        verification, so its transfers are treated as reliable; hardware
+        faults (degraded links, stragglers) remain in force.
+        """
+        return FaultSchedule(
+            self.seed,
+            tuple(f for f in self.faults if not isinstance(f, FlakyTransfers)),
+        )
+
+    def compute_scale(self, gpu: int, now: float) -> float:
+        """Combined straggler slowdown for ``gpu`` at time ``now``."""
+        scale = 1.0
+        for fault in self.stragglers:
+            if fault.gpu == gpu and fault.start <= now < fault.end:
+                scale *= fault.slowdown
+        return scale
+
+    def failure_probability(self, kind: str, now: float) -> float:
+        """Combined per-attempt failure probability for a transfer.
+
+        Independent flaky faults compose as ``1 - prod(1 - rate_i)``.
+        """
+        survive = 1.0
+        for fault in self.flaky_transfers:
+            if fault.applies(kind, now):
+                survive *= 1.0 - fault.failure_rate
+        return 1.0 - survive
+
+
+def failure_coin(seed: int, label: str, attempt: int) -> float:
+    """Deterministic uniform draw in [0, 1) for one transfer attempt.
+
+    Derived by hashing ``(seed, label, attempt)`` through the canonical
+    fingerprint, so the outcome depends only on the schedule's seed and the
+    attempt's identity — never on event ordering, process state or
+    wall-clock time.
+    """
+    digest = fingerprint(("fault-coin", seed, label, attempt))
+    return int(digest[:16], 16) / 2**64

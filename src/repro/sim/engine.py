@@ -78,7 +78,16 @@ class Simulator:
             until: If given, stop once the next event would fire after this
                 time (the clock is left at ``until``).  Otherwise run until
                 the event heap drains.
+
+        Raises:
+            ValueError: If ``until`` lies before the current clock — running
+                "until" a past instant would silently rewind ``now`` and
+                re-admit events that already fired as schedulable times.
         """
+        if until is not None and until < self.now:
+            raise ValueError(
+                f"cannot run backwards: until={until} < now {self.now}"
+            )
         while self._heap:
             time, _, handle = self._heap[0]
             if until is not None and time > until:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
+import math
 from collections import defaultdict, deque
 from collections.abc import Callable
 
@@ -118,10 +119,63 @@ class FlowNetwork:
         self._uid = itertools.count()
         self._last_update = 0.0
         self._next_event: EventHandle | None = None
+        self._bandwidth_scale: dict[Edge, float] = {}
 
     @property
     def active_flows(self) -> tuple[Flow, ...]:
         return tuple(self._flows.values())
+
+    def effective_bandwidth(self, edge: Edge) -> float:
+        """Current capacity of ``edge``: topology bandwidth x any live scale."""
+        return self.topology.bandwidth_of(edge) * self._bandwidth_scale.get(edge, 1.0)
+
+    def set_bandwidth_scale(
+        self,
+        edge: Edge,
+        factor: float,
+        *,
+        start: float | None = None,
+        end: float | None = None,
+    ) -> None:
+        """Scale one directed link's capacity over a time window.
+
+        This is the injection point for PCIe-degradation fault models (and
+        for experiments that want a weakened link without monkeypatching
+        topology internals): between ``start`` and ``end`` the link's
+        capacity is ``factor`` x its nominal bandwidth, and in-flight flows
+        are re-allocated at both boundary instants.
+
+        Args:
+            edge: A directed edge of the topology (validated eagerly).
+            factor: Capacity multiplier; must be positive and finite (a zero
+                capacity would deadlock flows crossing the link).
+            start: Absolute simulation time the scale takes effect; ``None``
+                or a past instant applies it immediately.
+            end: Absolute time the link recovers to nominal bandwidth;
+                ``None`` (or ``inf``) makes the degradation persistent.
+        """
+        self.topology.bandwidth_of(edge)  # raises KeyError on unknown edges
+        if not (factor > 0 and math.isfinite(factor)):
+            raise ValueError(f"bandwidth scale factor must be positive, got {factor}")
+        if end is not None and start is not None and end <= start:
+            raise ValueError(f"degradation window is empty: [{start}, {end})")
+
+        def apply() -> None:
+            self._advance()
+            self._bandwidth_scale[edge] = factor
+            self._reallocate()
+
+        def clear() -> None:
+            self._advance()
+            self._bandwidth_scale.pop(edge, None)
+            self._reallocate()
+
+        if start is None or start <= self.sim.now:
+            apply()
+        else:
+            self.sim.schedule_at(start, apply)
+        if end is not None and math.isfinite(end):
+            self.sim.schedule_at(max(end, self.sim.now), clear)
 
     def start_flow(
         self,
@@ -211,7 +265,7 @@ class FlowNetwork:
                 live = sum(1 for f in members if f.uid in unfrozen)
                 if not live:
                     continue
-                headroom = self.topology.bandwidth_of(edge) - used[edge]
+                headroom = self.effective_bandwidth(edge) - used[edge]
                 delta = min(delta, max(headroom, 0.0) / live)
             if delta == float("inf"):
                 break  # remaining flows cross no edges (defensive; not expected)
@@ -223,7 +277,7 @@ class FlowNetwork:
             saturated = {
                 edge
                 for edge in edge_flows
-                if used[edge] >= self.topology.bandwidth_of(edge) - _EPS * self.topology.bandwidth_of(edge)
+                if used[edge] >= self.effective_bandwidth(edge) * (1 - _EPS)
                 and any(f.uid in unfrozen for f in edge_flows[edge])
             }
             if not saturated:

@@ -173,31 +173,7 @@ class TaskGraphRunner:
 
         def dispatch(task: Task) -> None:
             task.state = _State.READY
-            if isinstance(task, ComputeTask):
-                unit = self.compute_units[task.gpu]
-
-                def on_start_wrapper() -> None:
-                    complete(task)
-
-                # Record the queuing moment separately from execution: the
-                # compute unit may be busy.  We capture the real start by
-                # submitting a closure that stamps time when the unit picks
-                # the task up.
-                self._submit_compute(unit, task, on_start_wrapper)
-            elif isinstance(task, TransferTask):
-                task.start_time = self.sim.now
-                self.network.start_flow(
-                    task.path,
-                    task.nbytes,
-                    lambda: complete(task),
-                    priority=task.priority,
-                    label=task.label,
-                )
-            elif isinstance(task, BarrierTask):
-                task.start_time = self.sim.now
-                self.sim.schedule(0.0, lambda: complete(task))
-            else:  # pragma: no cover - defensive
-                raise TypeError(f"unknown task type: {type(task).__name__}")
+            self._dispatch_task(task, complete)
 
         for task in tasks:
             if pending[task.uid] == 0:
@@ -213,6 +189,44 @@ class TaskGraphRunner:
         self.last_tasks = tasks
         self.last_trace = trace
         return trace
+
+    def _dispatch_task(self, task: Task, complete) -> None:
+        """Route a ready task to its resource.
+
+        ``complete`` is the graph-progress callback: call it with ``task``
+        exactly once, when the task's work is done.  Subclasses (the fault
+        runner in :mod:`repro.faults.recovery`) override the per-type hooks
+        below rather than this router.
+        """
+        if isinstance(task, ComputeTask):
+            unit = self.compute_units[task.gpu]
+
+            def on_start_wrapper() -> None:
+                complete(task)
+
+            # Record the queuing moment separately from execution: the
+            # compute unit may be busy.  We capture the real start by
+            # submitting a closure that stamps time when the unit picks
+            # the task up.
+            self._submit_compute(unit, task, on_start_wrapper)
+        elif isinstance(task, TransferTask):
+            self._start_transfer(task, complete)
+        elif isinstance(task, BarrierTask):
+            task.start_time = self.sim.now
+            self.sim.schedule(0.0, lambda: complete(task))
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown task type: {type(task).__name__}")
+
+    def _start_transfer(self, task: TransferTask, complete) -> None:
+        """Issue one transfer as a flow; the seam for retry/fault wrappers."""
+        task.start_time = self.sim.now
+        self.network.start_flow(
+            task.path,
+            task.nbytes,
+            lambda: complete(task),
+            priority=task.priority,
+            label=task.label,
+        )
 
     def _submit_compute(self, unit: ComputeUnit, task: ComputeTask, on_done) -> None:
         def timed_done() -> None:

@@ -156,6 +156,15 @@ class Trace:
         self._transfer_columns_cache: tuple[tuple[int, int], dict] | None = None
         self._compute_columns_cache: tuple[tuple[int, int], dict] | None = None
 
+    def __mobius_fingerprint__(self) -> tuple:
+        """Canonical content for :func:`repro.perf.fingerprint.fingerprint`.
+
+        Two traces fingerprint identically iff they recorded the same spans
+        in the same order — the determinism contract the fault-injection
+        tests assert (same seed + same fault schedule => identical trace).
+        """
+        return (self.n_gpus, tuple(self.compute), tuple(self.transfers))
+
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------

@@ -2,9 +2,13 @@
 
 import pytest
 
-from repro.experiments.runner import ExperimentTable, run_system
+from repro.experiments.runner import (
+    ExperimentTable,
+    PlanInfeasibleError,
+    run_system,
+)
 from repro.experiments.table1_gpus import run as run_table1
-from repro.hardware.topology import topo_2_2
+from repro.hardware.topology import commodity_server, topo_2_2
 
 
 class TestExperimentTable:
@@ -58,6 +62,22 @@ class TestRunSystem:
         result = run_system("mobius", tiny_model, topo_2_2(), microbatch_size=1)
         assert result.ok
         assert "plan_report" in result.extras
+
+    def test_infeasible_plan_raises_typed_error(self):
+        # A single block larger than GPU memory: no partition can ever fit,
+        # which must surface as PlanInfeasibleError (a ValueError subclass),
+        # never a bare ValueError — the chaos harness catches it by type.
+        from repro.models.spec import build_gpt_like
+
+        monster = build_gpt_like(
+            "monster",
+            n_blocks=2,
+            hidden_dim=65536,
+            n_heads=64,
+            default_microbatch_size=1,
+        )
+        with pytest.raises(PlanInfeasibleError):
+            run_system("mobius", monster, commodity_server([1]), microbatch_size=1)
 
 
 class TestTable1:

@@ -1,0 +1,130 @@
+"""Tests for the declarative fault models."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.faults.models import (
+    FaultSchedule,
+    FlakyTransfers,
+    GpuDropout,
+    LinkDegradation,
+    StragglerGpu,
+    failure_coin,
+)
+
+
+class TestValidation:
+    def test_dropout_rejects_negative_gpu(self):
+        with pytest.raises(ValueError):
+            GpuDropout(gpu=-1, time=1.0)
+
+    def test_dropout_rejects_infinite_time(self):
+        with pytest.raises(ValueError):
+            GpuDropout(gpu=0, time=math.inf)
+
+    @pytest.mark.parametrize("factor", [0.0, -0.1, 1.5, math.inf, math.nan])
+    def test_degradation_rejects_bad_factor(self, factor):
+        with pytest.raises(ValueError):
+            LinkDegradation(edge=("sw0", "rc0"), factor=factor)
+
+    def test_degradation_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            LinkDegradation(edge=("sw0", "rc0"), factor=0.5, start=2.0, end=2.0)
+
+    def test_straggler_rejects_speedup(self):
+        with pytest.raises(ValueError):
+            StragglerGpu(gpu=0, slowdown=0.5)
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.0, 1.5])
+    def test_flaky_rejects_bad_rate(self, rate):
+        with pytest.raises(ValueError):
+            FlakyTransfers(failure_rate=rate)
+
+    def test_schedule_rejects_foreign_objects(self):
+        with pytest.raises(TypeError):
+            FaultSchedule(0, ("not a fault",))
+
+    def test_fault_models_are_frozen(self):
+        fault = StragglerGpu(gpu=0, slowdown=2.0)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            fault.slowdown = 3.0
+
+
+class TestSchedule:
+    def test_accessors_partition_by_type(self):
+        faults = (
+            GpuDropout(gpu=1, time=5.0),
+            LinkDegradation(edge=("sw0", "rc0"), factor=0.5),
+            StragglerGpu(gpu=0, slowdown=2.0),
+            FlakyTransfers(failure_rate=0.1),
+        )
+        schedule = FaultSchedule(7, faults)
+        assert schedule.dropouts == (faults[0],)
+        assert schedule.link_degradations == (faults[1],)
+        assert schedule.stragglers == (faults[2],)
+        assert schedule.flaky_transfers == (faults[3],)
+
+    def test_without_flaky_keeps_hardware_faults(self):
+        schedule = FaultSchedule(
+            3,
+            (
+                FlakyTransfers(failure_rate=0.5),
+                StragglerGpu(gpu=0, slowdown=2.0),
+            ),
+        )
+        stripped = schedule.without_flaky()
+        assert stripped.seed == 3
+        assert stripped.flaky_transfers == ()
+        assert len(stripped.stragglers) == 1
+
+    def test_without_dropouts(self):
+        schedule = FaultSchedule(0, (GpuDropout(gpu=0, time=1.0),))
+        assert schedule.without_dropouts().faults == ()
+
+    def test_compute_scale_stacks_and_windows(self):
+        schedule = FaultSchedule(
+            0,
+            (
+                StragglerGpu(gpu=0, slowdown=2.0, start=0.0, end=10.0),
+                StragglerGpu(gpu=0, slowdown=3.0, start=5.0, end=10.0),
+                StragglerGpu(gpu=1, slowdown=7.0),
+            ),
+        )
+        assert schedule.compute_scale(0, 1.0) == pytest.approx(2.0)
+        assert schedule.compute_scale(0, 6.0) == pytest.approx(6.0)
+        assert schedule.compute_scale(0, 10.0) == 1.0  # window is half-open
+        assert schedule.compute_scale(2, 1.0) == 1.0
+
+    def test_failure_probability_composes_independently(self):
+        schedule = FaultSchedule(
+            0,
+            (
+                FlakyTransfers(failure_rate=0.5),
+                FlakyTransfers(failure_rate=0.5),
+            ),
+        )
+        assert schedule.failure_probability("param-upload", 0.0) == pytest.approx(0.75)
+
+    def test_failure_probability_respects_kinds(self):
+        schedule = FaultSchedule(
+            0, (FlakyTransfers(failure_rate=0.5, kinds=("activation",)),)
+        )
+        assert schedule.failure_probability("activation", 0.0) == pytest.approx(0.5)
+        assert schedule.failure_probability("param-upload", 0.0) == 0.0
+
+
+class TestFailureCoin:
+    def test_deterministic(self):
+        assert failure_coin(0, "F0m0", 1) == failure_coin(0, "F0m0", 1)
+
+    def test_in_unit_interval(self):
+        for attempt in range(1, 20):
+            assert 0.0 <= failure_coin(42, "up:3:pre", attempt) < 1.0
+
+    def test_varies_with_seed_label_attempt(self):
+        base = failure_coin(0, "x", 1)
+        assert failure_coin(1, "x", 1) != base
+        assert failure_coin(0, "y", 1) != base
+        assert failure_coin(0, "x", 2) != base

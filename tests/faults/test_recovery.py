@@ -1,0 +1,181 @@
+"""Tests for fault-injected execution, retries and degraded mode."""
+
+import pytest
+
+from repro.check.corpus import default_corpus
+from repro.core.api import plan_mobius
+from repro.core.pipeline import simulate_mobius
+from repro.faults.models import (
+    FaultSchedule,
+    FlakyTransfers,
+    GpuDropout,
+    LinkDegradation,
+    StragglerGpu,
+)
+from repro.faults.recovery import (
+    FaultInjectingRunner,
+    RetryPolicy,
+    UnrecoverableTransferError,
+    run_step,
+)
+from repro.perf.fingerprint import fingerprint
+
+
+@pytest.fixture(scope="module")
+def cell():
+    return default_corpus()[0]
+
+
+@pytest.fixture(scope="module")
+def planned(cell):
+    report = plan_mobius(cell.model, cell.topology, cell.config)
+    return cell, report
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1, growth=2.0)
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(3) == pytest.approx(0.4)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -1.0},
+            {"growth": 0.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestFaultInjectingRunner:
+    def test_rejects_dropout_schedules(self, cell):
+        schedule = FaultSchedule(0, (GpuDropout(gpu=0, time=1.0),))
+        with pytest.raises(ValueError, match="replan"):
+            FaultInjectingRunner(cell.topology, schedule)
+
+    def test_empty_schedule_matches_plain_runner(self, planned):
+        cell, report = planned
+        plain = simulate_mobius(report.plan, cell.topology, report.cost_model)
+        faulted = run_step(
+            report.plan, cell.topology, report.cost_model, FaultSchedule(0)
+        )
+        assert fingerprint(faulted.trace) == fingerprint(plain.trace)
+        assert not faulted.degraded
+        assert faulted.failed_attempts == ()
+
+    def test_straggler_slows_the_step(self, planned):
+        cell, report = planned
+        clean = run_step(
+            report.plan, cell.topology, report.cost_model, FaultSchedule(0)
+        )
+        # Slow the GPU running the last stage: guaranteed real compute.
+        gpu = report.plan.mapping.gpu_of_stage(report.plan.n_stages - 1)
+        slow = run_step(
+            report.plan,
+            cell.topology,
+            report.cost_model,
+            FaultSchedule(0, (StragglerGpu(gpu=gpu, slowdown=3.0),)),
+        )
+        assert slow.step_seconds > clean.step_seconds
+
+    def test_degraded_link_slows_the_step(self, planned):
+        cell, report = planned
+        clean = run_step(
+            report.plan, cell.topology, report.cost_model, FaultSchedule(0)
+        )
+        degraded = run_step(
+            report.plan,
+            cell.topology,
+            report.cost_model,
+            FaultSchedule(
+                0, (LinkDegradation(edge=("sw0", "rc0"), factor=0.25),)
+            ),
+        )
+        assert degraded.step_seconds > clean.step_seconds
+
+    def test_flaky_transfers_retry_and_complete(self, planned):
+        cell, report = planned
+        step = run_step(
+            report.plan,
+            cell.topology,
+            report.cost_model,
+            FaultSchedule(0, (FlakyTransfers(failure_rate=0.08),)),
+        )
+        assert not step.degraded
+        assert step.n_retries == len(step.failed_attempts) > 0
+        assert all(f.retried for f in step.failed_attempts)
+
+    def test_exhausted_retries_trigger_degraded_mode(self, planned):
+        cell, report = planned
+        step = run_step(
+            report.plan,
+            cell.topology,
+            report.cost_model,
+            FaultSchedule(0, (FlakyTransfers(failure_rate=0.95),)),
+            retry_policy=RetryPolicy(max_attempts=1),
+        )
+        assert step.degraded
+        assert step.abort_seconds > 0
+        assert step.step_seconds == pytest.approx(
+            step.abort_seconds + step.trace.makespan
+        )
+        assert any(not f.retried for f in step.failed_attempts)
+
+    def test_unrecoverable_error_carries_context(self, planned):
+        cell, report = planned
+        runner = FaultInjectingRunner(
+            cell.topology,
+            FaultSchedule(0, (FlakyTransfers(failure_rate=0.95),)),
+            retry_policy=RetryPolicy(max_attempts=1),
+        )
+        from repro.core.pipeline import build_mobius_tasks
+
+        tasks = build_mobius_tasks(
+            report.plan,
+            cell.topology,
+            report.plan.partition.stage_costs(report.cost_model),
+        )
+        with pytest.raises(UnrecoverableTransferError) as excinfo:
+            runner.execute(tasks)
+        assert excinfo.value.attempts == 1
+        assert excinfo.value.label
+
+
+class TestDeterminism:
+    """Satellite: same seed + fault schedule => byte-identical fingerprints."""
+
+    @pytest.mark.parametrize("index", [0, 1, 2])
+    def test_identical_trace_fingerprints_across_runs(self, index):
+        cell = default_corpus()[index]
+        report = plan_mobius(cell.model, cell.topology, cell.config)
+        schedule = FaultSchedule(
+            seed=42,
+            faults=(
+                FlakyTransfers(failure_rate=0.1),
+                StragglerGpu(gpu=0, slowdown=1.5),
+                LinkDegradation(edge=("sw0", "rc0"), factor=0.5),
+            ),
+        )
+        first = run_step(report.plan, cell.topology, report.cost_model, schedule)
+        second = run_step(report.plan, cell.topology, report.cost_model, schedule)
+        assert fingerprint(first.trace) == fingerprint(second.trace)
+        assert first.failed_attempts == second.failed_attempts
+
+    def test_different_seed_changes_flaky_outcomes(self):
+        cell = default_corpus()[0]
+        report = plan_mobius(cell.model, cell.topology, cell.config)
+
+        def attempts(seed):
+            step = run_step(
+                report.plan,
+                cell.topology,
+                report.cost_model,
+                FaultSchedule(seed, (FlakyTransfers(failure_rate=0.2),)),
+            )
+            return step.failed_attempts
+
+        assert attempts(0) != attempts(1)

@@ -113,3 +113,11 @@ class TestRunUntil:
         sim = Simulator()
         sim.run(until=3.0)
         assert sim.now == 3.0
+
+    def test_run_backwards_rejected(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=2.0)
+        with pytest.raises(ValueError):
+            sim.run(until=1.0)
+        assert sim.now == 2.0  # the failed call must not rewind the clock

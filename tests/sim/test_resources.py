@@ -165,6 +165,87 @@ class TestPriorities:
         assert done[1] == pytest.approx(1.0, rel=1e-6)
 
 
+class TestBandwidthScale:
+    def test_persistent_scale_halves_rate(self):
+        topo = topo_2_2()
+        sim = Simulator()
+        network = FlowNetwork(sim, topo)
+        network.set_bandwidth_scale(("sw0", "rc0"), 0.5)
+        done = {}
+        network.start_flow(
+            topo.path_to_dram(0), PCIE, lambda: done.setdefault(0, sim.now)
+        )
+        sim.run()
+        assert done[0] == pytest.approx(2.0, rel=1e-6)
+
+    def test_windowed_scale_applies_and_clears(self):
+        # Degraded at half bandwidth for [0, 1): after 1s the flow has moved
+        # 0.5*PCIE bytes, the rest completes at full rate -> 1.5s total.
+        topo = topo_2_2()
+        sim = Simulator()
+        network = FlowNetwork(sim, topo)
+        network.set_bandwidth_scale(("sw0", "rc0"), 0.5, start=0.0, end=1.0)
+        done = {}
+        network.start_flow(
+            topo.path_to_dram(0), PCIE, lambda: done.setdefault(0, sim.now)
+        )
+        sim.run()
+        assert done[0] == pytest.approx(1.5, rel=1e-6)
+
+    def test_future_start_leaves_link_nominal_until_then(self):
+        # Degradation starts at t=2.0, after the 1s flow already finished.
+        topo = topo_2_2()
+        sim = Simulator()
+        network = FlowNetwork(sim, topo)
+        network.set_bandwidth_scale(("sw0", "rc0"), 0.25, start=2.0)
+        done = {}
+        network.start_flow(
+            topo.path_to_dram(0), PCIE, lambda: done.setdefault(0, sim.now)
+        )
+        sim.run()
+        assert done[0] == pytest.approx(1.0, rel=1e-6)
+
+    def test_mid_flight_reallocation(self):
+        # The link degrades while the flow is in flight: 0.5s at full rate
+        # moves half the bytes, the other half at quarter rate takes 2s.
+        topo = topo_2_2()
+        sim = Simulator()
+        network = FlowNetwork(sim, topo)
+        network.set_bandwidth_scale(("sw0", "rc0"), 0.25, start=0.5)
+        done = {}
+        network.start_flow(
+            topo.path_to_dram(0), PCIE, lambda: done.setdefault(0, sim.now)
+        )
+        sim.run()
+        assert done[0] == pytest.approx(2.5, rel=1e-6)
+
+    def test_unknown_edge_rejected(self):
+        network = FlowNetwork(Simulator(), topo_2_2())
+        with pytest.raises(KeyError):
+            network.set_bandwidth_scale(("gpu0", "dram"), 0.5)
+
+    @pytest.mark.parametrize("factor", [0.0, -0.5, float("inf"), float("nan")])
+    def test_bad_factor_rejected(self, factor):
+        network = FlowNetwork(Simulator(), topo_2_2())
+        with pytest.raises(ValueError):
+            network.set_bandwidth_scale(("sw0", "rc0"), factor)
+
+    def test_empty_window_rejected(self):
+        network = FlowNetwork(Simulator(), topo_2_2())
+        with pytest.raises(ValueError):
+            network.set_bandwidth_scale(("sw0", "rc0"), 0.5, start=2.0, end=2.0)
+
+    def test_effective_bandwidth_reports_scale(self):
+        topo = topo_2_2()
+        network = FlowNetwork(Simulator(), topo)
+        edge = ("sw0", "rc0")
+        assert network.effective_bandwidth(edge) == topo.bandwidth_of(edge)
+        network.set_bandwidth_scale(edge, 0.5)
+        assert network.effective_bandwidth(edge) == pytest.approx(
+            0.5 * topo.bandwidth_of(edge)
+        )
+
+
 @settings(max_examples=25, deadline=None)
 @given(
     sizes=st.lists(
