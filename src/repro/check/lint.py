@@ -15,6 +15,11 @@ three that have bitten (or would silently bite) the reproduction:
   (``import random``, legacy ``numpy.random.*`` calls).  The simulator's
   virtual clock is the only time source there; ``time.perf_counter`` is
   allowed because it only feeds search-duration metadata, never results.
+  Modules under ``repro/solver/`` are held to the *strict* variant: the
+  solver runs under deterministic node/pivot budgets, so even monotonic
+  clocks (``perf_counter``, ``monotonic``) are banned except at the
+  explicitly allowlisted ``solve_seconds`` reporting site
+  (``clock_allowlist``).
 
 * **MOB003 — task-label contract.**  Task labels built in
   ``repro/core/pipeline.py`` must come from the :mod:`repro.core.labels`
@@ -64,6 +69,22 @@ _NUMPY_LEGACY_RANDOM = frozenset(
 #: ``monotonic`` are deliberately absent (duration metadata is fine).
 _WALL_CLOCK_ATTRS = frozenset({"time", "time_ns", "ctime", "localtime", "gmtime"})
 
+#: Clock attributes banned under MOB002's strict variant (``solver/``):
+#: any clock at all, monotonic ones included — deterministic budgets are
+#: the only sanctioned stopping criteria there.
+_STRICT_CLOCK_ATTRS = _WALL_CLOCK_ATTRS | frozenset(
+    {
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "thread_time",
+        "thread_time_ns",
+    }
+)
+
 _TASK_CONSTRUCTORS = frozenset({"Task", "ComputeTask", "TransferTask", "BarrierTask"})
 
 _LABELS_MODULE = "repro.core.labels"
@@ -111,6 +132,21 @@ class LintConfig:
         # Fault injection must be as deterministic as the simulator it
         # perturbs: failure coins come from content hashes, never RNGs.
         "src/repro/faults/",
+        # The MILP stack stops on node/pivot budgets, never the clock.
+        "src/repro/solver/",
+    )
+    strict_clock_prefixes: tuple[str, ...] = ("src/repro/solver/",)
+    clock_allowlist: frozenset[str] = frozenset(
+        {
+            # The single sanctioned clock read: MIPSolution.solve_seconds
+            # reporting.  It feeds metadata only — budgets control the
+            # search — and stays out of every hot loop.
+            "src/repro/solver/branch_bound.py::BranchAndBoundSolver.solve",
+            # The benchmark's wall times are informational by contract —
+            # the solvebench CI gate compares node counts and parity only.
+            "src/repro/solver/bench.py::_run_mip_rows",
+            "src/repro/solver/bench.py::_run_partition_rows",
+        }
     )
     label_modules: tuple[str, ...] = ("src/repro/core/pipeline.py",)
 
@@ -252,6 +288,60 @@ def _check_hot_path_determinism(
                 )
 
 
+def _check_strict_clock(
+    tree: ast.Module, rel_path: str, config: LintConfig, report: CheckReport
+) -> None:
+    """MOB002 strict variant: no clock reads at all outside allowlisted
+    functions (tracked by qualified name, ``path::Class.method``)."""
+
+    def visit(node: ast.AST, qualname: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_qualname = qualname
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                child_qualname = (
+                    f"{qualname}.{child.name}" if qualname else child.name
+                )
+            if isinstance(child, ast.Attribute):
+                chain = _attr_chain(child)
+                if (
+                    len(chain) >= 2
+                    and chain[0] == "time"
+                    and chain[-1] in _STRICT_CLOCK_ATTRS
+                ):
+                    site = f"{rel_path}::{qualname}"
+                    if site not in config.clock_allowlist:
+                        report.add(
+                            _CHECKER,
+                            "MOB002",
+                            f"clock read time.{chain[-1]} in the solver; "
+                            "deterministic node/pivot budgets are the only "
+                            "stopping criteria here (allowlist the site in "
+                            "LintConfig.clock_allowlist if it is pure "
+                            "reporting)",
+                            subject=f"{rel_path}:{child.lineno}",
+                        )
+            elif isinstance(child, ast.ImportFrom) and child.module == "time":
+                bad = sorted(
+                    alias.name
+                    for alias in child.names
+                    if alias.name in _STRICT_CLOCK_ATTRS
+                )
+                if bad:
+                    report.add(
+                        _CHECKER,
+                        "MOB002",
+                        f"clock import(s) {', '.join(bad)} from 'time' in the "
+                        "solver; qualify reads as time.<attr> so the "
+                        "allowlist can scope them",
+                        subject=f"{rel_path}:{child.lineno}",
+                    )
+            visit(child, child_qualname)
+
+    visit(tree, "")
+
+
 def _labels_module_names(tree: ast.Module) -> tuple[set[str], set[str]]:
     """Names bound from :mod:`repro.core.labels`: (functions, module aliases)."""
     functions: set[str] = set()
@@ -375,6 +465,8 @@ def lint_source(
         _check_fingerprint_dataclasses(tree, rel_path, config, report)
     if any(rel_path.startswith(prefix) for prefix in config.hot_path_prefixes):
         _check_hot_path_determinism(tree, rel_path, report)
+    if any(rel_path.startswith(prefix) for prefix in config.strict_clock_prefixes):
+        _check_strict_clock(tree, rel_path, config, report)
     if rel_path in config.label_modules:
         _check_task_labels(tree, rel_path, report)
 

@@ -33,6 +33,13 @@ from repro.models.profiler import ProfileReport, Profiler
 from repro.models.spec import ModelSpec
 from repro.perf.cache import get_cache
 from repro.sim.trace import Trace
+from repro.solver.warmstart import WarmStartContext
+
+#: Last MIP partition per (model, device, microbatch) — warm-start hints
+#: for subsequent related solves (scalability sweeps, fault re-plans).
+#: Hints cannot change results, so this is not a result cache and needs no
+#: invalidation beyond process lifetime.
+_PARTITION_HINTS: dict[tuple, WarmStartContext] = {}
 
 __all__ = ["MobiusConfig", "MobiusPlanReport", "MobiusReport", "plan_mobius", "run_mobius"]
 
@@ -148,8 +155,19 @@ def _plan_mobius_uncached(
             f"expected one of {sorted(_PARTITIONERS)}"
         ) from None
     kwargs = {}
+    hint_key = None
     if config.partition_method == "mip":
         kwargs["time_limit"] = config.partition_time_limit
+        # Warm start from the last MIP solve of the same model on the same
+        # device class (the scalability sweep re-solves for N, N+1, ...;
+        # fault replanning re-solves for N-1).  The hint seeds the
+        # incumbent only — mip_partition's canonical tie-break makes the
+        # result identical with or without it — so it stays out of the
+        # memoize key below.
+        hint_key = (model.name, model.n_layers, topology.gpu_spec.name, microbatch_size)
+        hint = _PARTITION_HINTS.get(hint_key)
+        if hint is not None:
+            kwargs["warm_start"] = hint
     # The layer-to-stage split does not depend on the mapping/prefetch knobs
     # or on the topology's wiring, only on the inputs below — so ablations
     # that sweep mapping_method (Figure 10) share one budget-limited solve.
@@ -168,6 +186,10 @@ def _plan_mobius_uncached(
         ),
         lambda: partitioner(model, cost_model, n_gpus, n_microbatches, bandwidth, **kwargs),
     )
+    if hint_key is not None:
+        _PARTITION_HINTS[hint_key] = WarmStartContext(
+            boundaries=partition_result.partition.boundaries, label="previous-solve"
+        )
 
     n_stages = partition_result.partition.n_stages
     if config.mapping_method == "cross":

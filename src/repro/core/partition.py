@@ -65,6 +65,8 @@ class PartitionResult:
         optimal: Whether the search ran to completion (exact optimum) or
             stopped on the budget with the best incumbent.
         method: ``"mip"``, ``"max-stage"`` or ``"min-stage"``.
+        warm_started: Whether a caller-provided warm-start hint seeded the
+            incumbent (it tightens pruning but never changes the result).
     """
 
     partition: Partition
@@ -73,6 +75,7 @@ class PartitionResult:
     nodes_explored: int
     optimal: bool
     method: str
+    warm_started: bool = False
 
 
 class _SearchContext:
@@ -95,9 +98,14 @@ class _SearchContext:
         self.gpu_memory = gpu_memory
         self._stage_cache: dict[tuple[int, int], StageCost] = {}
         self._eval_cache: dict[tuple[int, ...], PipelineTimings] = {}
-        self._bound_cache: dict[tuple[int, ...], float] = {}
         self._max_len_cache: dict[int, int] = {}
         layer_costs = [cost_model.layer_cost(layer) for layer in model.layers]
+        # Per-layer aggregate arrays: stage aggregates become running sums,
+        # so memory feasibility and the DFS bound never rebuild StageCost
+        # objects layer by layer.
+        self._layer_param = [c.param_bytes for c in layer_costs]
+        self._layer_act = [c.activation_bytes for c in layer_costs]
+        self._layer_work = [c.working_bytes for c in layer_costs]
         self.fwd_suffix = [0.0] * (model.n_layers + 1)
         for i in range(model.n_layers - 1, -1, -1):
             self.fwd_suffix[i] = self.fwd_suffix[i + 1] + layer_costs[i].fwd_seconds
@@ -111,18 +119,35 @@ class _SearchContext:
             self._stage_cache[key] = cached
         return cached
 
-    def stage_fits(self, start: int, stop: int) -> bool:
-        cost = self.stage_cost(start, stop)
-        return cost.mem_peak(self.n_microbatches) <= self.gpu_memory
+    def _input_act(self, start: int) -> int:
+        return self._layer_act[start - 1] if start > 0 else self._layer_act[0]
 
     def max_stage_len(self, start: int) -> int:
-        """Longest memory-feasible stage beginning at layer ``start``."""
+        """Longest memory-feasible stage beginning at layer ``start``.
+
+        Grows the stage one layer at a time with running aggregates, so the
+        scan is O(layers) and matches :meth:`StageCost.mem_peak` exactly
+        (same integer arithmetic on the same per-layer terms).
+        """
         cached = self._max_len_cache.get(start)
         if cached is not None:
             return cached
+        m = self.n_microbatches
+        stash = m * self._input_act(start)
+        prev_act = self._input_act(start)
+        param = intra = max_work = rolling = 0
         length = 0
         for stop in range(start + 1, self.model.n_layers + 1):
-            if self.stage_fits(start, stop):
+            j = stop - 1
+            act, work = self._layer_act[j], self._layer_work[j]
+            param += self._layer_param[j]
+            intra += act
+            max_work = max(max_work, work)
+            rolling = max(rolling, prev_act + act + work)
+            prev_act = act
+            mem_fwd = param + stash + rolling
+            mem_bwd = 2 * param + stash + intra + max_work + act
+            if max(mem_fwd, mem_bwd) <= self.gpu_memory:
                 length = stop - start
             else:
                 break
@@ -150,35 +175,132 @@ class _SearchContext:
             self._eval_cache[key] = cached
         return cached
 
-    def evaluate_prefix_bound(self, cuts: list[int]) -> float:
-        """Admissible lower bound on any completion of the stage prefix.
 
-        ``cuts`` is ``[0, b1, ..., bk]``; the prefix covers ``[0, cuts[-1])``.
-        The bound is the prefix's forward finish on the last microbatch plus
-        the remaining layers' forward and the entire model's backward, all
-        communication-free.  Memoized per prefix: the DFS re-enters the same
-        prefix whenever sibling subtrees are explored.
+class _ForwardStack:
+    """Incremental forward schedule of the DFS's current stage prefix.
+
+    The old bound re-ran the full Eq. 4-11 forward recurrence over the whole
+    prefix at every node (O(prefix * M) per node, quadratic down a DFS
+    path).  The DFS pushes/pops one stage at a time, so this stack extends
+    the parent's forward state by exactly one stage in O(M): it replays the
+    same arithmetic :func:`evaluate_pipeline`'s forward sweep would perform
+    for that stage, against the retained ``end/d/t_fwd`` of earlier stages.
+    Bounds are therefore bit-identical to the full re-evaluation, and every
+    pruning decision is unchanged.
+    """
+
+    def __init__(self, ctx: _SearchContext) -> None:
+        self._ctx = ctx
+        self._stages: list[StageCost] = []
+        self._rows: list[list[float]] = []
+        self._end_fwd: list[float] = []
+        self._d_fwd: list[float] = []
+
+    def push(self, start: int, stop: int) -> float:
+        """Append stage ``[start, stop)``; return the new prefix bound.
+
+        The bound is admissible: the prefix's exact forward finish on the
+        last microbatch plus the remaining layers' forward and the whole
+        model's backward, all communication-free.
         """
-        key = tuple(cuts)
-        cached = self._bound_cache.get(key)
-        if cached is not None:
-            return cached
-        bound = self._prefix_bound_uncached(cuts)
-        self._bound_cache[key] = bound
-        return bound
+        ctx = self._ctx
+        cost = ctx.stage_cost(start, stop)
+        m = ctx.n_microbatches
+        bandwidth = ctx.bandwidth
+        k = len(self._stages)
+        fwd_seconds = cost.fwd_seconds
+        if k:
+            prev = self._stages[-1]
+            t_prev = prev.fwd_seconds
+            act_latency = prev.output_activation_bytes / bandwidth
+            prev_row = self._rows[-1]
+        else:
+            t_prev = 0.0
+            act_latency = 0.0
+            prev_row = None
+        if k < ctx.n_gpus:
+            ready = cost.param_bytes / bandwidth
+            gpu_free = 0.0
+        else:
+            window = self._d_fwd[k - ctx.n_gpus]
+            room = ctx.gpu_memory - self._stages[k - ctx.n_gpus].mem_fwd(m)
+            prefetch = max(0, min(cost.param_bytes, room))
+            prefetched = min(prefetch, bandwidth * window)
+            remaining = cost.param_bytes - prefetched
+            gpu_free = self._end_fwd[k - ctx.n_gpus]
+            ready = gpu_free + max(0.0, remaining) / bandwidth
 
-    def _prefix_bound_uncached(self, cuts: list[int]) -> float:
-        costs = [self.stage_cost(a, b) for a, b in zip(cuts, cuts[1:])]
-        if not costs:
-            return self.fwd_suffix[0] + self.total_bwd
-        timings = evaluate_pipeline(
-            costs, self.n_gpus, self.n_microbatches, self.bandwidth, self.gpu_memory
-        )
-        if not timings.feasible:
-            return math.inf
-        last = len(costs) - 1
-        end_fwd = timings.t_fwd[last][self.n_microbatches - 1] + costs[last].fwd_seconds
-        return end_fwd + self.fwd_suffix[cuts[-1]] + self.total_bwd
+        row = [0.0] * m
+        for mb in range(m):
+            start_t = ready if mb == 0 else row[mb - 1] + fwd_seconds
+            if mb == 0:
+                start_t = max(start_t, gpu_free)
+            if prev_row is not None:
+                start_t = max(start_t, prev_row[mb] + t_prev + act_latency)
+            row[mb] = start_t
+        end = row[m - 1] + fwd_seconds
+        self._stages.append(cost)
+        self._rows.append(row)
+        self._end_fwd.append(end)
+        self._d_fwd.append(fwd_seconds + row[m - 1] - row[0])
+        return end + ctx.fwd_suffix[stop] + ctx.total_bwd
+
+    def pop(self) -> None:
+        self._stages.pop()
+        self._rows.pop()
+        self._end_fwd.pop()
+        self._d_fwd.pop()
+
+    def step_time(self) -> float:
+        """Exact step time of the *complete* partition on the stack.
+
+        Runs only the backward sweep of Eqs. 4-11 — the forward sweep was
+        already accumulated push by push — so a DFS leaf costs O(S*M)
+        instead of a full :func:`evaluate_pipeline` over the whole plan.
+        Bit-identical to ``evaluate_pipeline(...).step_seconds`` (same
+        arithmetic in the same order on the same forward state).
+        """
+        ctx = self._ctx
+        costs = self._stages
+        s = len(costs)
+        m = ctx.n_microbatches
+        n_gpus = ctx.n_gpus
+        bandwidth = ctx.bandwidth
+        end_fwd = self._end_fwd
+        t_bwd: list[list[float]] = [[0.0] * m for _ in range(s)]
+        d_bwd = [0.0] * s
+        end_bwd = [0.0] * s
+        for j in range(s - 1, -1, -1):
+            cost = costs[j]
+            bwd_seconds = cost.bwd_seconds
+            t_next = costs[j + 1].bwd_seconds if j < s - 1 else 0.0
+            grad_latency = (
+                (cost.output_activation_bytes / bandwidth) if j < s - 1 else 0.0
+            )
+            if j >= s - n_gpus:
+                ready = end_fwd[j]
+                gpu_free = end_fwd[j]
+            else:
+                window = d_bwd[j + n_gpus]
+                upload = cost.param_bytes + m * cost.input_activation_bytes
+                room = ctx.gpu_memory - costs[j + n_gpus].mem_bwd(m)
+                prefetch = max(0, min(upload, room))
+                prefetched = min(prefetch, bandwidth * window)
+                remaining = upload - prefetched
+                gpu_free = end_bwd[j + n_gpus]
+                ready = gpu_free + max(0.0, remaining) / bandwidth
+            row = t_bwd[j]
+            next_row = t_bwd[j + 1] if j < s - 1 else None
+            for mb in range(m):
+                start_t = ready if mb == 0 else row[mb - 1] + bwd_seconds
+                if mb == 0:
+                    start_t = max(start_t, gpu_free)
+                if next_row is not None:
+                    start_t = max(start_t, next_row[mb] + t_next + grad_latency)
+                row[mb] = start_t
+            end_bwd[j] = row[m - 1] + bwd_seconds
+            d_bwd[j] = bwd_seconds + row[m - 1] - row[0]
+        return t_bwd[0][m - 1] + costs[0].bwd_seconds
 
 
 def _balanced_boundaries(n_layers: int, n_stages: int) -> list[int]:
@@ -207,19 +329,64 @@ def _local_search(
     return current, best_time
 
 
+def _split_longest_stage(boundaries: list[int], n_layers: int) -> list[int] | None:
+    """Derive an ``n+1``-stage candidate by halving the longest stage."""
+    cuts = [0, *boundaries, n_layers]
+    longest = max(range(len(cuts) - 1), key=lambda i: (cuts[i + 1] - cuts[i], -i))
+    lo, hi = cuts[longest], cuts[longest + 1]
+    if hi - lo < 2:
+        return None
+    candidate = sorted([*boundaries, (lo + hi) // 2])
+    return candidate
+
+
 def _warm_start(ctx: _SearchContext) -> tuple[list[int] | None, float]:
-    """Best near-balanced partition over all stage counts, refined locally."""
+    """Best near-balanced partition over all stage counts, refined locally.
+
+    The stage-count sweep re-uses the previous count's solve: alongside the
+    balanced split, each count also tries the previous best with its longest
+    stage halved, so a good ``n``-stage plan seeds the ``n+1``-stage
+    candidate instead of every count starting from scratch.
+    """
     n_layers = ctx.model.n_layers
     best: list[int] | None = None
     best_time = math.inf
+    previous: list[int] | None = None
     for n_stages in range(max(1, ctx.n_gpus), n_layers + 1):
-        boundaries = _balanced_boundaries(n_layers, n_stages)
-        timings = ctx.evaluate(boundaries)
-        if timings.feasible and timings.step_seconds < best_time:
-            best, best_time = boundaries, timings.step_seconds
+        candidates = [_balanced_boundaries(n_layers, n_stages)]
+        if previous is not None and len(previous) == n_stages - 2:
+            derived = _split_longest_stage(previous, n_layers)
+            if derived is not None:
+                candidates.append(derived)
+        round_best: list[int] | None = None
+        round_time = math.inf
+        for boundaries in candidates:
+            timings = ctx.evaluate(boundaries)
+            if timings.feasible and timings.step_seconds < round_time:
+                round_best, round_time = boundaries, timings.step_seconds
+        if round_best is not None:
+            previous = round_best
+            if round_time < best_time:
+                best, best_time = round_best, round_time
     if best is not None:
         best, best_time = _local_search(ctx, best, best_time)
     return best, best_time
+
+
+def _warm_start_boundaries(warm_start: object) -> tuple[int, ...] | None:
+    """Extract candidate boundaries from a warm-start hint.
+
+    Accepts a plain boundary sequence or anything carrying a ``boundaries``
+    attribute (:class:`repro.solver.warmstart.WarmStartContext`, a
+    :class:`~repro.core.plan.Partition`, ...) — duck-typed so ``core`` does
+    not import ``solver``.
+    """
+    if warm_start is None:
+        return None
+    boundaries = getattr(warm_start, "boundaries", warm_start)
+    if boundaries is None:
+        return None
+    return tuple(int(b) for b in boundaries)
 
 
 def mip_partition(
@@ -231,7 +398,8 @@ def mip_partition(
     *,
     gpu_memory: int | None = None,
     time_limit: float = 10.0,
-    max_nodes: int = 200_000,
+    max_nodes: int = 20_000,
+    warm_start: object = None,
 ) -> PartitionResult:
     """The MIP partition algorithm (§3.2).
 
@@ -244,8 +412,20 @@ def mip_partition(
         bandwidth: Average per-GPU communication bandwidth ``B``.
         gpu_memory: Usable GPU bytes ``G``; defaults to the cost model's
             device minus framework overhead.
-        time_limit: Search budget in seconds.
-        max_nodes: Node budget.
+        time_limit: Wall-clock safety ceiling in seconds.  The
+            deterministic ``max_nodes`` budget is the primary limit; the
+            clock only stops a search on hardware far slower than the
+            calibration machine, so results are normally independent of it.
+        max_nodes: Deterministic node budget — the binding work limit.
+        warm_start: Optional incumbent hint — a boundary sequence or any
+            object with a ``boundaries`` attribute (e.g. a prior
+            :class:`~repro.core.plan.Partition` or a
+            ``repro.solver.warmstart.WarmStartContext``).  A good hint
+            tightens pruning (fewer nodes); it **cannot change the
+            result**: the search uses a canonical tie-break (smallest
+            boundary tuple among step-time ties) and explores tied
+            subtrees, so the returned partition is the same canonical
+            optimum with or without the hint.
 
     Returns:
         The best partition found; ``optimal`` reports whether the search
@@ -260,18 +440,55 @@ def mip_partition(
     started = time.perf_counter()
 
     incumbent, incumbent_time = _warm_start(ctx)
+    warm_started = False
+    hinted = _warm_start_boundaries(warm_start)
+    if hinted is not None and all(0 < b < model.n_layers for b in hinted):
+        hinted_list = sorted(set(hinted))
+        timings = ctx.evaluate(hinted_list)
+        if timings.feasible:
+            # A feasible hint seeded the search even when the built-in
+            # sweep already matched it — either way pruning starts from
+            # the tighter of the two.
+            warm_started = True
+            if timings.step_seconds < incumbent_time - 1e-12:
+                incumbent, incumbent_time = hinted_list, timings.step_seconds
+
     nodes = 0
     exhausted = True
     n_layers = model.n_layers
+    stack = _ForwardStack(ctx)
 
-    def dfs(cuts: list[int]) -> None:
+    def better(step_seconds: float, boundaries: Sequence[int]) -> bool:
+        """Canonical incumbent comparison: step time, then boundary tuple.
+
+        Ties (within 1e-12) prefer the lexicographically smaller boundary
+        tuple, which makes the returned optimum independent of incumbent
+        seeding order — the property that lets warm starts prune without
+        changing the result.
+        """
+        if step_seconds < incumbent_time - 1e-12:
+            return True
+        if step_seconds < incumbent_time + 1e-12:
+            return incumbent is None or tuple(boundaries) < tuple(incumbent)
+        return False
+
+    def dfs(cuts: list[int], bound: float) -> None:
         nonlocal incumbent, incumbent_time, nodes, exhausted
-        if nodes >= max_nodes or time.perf_counter() - started > time_limit:
+        # The node budget is the primary (deterministic) work limit; the
+        # wall-clock check is a safety ceiling that under the default
+        # budgets never binds first, keeping results machine-independent.
+        if nodes >= max_nodes:
+            exhausted = False
+            return
+        if time.perf_counter() - started > time_limit:
             exhausted = False
             return
         nodes += 1
         start = cuts[-1]
-        if ctx.evaluate_prefix_bound(cuts) >= incumbent_time - 1e-12:
+        # Tied subtrees (bound within 1e-12 of the incumbent) stay open so
+        # the canonical optimum survives regardless of which tie was the
+        # incumbent first.
+        if bound >= incumbent_time + 1e-12:
             return
         max_len = ctx.max_stage_len(start)
         remaining = n_layers - start
@@ -284,16 +501,29 @@ def mip_partition(
         for size in sizes:
             stop = start + size
             if stop == n_layers:
-                boundaries = cuts[1:]
-                timings = ctx.evaluate(boundaries)
-                if timings.feasible and timings.step_seconds < incumbent_time - 1e-12:
-                    incumbent, incumbent_time = list(boundaries), timings.step_seconds
+                # Leaf: the forward sweep is already on the stack, so the
+                # exact step time only needs the backward half (O(S*M)
+                # instead of a full evaluate_pipeline).  Memory feasibility
+                # is guaranteed — every stage's length was capped by
+                # max_stage_len on the way down.  The push bound is a valid
+                # lower bound on this completed partition's step, so leaves
+                # that cannot beat (or tie) the incumbent skip the backward
+                # sweep entirely.
+                leaf_bound = stack.push(start, stop)
+                if leaf_bound < incumbent_time + 1e-12:
+                    step = stack.step_time()
+                    boundaries = cuts[1:]
+                    if better(step, boundaries):
+                        incumbent = list(boundaries)
+                        incumbent_time = min(incumbent_time, step)
+                stack.pop()
             else:
                 cuts.append(stop)
-                dfs(cuts)
+                dfs(cuts, stack.push(start, stop))
+                stack.pop()
                 cuts.pop()
 
-    dfs([0])
+    dfs([0], ctx.fwd_suffix[0] + ctx.total_bwd)
 
     if incumbent is None:
         raise PlanInfeasibleError(
@@ -308,6 +538,7 @@ def mip_partition(
         nodes_explored=nodes,
         optimal=exhausted,
         method="mip",
+        warm_started=warm_started,
     )
 
 

@@ -149,6 +149,7 @@ def evaluate_pipeline(
 
     for j in range(s):
         cost = stage_costs[j]
+        fwd_seconds = cost.fwd_seconds
         t_prev = stage_costs[j - 1].fwd_seconds if j else 0.0
         act_latency = (stage_costs[j - 1].output_activation_bytes / bandwidth) if j else 0.0
 
@@ -163,15 +164,17 @@ def evaluate_pipeline(
             gpu_free = end_fwd[j - n_gpus]
             ready = gpu_free + max(0.0, remaining) / bandwidth
 
+        row = t_fwd[j]
+        prev_row = t_fwd[j - 1] if j else None
         for mb in range(m):
-            start = ready if mb == 0 else t_fwd[j][mb - 1] + cost.fwd_seconds
+            start = ready if mb == 0 else row[mb - 1] + fwd_seconds
             if mb == 0:
                 start = max(start, gpu_free)
-            if j:
-                start = max(start, t_fwd[j - 1][mb] + t_prev + act_latency)
-            t_fwd[j][mb] = start
-        end_fwd[j] = t_fwd[j][m - 1] + cost.fwd_seconds
-        d_fwd[j] = cost.fwd_seconds + t_fwd[j][m - 1] - t_fwd[j][0]
+            if prev_row is not None:
+                start = max(start, prev_row[mb] + t_prev + act_latency)
+            row[mb] = start
+        end_fwd[j] = row[m - 1] + fwd_seconds
+        d_fwd[j] = fwd_seconds + row[m - 1] - row[0]
 
     t_bwd = [[0.0] * m for _ in range(s)]
     d_bwd = [0.0] * s
@@ -179,6 +182,7 @@ def evaluate_pipeline(
 
     for j in range(s - 1, -1, -1):
         cost = stage_costs[j]
+        bwd_seconds = cost.bwd_seconds
         t_next = stage_costs[j + 1].bwd_seconds if j < s - 1 else 0.0
         grad_latency = (
             (cost.output_activation_bytes / bandwidth) if j < s - 1 else 0.0
@@ -195,15 +199,17 @@ def evaluate_pipeline(
             gpu_free = end_bwd[j + n_gpus]
             ready = gpu_free + max(0.0, remaining) / bandwidth
 
+        row = t_bwd[j]
+        next_row = t_bwd[j + 1] if j < s - 1 else None
         for mb in range(m):
-            start = ready if mb == 0 else t_bwd[j][mb - 1] + cost.bwd_seconds
+            start = ready if mb == 0 else row[mb - 1] + bwd_seconds
             if mb == 0:
                 start = max(start, gpu_free)
-            if j < s - 1:
-                start = max(start, t_bwd[j + 1][mb] + t_next + grad_latency)
-            t_bwd[j][mb] = start
-        end_bwd[j] = t_bwd[j][m - 1] + cost.bwd_seconds
-        d_bwd[j] = cost.bwd_seconds + t_bwd[j][m - 1] - t_bwd[j][0]
+            if next_row is not None:
+                start = max(start, next_row[mb] + t_next + grad_latency)
+            row[mb] = start
+        end_bwd[j] = row[m - 1] + bwd_seconds
+        d_bwd[j] = bwd_seconds + row[m - 1] - row[0]
 
     # Objective (Eq. 3): start of first stage's backward on the last
     # microbatch plus its backward duration.

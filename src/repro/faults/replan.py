@@ -7,8 +7,11 @@ topology — there is no separate recovery planner — and charges a modeled
 time-to-recover:
 
 * ``replan_seconds`` — the planner's search budget.  The MIP runs under a
-  wall-clock time limit, so the budget (not the nondeterministic realized
-  solve time) is the deterministic model of re-planning latency.
+  deterministic node budget with a wall-clock safety ceiling, so the
+  configured budget (not the realized solve time) is the deterministic
+  model of re-planning latency.  The re-solve warm-starts from the
+  pre-fault partition (see :mod:`repro.solver.warmstart`), which shrinks
+  the realized search well below the budget.
 * ``migration_seconds`` — restoring the dropped GPU's stage state from the
   DRAM checkpoint.  Mobius keeps parameters in DRAM by design, so only the
   dead GPU's working set (the FP16 parameters of its stages) must be
@@ -122,6 +125,21 @@ class ReplanResult:
     def time_to_recover(self) -> float:
         """Seconds from dropout detection to training resumption."""
         return self.replan_seconds + self.migration_seconds
+
+    @property
+    def solver_nodes(self) -> int:
+        """Branch & bound nodes the re-plan's partition solve explored.
+
+        With a warm start from the pre-fault plan this is typically far
+        below a cold solve — the recovery-latency headline of the
+        incremental re-solve path."""
+        return self.plan_report.partition_result.nodes_explored
+
+    @property
+    def warm_started(self) -> bool:
+        """Whether the re-plan's partition solve was seeded by a previous
+        solution (see ``repro.solver.warmstart.WarmStartContext``)."""
+        return getattr(self.plan_report.partition_result, "warm_started", False)
 
 
 def replan_after_dropout(

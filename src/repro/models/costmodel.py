@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections.abc import Sequence
+from functools import cached_property
 
 from repro.hardware.gpu import GPUSpec, Precision
 from repro.models.spec import FP16_BYTES, LayerSpec, ModelSpec
@@ -48,6 +49,13 @@ class StageCost:
 
     All times are per-microbatch; memory methods take the microbatch count
     ``m`` where the footprint scales with in-flight microbatches.
+
+    The aggregates are :func:`functools.cached_property` values: the planner
+    evaluates millions of candidate schedules against the same StageCost
+    objects, and re-summing ``layer_costs`` on every access dominated the
+    uncached suite.  Caching is sound because the dataclass is frozen, and
+    invisible to equality/fingerprinting because both iterate
+    ``dataclasses.fields`` only.
     """
 
     layer_costs: tuple[LayerCost, ...]
@@ -57,7 +65,7 @@ class StageCost:
     def n_layers(self) -> int:
         return len(self.layer_costs)
 
-    @property
+    @cached_property
     def param_bytes(self) -> int:
         """FP16 parameter bytes — the stage's DRAM-to-GPU upload size."""
         return sum(c.param_bytes for c in self.layer_costs)
@@ -67,12 +75,12 @@ class StageCost:
         """FP16 gradient bytes — the stage's GPU-to-DRAM offload size."""
         return self.param_bytes
 
-    @property
+    @cached_property
     def fwd_seconds(self) -> float:
         """Forward compute time for one microbatch."""
         return sum(c.fwd_seconds for c in self.layer_costs)
 
-    @property
+    @cached_property
     def bwd_seconds(self) -> float:
         """Backward (incl. recompute) compute time for one microbatch."""
         return sum(c.bwd_seconds for c in self.layer_costs)
@@ -84,19 +92,18 @@ class StageCost:
             return 0
         return self.layer_costs[-1].activation_bytes
 
-    @property
+    @cached_property
     def max_working_bytes(self) -> int:
         return max((c.working_bytes for c in self.layer_costs), default=0)
 
-    @property
+    @cached_property
     def intra_activation_bytes(self) -> int:
         """All intra-stage boundary activations of one microbatch (the
         recompute footprint during backward)."""
         return sum(c.activation_bytes for c in self.layer_costs)
 
-    def rolling_buffer_bytes(self) -> int:
-        """Peak transient during forward of one microbatch: the largest
-        (input + output + working) window over the stage's layers."""
+    @cached_property
+    def _rolling_buffer_bytes(self) -> int:
         peak = 0
         prev_act = self.input_activation_bytes
         for cost in self.layer_costs:
@@ -104,18 +111,30 @@ class StageCost:
             prev_act = cost.activation_bytes
         return peak
 
+    def rolling_buffer_bytes(self) -> int:
+        """Peak transient during forward of one microbatch: the largest
+        (input + output + working) window over the stage's layers."""
+        return self._rolling_buffer_bytes
+
+    @cached_property
+    def _mem_fwd_base(self) -> int:
+        return self.param_bytes + self._rolling_buffer_bytes
+
+    @cached_property
+    def _mem_bwd_base(self) -> int:
+        recompute = self.intra_activation_bytes + self.max_working_bytes
+        grad_in = self.output_activation_bytes  # incoming activation gradient
+        return self.param_bytes + self.grad_bytes + recompute + grad_in
+
     def mem_fwd(self, m: int) -> int:
         """GPU bytes needed while this stage runs forward on ``m`` in-flight
-        microbatches (Eq. 4's S_j^f)."""
-        stash = m * self.input_activation_bytes  # recompute checkpoints
-        return self.param_bytes + stash + self.rolling_buffer_bytes()
+        microbatches (Eq. 4's S_j^f); the ``m``-scaled term is the stash of
+        recompute-checkpoint input activations."""
+        return self._mem_fwd_base + m * self.input_activation_bytes
 
     def mem_bwd(self, m: int) -> int:
         """GPU bytes needed while this stage runs backward (Eq. 4's S_j^b)."""
-        recompute = self.intra_activation_bytes + self.max_working_bytes
-        stash = m * self.input_activation_bytes
-        grad_in = self.output_activation_bytes  # incoming activation gradient
-        return self.param_bytes + self.grad_bytes + stash + recompute + grad_in
+        return self._mem_bwd_base + m * self.input_activation_bytes
 
     def mem_peak(self, m: int) -> int:
         """Maximum of the forward and backward footprints."""

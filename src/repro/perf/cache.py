@@ -48,7 +48,11 @@ __all__ = [
 ]
 
 #: On-disk entry format version; bump to invalidate all persisted entries.
-CACHE_VERSION = 1
+#: v2: the fast-MIP solver overhaul — PartitionResult/MIPSolution grew
+#: fields (warm_started, pivots, cuts_added) and the partition search moved
+#: to a deterministic node budget, so v1 entries describe a different
+#: search and must never be returned.
+CACHE_VERSION = 2
 
 DEFAULT_CACHE_DIR = ".mobius_cache"
 

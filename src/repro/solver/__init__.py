@@ -1,10 +1,15 @@
 """MILP solver substrate (replaces Gurobi, which the paper uses for §3.2).
 
-Stack: algebraic model builder -> dense two-phase simplex -> best-first
-branch & bound, with optional scipy/HiGHS backends for cross-validation.
+Stack: algebraic model builder -> bounded-variable revised simplex (primal
++ dual, warm-startable basis) -> best-first branch & bound with root cuts,
+primal heuristics, incremental bound propagation, and deterministic
+node/pivot budgets — with optional scipy/HiGHS backends for
+cross-validation.
 """
 
 from repro.solver.branch_bound import BranchAndBoundSolver, MIPSolution, MIPStatus
+from repro.solver.cuts import cover_cuts, gomory_cuts
+from repro.solver.heuristics import dive, round_and_repair
 from repro.solver.model import (
     Constraint,
     ConstraintSense,
@@ -13,11 +18,25 @@ from repro.solver.model import (
     StandardForm,
     Variable,
 )
-from repro.solver.presolve import PresolveResult, postsolve, presolve
+from repro.solver.presolve import (
+    PresolveResult,
+    postsolve,
+    presolve,
+    propagate_bounds,
+)
 from repro.solver.scipy_backend import solve_lp_scipy, solve_milp_scipy
-from repro.solver.simplex import LPSolution, LPStatus, SimplexError, solve_standard_form
+from repro.solver.simplex import (
+    Basis,
+    LPSolution,
+    LPStatus,
+    RevisedSimplex,
+    SimplexError,
+    solve_standard_form,
+)
+from repro.solver.warmstart import WarmStartContext
 
 __all__ = [
+    "Basis",
     "BranchAndBoundSolver",
     "Constraint",
     "ConstraintSense",
@@ -28,11 +47,18 @@ __all__ = [
     "MIPSolution",
     "MIPStatus",
     "PresolveResult",
-    "postsolve",
-    "presolve",
+    "RevisedSimplex",
     "SimplexError",
     "StandardForm",
     "Variable",
+    "WarmStartContext",
+    "cover_cuts",
+    "dive",
+    "gomory_cuts",
+    "postsolve",
+    "presolve",
+    "propagate_bounds",
+    "round_and_repair",
     "solve_lp_scipy",
     "solve_milp_scipy",
     "solve_standard_form",

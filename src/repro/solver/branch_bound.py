@@ -1,8 +1,28 @@
 """Best-first branch & bound for mixed-integer linear programs.
 
-Pairs with the simplex LP backend (or scipy's HiGHS) to solve the paper's
-partitioning MIPs without Gurobi.  Nodes are explored best-bound-first;
-branching splits on the most fractional integer variable.
+Pairs with the revised-simplex LP backend (or scipy's HiGHS) to solve the
+paper's partitioning MIPs without Gurobi.  The solver is built for the
+suite's *sequence* of related instances:
+
+* **deterministic work limits** — the search stops on node/pivot budgets,
+  never on wall-clock, so a solve is reproducible across machines
+  (``solve_seconds`` is reported but controls nothing);
+* **warm starts** — a :class:`~repro.solver.warmstart.WarmStartContext`
+  seeds the incumbent; canonical tie-breaking plus tie-exploring pruning
+  make the returned solution bit-identical with or without the hint, the
+  hint only shrinks the tree;
+* **basis reuse** — one :class:`~repro.solver.simplex.RevisedSimplex` is
+  built per tree and children re-solve dual-simplex from the parent's
+  optimal basis (branching only changes bounds, never rows);
+* **root cuts** — Gomory fractional and knapsack cover cuts tighten the
+  root relaxation before branching;
+* **incremental presolve** — every node re-runs bound propagation against
+  the (fixed) rows, fathoming infeasible children without an LP solve;
+* **primal heuristics** — rounding and LP diving produce an early
+  incumbent at the root.
+
+Nodes are explored best-bound-first with insertion-order tie-breaking
+(explicit monotone sequence number — the heap never compares payloads).
 """
 
 from __future__ import annotations
@@ -17,11 +37,12 @@ import time
 import numpy as np
 
 from repro.solver.model import LinearProgram, StandardForm
-from repro.solver.simplex import LPStatus, solve_standard_form
+from repro.solver.simplex import Basis, LPStatus, RevisedSimplex, SimplexError
 
 __all__ = ["MIPStatus", "MIPSolution", "BranchAndBoundSolver"]
 
 _INT_TOL = 1e-6
+_OBJ_TOL = 1e-9
 
 
 class MIPStatus(enum.Enum):
@@ -37,6 +58,7 @@ class MIPSolution:
     """Outcome of a MIP solve.
 
     ``objective`` is in the user's original direction (max stays max).
+    ``solve_seconds`` is reporting only — budgets are nodes and pivots.
     """
 
     status: MIPStatus
@@ -44,6 +66,9 @@ class MIPSolution:
     objective: float = math.nan
     nodes_explored: int = 0
     solve_seconds: float = 0.0
+    pivots: int = 0
+    cuts_added: int = 0
+    warm_started: bool = False
 
     @property
     def ok(self) -> bool:
@@ -53,9 +78,10 @@ class MIPSolution:
 @dataclasses.dataclass(order=True)
 class _Node:
     bound: float
-    tiebreak: int
+    seq: int  # insertion order: the deterministic heap tie-break
     lb: np.ndarray = dataclasses.field(compare=False)
     ub: np.ndarray = dataclasses.field(compare=False)
+    basis: Basis | None = dataclasses.field(compare=False, default=None)
 
 
 class BranchAndBoundSolver:
@@ -63,9 +89,22 @@ class BranchAndBoundSolver:
 
     Args:
         lp_backend: ``"simplex"`` (our solver) or ``"scipy"``
-            (:func:`scipy.optimize.linprog`, HiGHS).
-        max_nodes: Node budget before returning the incumbent.
-        time_limit: Wall-clock budget in seconds.
+            (:func:`scipy.optimize.linprog`, HiGHS).  Basis reuse and
+            Gomory cuts need the simplex backend.
+        max_nodes: Deterministic node budget before returning the incumbent.
+        max_pivots: Deterministic simplex-pivot budget (simplex backend);
+            checked between nodes.
+        time_limit: Accepted for API compatibility and **reporting only**
+            — the search never consults the clock, so results are
+            machine-independent.
+        presolve: Run the full presolve reductions at the root.
+        propagate: Bound-propagate at every node (fathoms infeasible
+            children without an LP solve).
+        cuts: Rounds of root cutting planes (0 disables).
+        heuristics: Run rounding/diving at the root for an early incumbent.
+        reuse_basis: Child LPs warm-start dual simplex from the parent
+            basis.  Exposed so benchmarks can measure the pivot savings;
+            the returned solution is identical either way.
     """
 
     def __init__(
@@ -73,24 +112,42 @@ class BranchAndBoundSolver:
         *,
         lp_backend: str = "simplex",
         max_nodes: int = 100_000,
+        max_pivots: int = 5_000_000,
         time_limit: float = 60.0,
         presolve: bool = False,
+        propagate: bool = True,
+        cuts: int = 2,
+        heuristics: bool = True,
+        reuse_basis: bool = True,
     ) -> None:
         if lp_backend not in ("simplex", "scipy"):
             raise ValueError(f"unknown lp_backend {lp_backend!r}")
         self.lp_backend = lp_backend
         self.max_nodes = max_nodes
+        self.max_pivots = max_pivots
         self.time_limit = time_limit
         self.presolve = presolve
+        self.propagate = propagate
+        self.cuts = cuts if lp_backend == "simplex" else 0
+        self.heuristics = heuristics
+        self.reuse_basis = reuse_basis and lp_backend == "simplex"
 
-    def solve(self, program: LinearProgram) -> MIPSolution:
-        """Solve ``program`` to optimality (or budget exhaustion)."""
+    def solve(
+        self, program: LinearProgram, *, warm_start: object = None
+    ) -> MIPSolution:
+        """Solve ``program`` to optimality (or budget exhaustion).
+
+        ``warm_start`` may be a
+        :class:`~repro.solver.warmstart.WarmStartContext` or any object
+        with an ``x`` attribute in the original variable space.  A valid
+        hint seeds the incumbent; it cannot change the returned solution.
+        """
         started = time.perf_counter()
         original_form = program.to_standard_form()
         form = original_form
         reduction = None
         if self.presolve:
-            from repro.solver.presolve import postsolve, presolve
+            from repro.solver.presolve import presolve
 
             reduction = presolve(original_form)
             if reduction.infeasible:
@@ -101,107 +158,293 @@ class BranchAndBoundSolver:
             form = reduction.form
         integer = np.flatnonzero(form.integer)
 
-        counter = itertools.count()
-        root = _Node(-math.inf, next(counter), form.lb.copy(), form.ub.copy())
-        heap = [root]
-        incumbent_x: np.ndarray | None = None
-        incumbent_obj = math.inf  # minimisation-form objective
-        nodes = 0
-        saw_infeasible_root = False
-
-        while heap:
-            if nodes >= self.max_nodes or time.perf_counter() - started > self.time_limit:
-                break
-            node = heapq.heappop(heap)
-            if node.bound >= incumbent_obj - 1e-9:
-                continue
-            relaxation = self._solve_lp(form, node.lb, node.ub)
-            nodes += 1
-            if relaxation.status is LPStatus.INFEASIBLE:
-                if nodes == 1:
-                    saw_infeasible_root = True
-                continue
-            if relaxation.status is LPStatus.UNBOUNDED:
-                if nodes == 1:
-                    return MIPSolution(
-                        MIPStatus.UNBOUNDED,
-                        nodes_explored=nodes,
-                        solve_seconds=time.perf_counter() - started,
-                    )
-                continue
-            assert relaxation.x is not None
-            if relaxation.objective >= incumbent_obj - 1e-9:
-                continue
-
-            fractional = self._most_fractional(relaxation.x, integer)
-            if fractional is None:
-                incumbent_x = relaxation.x.copy()
-                incumbent_obj = relaxation.objective
-                continue
-
-            var, value = fractional
-            floor_ub = node.ub.copy()
-            floor_ub[var] = math.floor(value)
-            if node.lb[var] <= floor_ub[var]:
-                heapq.heappush(
-                    heap,
-                    _Node(relaxation.objective, next(counter), node.lb.copy(), floor_ub),
-                )
-            ceil_lb = node.lb.copy()
-            ceil_lb[var] = math.ceil(value)
-            if ceil_lb[var] <= node.ub[var]:
-                heapq.heappush(
-                    heap,
-                    _Node(relaxation.objective, next(counter), ceil_lb, node.ub.copy()),
-                )
+        state = _SearchState(self, form, integer)
+        state.seed_incumbent(self._hint_vector(warm_start, original_form, reduction))
+        state.run()
 
         elapsed = time.perf_counter() - started
-        if incumbent_x is None:
+        if state.incumbent_x is None:
             status = (
-                MIPStatus.INFEASIBLE
-                if saw_infeasible_root and not heap
-                else (MIPStatus.INFEASIBLE if not heap else MIPStatus.NO_SOLUTION)
+                MIPStatus.UNBOUNDED
+                if state.root_unbounded
+                else (MIPStatus.INFEASIBLE if state.exhausted else MIPStatus.NO_SOLUTION)
             )
-            return MIPSolution(status, nodes_explored=nodes, solve_seconds=elapsed)
+            return MIPSolution(
+                status,
+                nodes_explored=state.nodes,
+                solve_seconds=elapsed,
+                pivots=state.pivots,
+                cuts_added=state.cuts_added,
+                warm_started=state.warm_started,
+            )
 
-        # Round near-integers exactly.
-        x = incumbent_x.copy()
+        x = state.incumbent_x.copy()
         x[integer] = np.round(x[integer])
-        status = MIPStatus.OPTIMAL if not heap or all(
-            n.bound >= incumbent_obj - 1e-9 for n in heap
-        ) else MIPStatus.FEASIBLE
         if reduction is not None:
             from repro.solver.presolve import postsolve
 
             x = postsolve(reduction, x)
         return MIPSolution(
-            status,
+            MIPStatus.OPTIMAL if state.exhausted else MIPStatus.FEASIBLE,
             x=x,
             objective=original_form.objective_value(x),
-            nodes_explored=nodes,
+            nodes_explored=state.nodes,
             solve_seconds=elapsed,
+            pivots=state.pivots,
+            cuts_added=state.cuts_added,
+            warm_started=state.warm_started,
         )
 
     # ------------------------------------------------------------------
 
-    def _solve_lp(self, form: StandardForm, lb: np.ndarray, ub: np.ndarray):
-        node_form = dataclasses.replace(form, lb=lb, ub=ub)
-        if self.lp_backend == "simplex":
-            return solve_standard_form(node_form)
+    def _hint_vector(
+        self, warm_start: object, original_form: StandardForm, reduction
+    ) -> np.ndarray | None:
+        """Extract an incumbent hint in *reduced* variable space."""
+        if warm_start is None:
+            return None
+        x = getattr(warm_start, "x", None)
+        if x is None:
+            return None
+        x = np.asarray(x, dtype=float)
+        if x.shape != original_form.c.shape:
+            return None
+        if reduction is not None:
+            # Hint must agree with presolve's fixings to survive reduction.
+            fixed_mask = np.ones(len(reduction.fixed_values), dtype=bool)
+            fixed_mask[reduction.kept] = False
+            if np.any(
+                np.abs(x[fixed_mask] - reduction.fixed_values[fixed_mask]) > _INT_TOL
+            ):
+                return None
+            x = x[reduction.kept]
+        return x
+
+
+class _SearchState:
+    """One tree search: heap, incumbent, budgets, and the LP backend."""
+
+    def __init__(
+        self, solver: BranchAndBoundSolver, form: StandardForm, integer: np.ndarray
+    ) -> None:
+        self.solver = solver
+        self.form = form
+        self.integer = integer
+        self.nodes = 0
+        self.pivots = 0
+        self.cuts_added = 0
+        self.exhausted = True
+        self.root_unbounded = False
+        self.warm_started = False
+        self.incumbent_x: np.ndarray | None = None
+        self.incumbent_obj = math.inf  # minimisation-form objective
+        self.simplex: RevisedSimplex | None = None
+        if solver.lp_backend == "simplex":
+            self.simplex = RevisedSimplex(form)
+
+    # -- incumbent -----------------------------------------------------
+
+    def _canonical_key(self, x: np.ndarray) -> tuple:
+        return tuple(np.round(x[self.integer]).astype(int).tolist())
+
+    def offer(self, x: np.ndarray, objective: float, *, from_hint: bool = False) -> None:
+        """Adopt ``x`` under the canonical tie-break.
+
+        Strictly better within tolerance always wins; ties (within
+        ``_OBJ_TOL``) prefer the lexicographically smaller rounded integer
+        vector.  Combined with tie-exploring pruning this makes the final
+        incumbent independent of the order solutions are found — and
+        therefore of warm-start seeding.
+        """
+        if objective < self.incumbent_obj - _OBJ_TOL:
+            adopt = True
+        elif objective < self.incumbent_obj + _OBJ_TOL:
+            adopt = self.incumbent_x is None or self._canonical_key(
+                x
+            ) < self._canonical_key(self.incumbent_x)
+        else:
+            adopt = False
+        if adopt:
+            self.incumbent_x = x.copy()
+            self.incumbent_obj = min(self.incumbent_obj, objective)
+            if from_hint:
+                self.warm_started = True
+
+    def seed_incumbent(self, hint: np.ndarray | None) -> None:
+        """Verify an integer-feasible hint and adopt it as the incumbent."""
+        if hint is None:
+            return
+        form = self.form
+        x = hint.copy()
+        x[self.integer] = np.round(x[self.integer])
+        if np.any(x < form.lb - _INT_TOL) or np.any(x > form.ub + _INT_TOL):
+            return
+        if form.a_ub.size and np.any(form.a_ub @ x > form.b_ub + 1e-7):
+            return
+        if form.a_eq.size and np.any(np.abs(form.a_eq @ x - form.b_eq) > 1e-7):
+            return
+        self.offer(x, float(form.c @ x), from_hint=True)
+
+    # -- LP backend ----------------------------------------------------
+
+    def _solve_lp(self, lb: np.ndarray, ub: np.ndarray, basis: Basis | None):
+        if self.simplex is not None:
+            before = 0
+            try:
+                solution = self.simplex.solve(lb, ub, basis=basis)
+            except SimplexError:
+                solution = self.simplex.solve(lb, ub)
+            self.pivots += solution.pivots - before
+            return solution
         from repro.solver.scipy_backend import solve_lp_scipy
 
+        node_form = dataclasses.replace(self.form, lb=lb, ub=ub)
         return solve_lp_scipy(node_form)
 
-    @staticmethod
-    def _most_fractional(
-        x: np.ndarray, integer: np.ndarray
-    ) -> tuple[int, float] | None:
+    # -- root strengthening --------------------------------------------
+
+    def _apply_root_cuts(self, root_solution) -> object:
+        """Append violated cuts to the form; rebuild the simplex."""
+        from repro.solver.cuts import cover_cuts, gomory_cuts
+
+        solution = root_solution
+        for _ in range(self.solver.cuts):
+            if solution.status is not LPStatus.OPTIMAL or solution.x is None:
+                break
+            if self._fractional(solution.x) is None:
+                break  # already integral: no cutting needed
+            new_rows = gomory_cuts(self.simplex, self.form)
+            new_rows += cover_cuts(self.form, solution.x)
+            violated = [
+                (row, rhs)
+                for row, rhs in new_rows
+                if float(row @ solution.x) > rhs + 1e-7
+            ]
+            if not violated:
+                break
+            a_new = np.vstack([self.form.a_ub, *[r for r, _ in violated]])
+            b_new = np.concatenate(
+                [self.form.b_ub, np.array([rhs for _, rhs in violated])]
+            )
+            self.form = dataclasses.replace(self.form, a_ub=a_new, b_ub=b_new)
+            self.cuts_added += len(violated)
+            self.simplex = RevisedSimplex(self.form)
+            solution = self._solve_lp(self.form.lb, self.form.ub, None)
+        return solution
+
+    def _run_heuristics(self, root_solution) -> None:
+        from repro.solver.heuristics import dive, round_and_repair
+
+        if root_solution.x is None:
+            return
+        for attempt in (
+            round_and_repair(self.simplex, self.form, root_solution.x),
+            dive(self.simplex, self.form, root_solution.x),
+        ):
+            if attempt is not None:
+                x = attempt.copy()
+                x[self.integer] = np.round(x[self.integer])
+                self.offer(x, float(self.form.c @ x))
+
+    # -- main loop -----------------------------------------------------
+
+    def _fractional(self, x: np.ndarray) -> tuple[int, float] | None:
+        """Most-fractional branching variable (lowest index on ties)."""
         best_var = None
         best_frac = _INT_TOL
-        for var in integer:
+        for var in self.integer:
             value = x[var]
             frac = abs(value - round(value))
             if frac > best_frac:
                 best_frac = frac
                 best_var = (int(var), float(value))
         return best_var
+
+    def run(self) -> None:
+        solver = self.solver
+        form = self.form
+        counter = itertools.count()
+        heap = [_Node(-math.inf, next(counter), form.lb.copy(), form.ub.copy())]
+        root = True
+
+        while heap:
+            if self.nodes >= solver.max_nodes or self.pivots >= solver.max_pivots:
+                self.exhausted = False
+                return
+            node = heapq.heappop(heap)
+            # Tie-exploring prune: subtrees within _OBJ_TOL of the incumbent
+            # stay open so the canonical optimum survives regardless of
+            # which tie became the incumbent first.
+            if node.bound >= self.incumbent_obj + _OBJ_TOL:
+                continue
+            if solver.propagate and form.a_ub.size:
+                from repro.solver.presolve import propagate_bounds
+
+                lb, ub, feasible = propagate_bounds(
+                    form.a_ub, form.b_ub, node.lb, node.ub, form.integer, max_rounds=2
+                )
+                if not feasible:
+                    self.nodes += 1
+                    root = False
+                    continue
+            else:
+                lb, ub = node.lb, node.ub
+            relaxation = self._solve_lp(lb, ub, node.basis)
+            self.nodes += 1
+            if relaxation.status is LPStatus.INFEASIBLE:
+                root = False
+                continue
+            if relaxation.status is LPStatus.UNBOUNDED:
+                if root:
+                    self.root_unbounded = True
+                    self.exhausted = False
+                    return
+                root = False
+                continue
+            assert relaxation.x is not None
+            if root and self.simplex is not None:
+                if solver.cuts:
+                    relaxation = self._apply_root_cuts(relaxation)
+                    form = self.form  # cuts rebuilt the form
+                    if relaxation.status is not LPStatus.OPTIMAL:
+                        root = False
+                        continue
+                if solver.heuristics:
+                    self._run_heuristics(relaxation)
+            root = False
+            if relaxation.objective >= self.incumbent_obj + _OBJ_TOL:
+                continue
+
+            fractional = self._fractional(relaxation.x)
+            if fractional is None:
+                self.offer(relaxation.x, relaxation.objective)
+                continue
+
+            var, value = fractional
+            child_basis = relaxation.basis if solver.reuse_basis else None
+            floor_ub = ub.copy()
+            floor_ub[var] = math.floor(value)
+            if lb[var] <= floor_ub[var]:
+                heapq.heappush(
+                    heap,
+                    _Node(
+                        relaxation.objective,
+                        next(counter),
+                        lb.copy(),
+                        floor_ub,
+                        child_basis,
+                    ),
+                )
+            ceil_lb = lb.copy()
+            ceil_lb[var] = math.ceil(value)
+            if ceil_lb[var] <= ub[var]:
+                heapq.heappush(
+                    heap,
+                    _Node(
+                        relaxation.objective,
+                        next(counter),
+                        ceil_lb,
+                        ub.copy(),
+                        child_basis,
+                    ),
+                )

@@ -1,0 +1,183 @@
+"""Cutting planes for the branch & bound root: Gomory fractional cuts and
+knapsack cover cuts.
+
+Both separators return cuts as dense ``(row, rhs)`` pairs over the
+*structural* variables, ready to append to ``StandardForm.a_ub`` /
+``b_ub``.  Cuts never remove integer-feasible points, so adding them
+cannot change the MIP optimum — only tighten the LP relaxation and shrink
+the branch & bound tree.
+
+Gomory cuts are read off the optimal simplex tableau
+(:attr:`~repro.solver.simplex.RevisedSimplex.last_workspace`): a basic
+integer variable at fractional value yields
+
+``sum_j frac(alpha_ij) x_j >= frac(beta_i)``
+
+over the nonbasic columns, valid when every participating nonbasic column
+is an integral quantity resting at a zero lower bound (the textbook
+all-integer setting).  Nonbasic slacks are substituted out via their
+defining row so the cut lands back in structural space.
+
+Cover cuts apply to knapsack rows ``sum a_j x_j <= b`` over binaries with
+``a_j > 0``: a minimal cover ``C`` (``sum_{C} a_j > b``) gives
+``sum_{C} x_j <= |C| - 1``; separation greedily packs the most-fractional
+variables first.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.solver.model import StandardForm
+from repro.solver.simplex import RevisedSimplex, _AT_LOWER, _TOL
+
+__all__ = ["gomory_cuts", "cover_cuts"]
+
+#: Only cut on meaningfully fractional basics — shallow fractionality
+#: yields numerically weak cuts.
+_MIN_FRAC = 0.01
+
+
+def _frac(value: float) -> float:
+    return value - math.floor(value)
+
+
+def _integral_columns(form: StandardForm) -> np.ndarray:
+    """Which simplex columns (structurals then ub-row slacks) are integral
+    in every feasible solution: integer structurals, and slacks of rows
+    whose support is all-integer with integer coefficients and rhs."""
+    n = len(form.c)
+    m_ub = form.a_ub.shape[0]
+    integral = np.zeros(n + m_ub, dtype=bool)
+    integral[:n] = form.integer
+    for r in range(m_ub):
+        row = form.a_ub[r]
+        support = np.abs(row) > _TOL
+        if (
+            np.all(form.integer[support])
+            and np.all(np.abs(row - np.round(row)) < _TOL)
+            and abs(form.b_ub[r] - round(form.b_ub[r])) < _TOL
+        ):
+            integral[n + r] = True
+    return integral
+
+
+def gomory_cuts(
+    simplex: RevisedSimplex, form: StandardForm, *, max_cuts: int = 8
+) -> list[tuple[np.ndarray, float]]:
+    """Gomory fractional cuts from the last optimal tableau of ``simplex``.
+
+    Must be called right after an OPTIMAL ``simplex.solve(...)`` on the
+    same ``form``.  Deterministic: rows are scanned in index order and the
+    first ``max_cuts`` valid cuts are returned.
+    """
+    ws = getattr(simplex, "last_workspace", None)
+    if ws is None:
+        return []
+    n = len(form.c)
+    n_total = simplex.n_total
+    integral = _integral_columns(form)
+    beta = ws.beta()
+    cuts: list[tuple[np.ndarray, float]] = []
+    for i in range(ws.m):
+        basic = int(ws.basic[i])
+        if basic >= n or not form.integer[basic]:
+            continue
+        f0 = _frac(float(beta[i]))
+        if not _MIN_FRAC < f0 < 1.0 - _MIN_FRAC:
+            continue
+        alpha = ws.binv[i] @ ws.a
+        coefs = np.zeros(n)  # structural part of the cut
+        slack_part = 0.0  # rhs correction from substituted slacks
+        rhs = f0
+        ok = True
+        for j in range(ws.ncols):
+            if j == basic or ws.status[j] == 2:  # other basics: coefficient 0
+                continue
+            fj = _frac(float(alpha[j]))
+            if fj < _TOL or fj > 1.0 - _TOL:
+                continue
+            if j >= n_total:
+                # Scratch artificial fixed at 0: contributes nothing.
+                if ws.ub[j] - ws.lb[j] <= _TOL:
+                    continue
+                ok = False
+                break
+            # Validity needs an integral column resting at a zero lower
+            # bound (x_j >= 0 with x_j integer in the derivation).
+            if (
+                not integral[j]
+                or ws.status[j] != _AT_LOWER
+                or abs(ws.lb[j]) > _TOL
+            ):
+                ok = False
+                break
+            if j < n:
+                coefs[j] += fj
+            else:
+                # Slack of ub-row r: s_r = b_r - a_r . x
+                r = j - n
+                coefs -= fj * form.a_ub[r]
+                slack_part += fj * float(form.b_ub[r])
+        if not ok:
+            continue
+        rhs -= slack_part
+        if np.all(np.abs(coefs) < _TOL):
+            continue
+        # "sum coefs . x >= rhs"  ->  "-coefs . x <= -rhs" for a_ub.
+        cuts.append((-coefs, -rhs))
+        if len(cuts) >= max_cuts:
+            break
+    return cuts
+
+
+def cover_cuts(
+    form: StandardForm, x_lp: np.ndarray, *, max_cuts: int = 8
+) -> list[tuple[np.ndarray, float]]:
+    """Violated minimal-cover cuts for the knapsack rows of ``form``.
+
+    Separation: for each knapsack row, greedily build a cover preferring
+    variables the LP sets closest to 1; emit the cut when the LP point
+    violates it.  Deterministic (index-order tie-breaks).
+    """
+    n = len(form.c)
+    binary = form.integer & (form.lb <= _TOL) & (np.abs(form.ub - 1.0) <= _TOL)
+    cuts: list[tuple[np.ndarray, float]] = []
+    for r in range(form.a_ub.shape[0]):
+        row = form.a_ub[r]
+        b = float(form.b_ub[r])
+        support = np.flatnonzero(row > _TOL)
+        if len(support) < 2 or b <= _TOL:
+            continue
+        if np.any(np.abs(row) > _TOL) and not np.all(
+            binary[np.flatnonzero(np.abs(row) > _TOL)]
+        ):
+            continue
+        if np.any(row[np.abs(row) > _TOL] < 0):
+            continue
+        # Greedy cover: most-fractional-toward-1 first (stable order).
+        order = sorted(support, key=lambda j: (-x_lp[j], j))
+        cover: list[int] = []
+        weight = 0.0
+        for j in order:
+            cover.append(int(j))
+            weight += float(row[j])
+            if weight > b + _TOL:
+                break
+        else:
+            continue  # whole support fits: no cover exists
+        # Minimalise: drop members whose removal keeps it a cover.
+        for j in sorted(cover, key=lambda j: (x_lp[j], j)):
+            if weight - float(row[j]) > b + _TOL:
+                cover.remove(j)
+                weight -= float(row[j])
+        if sum(x_lp[j] for j in cover) <= len(cover) - 1 + 1e-6:
+            continue  # not violated by the LP point
+        coefs = np.zeros(n)
+        coefs[cover] = 1.0
+        cuts.append((coefs, float(len(cover) - 1)))
+        if len(cuts) >= max_cuts:
+            break
+    return cuts

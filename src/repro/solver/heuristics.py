@@ -1,0 +1,101 @@
+"""Primal heuristics for branch & bound: rounding and LP diving.
+
+Both take the root LP relaxation and try to produce an integer-feasible
+point quickly.  A good early incumbent lets best-first search fathom most
+of the tree by bound; neither heuristic can change the final optimum (the
+solver's canonical tie-break makes the returned solution independent of
+incumbent seeding).
+
+* :func:`round_and_repair` — round the integer variables to the nearest
+  integer inside their bounds, then re-solve the LP with those variables
+  fixed so the continuous part is completed optimally; feasibility of the
+  rounded point is verified against all rows.
+* :func:`dive` — repeatedly fix the *least* fractional integer variable to
+  its rounding and warm re-solve (dual simplex) until the relaxation comes
+  back integral or infeasible.  Depth-bounded and deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.solver.model import StandardForm
+from repro.solver.simplex import LPStatus, RevisedSimplex
+
+__all__ = ["round_and_repair", "dive"]
+
+_INT_TOL = 1e-6
+_FEAS_TOL = 1e-7
+
+
+def _check_rows(form: StandardForm, x: np.ndarray) -> bool:
+    if form.a_ub.size and np.any(form.a_ub @ x > form.b_ub + _FEAS_TOL):
+        return False
+    if form.a_eq.size and np.any(np.abs(form.a_eq @ x - form.b_eq) > _FEAS_TOL):
+        return False
+    return True
+
+
+def round_and_repair(
+    simplex: RevisedSimplex, form: StandardForm, x_lp: np.ndarray
+) -> np.ndarray | None:
+    """Round integers in ``x_lp``, complete the continuous part by LP.
+
+    Returns a feasible point (original variable space of ``form``) or
+    ``None`` when the rounding is infeasible.
+    """
+    integer = np.flatnonzero(form.integer)
+    if len(integer) == 0:
+        return x_lp if _check_rows(form, x_lp) else None
+    rounded = np.clip(np.round(x_lp[integer]), form.lb[integer], form.ub[integer])
+    lb = form.lb.astype(float).copy()
+    ub = form.ub.astype(float).copy()
+    lb[integer] = rounded
+    ub[integer] = rounded
+    solution = simplex.solve(lb, ub)
+    if solution.status is not LPStatus.OPTIMAL or solution.x is None:
+        return None
+    x = solution.x.copy()
+    x[integer] = rounded
+    return x if _check_rows(form, x) else None
+
+
+def dive(
+    simplex: RevisedSimplex,
+    form: StandardForm,
+    x_lp: np.ndarray,
+    *,
+    max_depth: int = 50,
+) -> np.ndarray | None:
+    """LP diving: fix the least-fractional integer variable, warm re-solve.
+
+    Returns an integer-feasible point or ``None``.  Deterministic: ties on
+    fractionality break toward the lowest variable index.
+    """
+    integer = np.flatnonzero(form.integer)
+    lb = form.lb.astype(float).copy()
+    ub = form.ub.astype(float).copy()
+    x = x_lp
+    basis = None
+    for _ in range(max_depth):
+        fractional = [
+            (abs(x[j] - round(x[j])), int(j))
+            for j in integer
+            if abs(x[j] - round(x[j])) > _INT_TOL
+        ]
+        if not fractional:
+            out = x.copy()
+            out[integer] = np.round(out[integer])
+            return out if _check_rows(form, out) else None
+        _, var = min(fractional)
+        value = float(np.clip(round(x[var]), lb[var], ub[var]))
+        lb[var] = value
+        ub[var] = value
+        solution = simplex.solve(lb, ub, basis=basis)
+        if solution.status is not LPStatus.OPTIMAL or solution.x is None:
+            return None
+        x = solution.x
+        basis = solution.basis
+    return None

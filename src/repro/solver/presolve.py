@@ -1,30 +1,52 @@
 """Presolve reductions for LPs/MILPs.
 
-Standard reductions applied before the simplex / branch & bound:
+Reductions applied before the simplex / branch & bound, in order:
 
-1. **fixed variables** (``lb == ub``) are substituted into constraints and
-   the objective;
+1. **bound propagation** — activity-based tightening: each ``<=`` row's
+   minimum activity must not exceed its right-hand side, and the residual
+   activity implies a bound on every variable in the row's support
+   (rounded for integer variables);
 2. **singleton inequality rows** (``a * x <= b`` with one nonzero) are
    converted into variable bounds;
-3. **empty rows** are checked for trivial feasibility and dropped.
+3. **empty rows** are checked for trivial feasibility and dropped;
+4. **redundant rows** (maximum activity already ``<= b``) are dropped;
+5. **duplicate rows** (identical coefficient vectors) keep only the
+   tightest right-hand side;
+6. **coefficient reduction** — all-integer rows are divided by the GCD of
+   their coefficients and the right-hand side floored;
+7. **fixed variables** (``lb == ub``) are substituted into constraints and
+   the objective.
 
 Returns a smaller :class:`~repro.solver.model.StandardForm` plus the recipe
 to lift a reduced solution back to the original variable space.  Used by
 :class:`~repro.solver.branch_bound.BranchAndBoundSolver` via the
 ``presolve=True`` flag.
+
+:func:`propagate_bounds` is the incremental entry point: branch & bound
+re-runs just the propagation step on each node's branching bounds (the rows
+never change down the tree), detecting infeasible children and shrinking
+child LPs without rebuilding the form.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 
 import numpy as np
 
 from repro.solver.model import StandardForm
 
-__all__ = ["PresolveResult", "presolve", "postsolve"]
+__all__ = [
+    "PresolveResult",
+    "presolve",
+    "postsolve",
+    "objective_offset",
+    "propagate_bounds",
+]
 
 _TOL = 1e-9
+_FEAS_TOL = 1e-7
 
 
 @dataclasses.dataclass
@@ -41,43 +63,164 @@ class PresolveResult:
         return len(self.fixed_values) - len(self.kept)
 
 
-def presolve(form: StandardForm) -> PresolveResult:
+def propagate_bounds(
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    lb: np.ndarray,
+    ub: np.ndarray,
+    integer: np.ndarray,
+    *,
+    max_rounds: int = 10,
+) -> tuple[np.ndarray, np.ndarray, bool]:
+    """Activity-based bound tightening over ``a_ub @ x <= b_ub``.
+
+    Returns ``(lb, ub, feasible)`` with tightened copies of the bounds.
+    ``feasible=False`` means a row's minimum activity exceeds its
+    right-hand side or a variable's bounds crossed — the node can be
+    fathomed without an LP solve.
+
+    This is the incremental presolve used at every branch & bound node:
+    branching only changes ``lb``/``ub``, so re-running propagation against
+    the fixed rows is sound and cheap (``O(rounds * nnz)``).
+    """
+    lb = lb.astype(float).copy()
+    ub = ub.astype(float).copy()
+    if np.any(lb > ub + _TOL):
+        return lb, ub, False
+    m = a_ub.shape[0] if a_ub.size else 0
+    supports = [np.flatnonzero(np.abs(a_ub[i]) > _TOL) for i in range(m)]
+    for _ in range(max_rounds):
+        changed = False
+        for i in range(m):
+            support = supports[i]
+            if len(support) == 0:
+                if b_ub[i] < -_FEAS_TOL:
+                    return lb, ub, False
+                continue
+            coefs = a_ub[i, support]
+            # Minimum activity: positive coefficients at lb, negative at ub.
+            terms = np.where(coefs > 0, coefs * lb[support], coefs * ub[support])
+            finite = np.isfinite(terms)
+            n_inf = int(len(terms) - finite.sum())
+            min_act = float(terms[finite].sum())
+            if n_inf == 0 and min_act > b_ub[i] + _FEAS_TOL:
+                return lb, ub, False
+            if n_inf > 1:
+                continue  # every residual activity is -inf: nothing to learn
+            for k, j in enumerate(support):
+                term_finite = bool(finite[k])
+                if n_inf == 1 and term_finite:
+                    continue  # the residual (without j) is still -inf
+                residual = min_act - (terms[k] if term_finite else 0.0)
+                bound = (b_ub[i] - residual) / coefs[k]
+                if coefs[k] > 0:
+                    if integer[j]:
+                        bound = math.floor(bound + _FEAS_TOL)
+                    if bound < ub[j] - _TOL:
+                        ub[j] = bound
+                        changed = True
+                else:
+                    if integer[j]:
+                        bound = math.ceil(bound - _FEAS_TOL)
+                    if bound > lb[j] + _TOL:
+                        lb[j] = bound
+                        changed = True
+                if lb[j] > ub[j] + _TOL:
+                    return lb, ub, False
+        if not changed:
+            break
+    return lb, ub, True
+
+
+def _max_activity(coefs: np.ndarray, lb: np.ndarray, ub: np.ndarray) -> float:
+    """Maximum of ``coefs @ x`` over the box (``inf`` when unbounded)."""
+    support = np.abs(coefs) > _TOL  # 0 * inf would poison the sum with NaN
+    c = coefs[support]
+    terms = np.where(c > 0, c * ub[support], c * lb[support])
+    return float(terms.sum())
+
+
+def _reduce_integer_row(
+    coefs: np.ndarray, rhs: float, integer_vars: bool
+) -> tuple[np.ndarray, float]:
+    """Divide an all-integer row by its coefficient GCD, flooring the rhs."""
+    if not integer_vars:
+        return coefs, rhs
+    rounded = np.round(coefs)
+    if np.any(np.abs(coefs - rounded) > _TOL):
+        return coefs, rhs
+    nonzero = rounded[np.abs(rounded) > 0.5].astype(int)
+    if len(nonzero) == 0:
+        return coefs, rhs
+    g = int(np.gcd.reduce(np.abs(nonzero)))
+    if g <= 1:
+        return coefs, rhs
+    return rounded / g, math.floor(rhs / g + _FEAS_TOL)
+
+
+def presolve(form: StandardForm, *, max_rounds: int = 10) -> PresolveResult:
     """Apply the reductions; never changes the optimal objective value."""
     n = len(form.c)
-    lb = form.lb.astype(float).copy()
-    ub = form.ub.astype(float).copy()
-    a_ub = form.a_ub.copy()
+    a_ub = form.a_ub.astype(float).copy()
     b_ub = form.b_ub.astype(float).copy()
+    integer = form.integer
 
-    # Reduction 2/3: singleton and empty inequality rows -> bounds.
-    keep_rows = []
+    def infeasible() -> PresolveResult:
+        return PresolveResult(form, np.arange(n), np.zeros(n), infeasible=True)
+
+    # Reduction 1: activity-based bound propagation (includes integrality
+    # rounding and bound-crossing detection).
+    lb, ub, feasible = propagate_bounds(
+        a_ub, b_ub, form.lb, form.ub, integer, max_rounds=max_rounds
+    )
+    if not feasible:
+        return infeasible()
+
+    # Reductions 2-5: row screening against the tightened box.
+    keep_rows: list[int] = []
+    seen: dict[bytes, int] = {}
     for row in range(a_ub.shape[0]):
         nonzero = np.flatnonzero(np.abs(a_ub[row]) > _TOL)
         if len(nonzero) == 0:
-            if b_ub[row] < -_TOL:
-                return PresolveResult(form, np.arange(n), np.zeros(n), infeasible=True)
+            if b_ub[row] < -_FEAS_TOL:
+                return infeasible()
             continue  # trivially satisfied
         if len(nonzero) == 1:
             j = int(nonzero[0])
             coef = a_ub[row, j]
             bound = b_ub[row] / coef
             if coef > 0:
+                if integer[j]:
+                    bound = math.floor(bound + _FEAS_TOL)
                 ub[j] = min(ub[j], bound)
             else:
+                if integer[j]:
+                    bound = math.ceil(bound - _FEAS_TOL)
                 lb[j] = max(lb[j], bound)
+            if lb[j] > ub[j] + _TOL:
+                return infeasible()
             continue
+        # Redundant: satisfied by every point of the box.
+        if _max_activity(a_ub[row], lb, ub) <= b_ub[row] + _FEAS_TOL:
+            continue
+        # Coefficient reduction on all-integer support.
+        all_int = bool(integer[nonzero].all())
+        a_ub[row], b_ub[row] = _reduce_integer_row(a_ub[row], b_ub[row], all_int)
+        # Duplicate coefficient vectors keep the tightest rhs.
+        key = a_ub[row].tobytes()
+        prev = seen.get(key)
+        if prev is not None:
+            b_ub[prev] = min(b_ub[prev], b_ub[row])
+            continue
+        seen[key] = row
         keep_rows.append(row)
     a_ub = a_ub[keep_rows]
     b_ub = b_ub[np.array(keep_rows, dtype=int)] if keep_rows else np.zeros(0)
 
-    # Integrality can tighten bounds further.
-    integer = form.integer
-    lb = np.where(integer & np.isfinite(lb), np.ceil(lb - _TOL), lb)
-    ub = np.where(integer & np.isfinite(ub), np.floor(ub + _TOL), ub)
     if np.any(lb > ub + _TOL):
-        return PresolveResult(form, np.arange(n), np.zeros(n), infeasible=True)
+        return infeasible()
 
-    # Reduction 1: fixed variables.
+    # Reduction 7: fixed variables.
     fixed_mask = np.isfinite(lb) & np.isfinite(ub) & (ub - lb <= _TOL)
     kept = np.flatnonzero(~fixed_mask)
     fixed_values = np.where(fixed_mask, (lb + ub) / 2.0, 0.0)

@@ -1,10 +1,29 @@
-"""Dense two-phase primal simplex.
+"""Revised simplex for bounded variables, with warm starts.
 
 Solves ``min c.x`` subject to ``A_ub x <= b_ub``, ``A_eq x == b_eq`` and
-finite lower bounds ``lb <= x <= ub`` (upper bounds become extra rows).
-Designed for the small/medium LP relaxations produced by the partitioning
-MIPs — correctness over speed: Dantzig pricing with a Bland's-rule fallback
-guarantees termination on degenerate problems.
+finite lower bounds ``lb <= x <= ub``.  Replaces the old dense two-phase
+*tableau* simplex, which turned every finite upper bound into an extra
+``x_j <= u_j`` row — the LP relaxations of the partitioning MIPs are almost
+all bounds, so the tableau blew up quadratically.  Here bounds are handled
+natively: nonbasic variables rest at either bound, the ratio test includes
+bound flips, and only genuine constraints become rows.
+
+The basis inverse ``B^-1`` is maintained explicitly (product-form update per
+pivot, periodic refactorisation), which gives three things the branch &
+bound needs:
+
+* a :class:`Basis` snapshot cheap enough to store per node;
+* **warm starts** — a child node re-solves from the parent's basis with the
+  *dual* simplex, restoring primal feasibility after a branching bound
+  change in a handful of pivots (the parent basis stays dual feasible
+  because branching never touches costs or rows);
+* tableau rows on demand for Gomory cut derivation
+  (:mod:`repro.solver.cuts`).
+
+Pricing is Dantzig (steepest reduced cost) with a Bland's-rule fallback
+after a fixed pivot count, so degenerate problems terminate.  Every
+tie-break is deterministic (lowest index), making solves reproducible
+bit-for-bit across runs and machines.
 """
 
 from __future__ import annotations
@@ -17,11 +36,30 @@ import numpy as np
 
 from repro.solver.model import StandardForm
 
-__all__ = ["LPStatus", "LPSolution", "solve_standard_form", "SimplexError"]
+__all__ = [
+    "LPStatus",
+    "LPSolution",
+    "Basis",
+    "RevisedSimplex",
+    "solve_standard_form",
+    "SimplexError",
+]
 
 _TOL = 1e-9
+_FEAS_TOL = 1e-7
+_PIVOT_TOL = 1e-8
 _BLAND_AFTER = 2000
 _MAX_ITERS = 50_000
+_REFACTOR_EVERY = 64
+
+# Nonbasic-at-lower / nonbasic-at-upper / basic variable statuses.
+_AT_LOWER = 0
+_AT_UPPER = 1
+_BASIC = 2
+
+#: Sentinel in :attr:`Basis.basic` for a row whose basic column is an
+#: artificial (the row was redundant at the original solve).
+ARTIFICIAL = -1
 
 
 class SimplexError(RuntimeError):
@@ -32,6 +70,22 @@ class LPStatus(enum.Enum):
     OPTIMAL = "optimal"
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
+
+
+@dataclasses.dataclass(frozen=True)
+class Basis:
+    """A restartable snapshot of an optimal basis.
+
+    Attributes:
+        basic: Per constraint row, the column index basic in that row —
+            a structural variable (``< n``), a slack (``>= n``), or
+            :data:`ARTIFICIAL` for a redundant row.
+        at_upper: Sorted column indices nonbasic at their *upper* bound;
+            every other nonbasic column rests at its lower bound.
+    """
+
+    basic: tuple[int, ...]
+    at_upper: tuple[int, ...]
 
 
 @dataclasses.dataclass
@@ -46,181 +100,429 @@ class LPSolution:
     status: LPStatus
     x: np.ndarray | None = None
     objective: float = math.nan
+    pivots: int = 0
+    basis: Basis | None = None
 
 
-def solve_standard_form(form: StandardForm) -> LPSolution:
-    """Solve the LP relaxation of a standard form (integrality ignored)."""
-    lb, ub = form.lb, form.ub
-    if np.any(~np.isfinite(lb)):
-        raise ValueError("simplex backend requires finite lower bounds")
-    n = len(form.c)
+class _Workspace:
+    """Mutable state of one solve: statuses, basis, maintained inverse."""
 
-    # Shift to y = x - lb >= 0.
-    b_ub = form.b_ub - form.a_ub @ lb if form.a_ub.size else form.b_ub.copy()
-    b_eq = form.b_eq - form.a_eq @ lb if form.a_eq.size else form.b_eq.copy()
-    offset = float(form.c @ lb)
+    def __init__(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        lb: np.ndarray,
+        ub: np.ndarray,
+    ) -> None:
+        self.a = a
+        self.b = b
+        self.lb = lb
+        self.ub = ub
+        m, ncols = a.shape
+        self.m = m
+        self.ncols = ncols
+        self.status = np.full(ncols, _AT_LOWER, dtype=np.int8)
+        self.basic = np.zeros(m, dtype=int)
+        self.binv = np.eye(m)
+        self.pivots = 0
+        self._since_refactor = 0
 
-    rows_ub = [form.a_ub[i] for i in range(form.a_ub.shape[0])]
-    rhs_ub = list(b_ub)
-    for j in range(n):
-        if math.isfinite(ub[j]):
-            row = np.zeros(n)
-            row[j] = 1.0
-            rows_ub.append(row)
-            rhs_ub.append(ub[j] - lb[j])
+    # -- invariants ----------------------------------------------------
 
-    a_ub = np.vstack(rows_ub) if rows_ub else np.zeros((0, n))
-    b_ub_arr = np.array(rhs_ub, dtype=float)
+    def refactor(self) -> None:
+        """Recompute ``B^-1`` from the basic column set."""
+        bmat = self.a[:, self.basic]
+        self.binv = np.linalg.inv(bmat)
+        self._since_refactor = 0
 
-    result = _two_phase(form.c.astype(float), a_ub, b_ub_arr, form.a_eq.astype(float), b_eq)
-    if result.status is not LPStatus.OPTIMAL:
-        return result
-    assert result.x is not None
-    x = result.x[:n] + lb
-    return LPSolution(LPStatus.OPTIMAL, x, result.objective + offset)
+    def nonbasic_values(self) -> np.ndarray:
+        """Value vector with basic entries zeroed (bound values elsewhere)."""
+        values = np.where(self.status == _AT_UPPER, self.ub, self.lb)
+        values[self.status == _BASIC] = 0.0
+        return values
+
+    def beta(self) -> np.ndarray:
+        """Current basic-variable values ``B^-1 (b - N x_N)``."""
+        values = self.nonbasic_values()
+        return self.binv @ (self.b - self.a @ values)
+
+    def reduced_costs(self, c: np.ndarray) -> np.ndarray:
+        y = c[self.basic] @ self.binv
+        d = c - y @ self.a
+        d[self.basic] = 0.0
+        return d
+
+    def pivot(self, row: int, entering: int) -> None:
+        """Swap ``entering`` into the basis at ``row``; update ``B^-1``."""
+        alpha = self.binv @ self.a[:, entering]
+        if abs(alpha[row]) < _PIVOT_TOL:
+            raise SimplexError("pivot element vanished")
+        leaving = self.basic[row]
+        self.binv[row] /= alpha[row]
+        for i in range(self.m):
+            if i != row and abs(alpha[i]) > _TOL:
+                self.binv[i] -= alpha[i] * self.binv[row]
+        self.basic[row] = entering
+        self.status[entering] = _BASIC
+        # Caller sets the leaving variable's nonbasic side.
+        self._leaving = leaving
+        self.pivots += 1
+        self._since_refactor += 1
+        if self._since_refactor >= _REFACTOR_EVERY:
+            self.refactor()
+
+    def solution_values(self) -> np.ndarray:
+        values = self.nonbasic_values()
+        values[self.basic] = self.beta()
+        return values
 
 
-def _two_phase(
-    c: np.ndarray,
-    a_ub: np.ndarray,
-    b_ub: np.ndarray,
-    a_eq: np.ndarray,
-    b_eq: np.ndarray,
-) -> LPSolution:
-    """Two-phase simplex on ``min c.y``, ``a_ub y <= b_ub``, ``a_eq y == b_eq``,
-    ``y >= 0``."""
-    n = len(c)
-    m_ub, m_eq = a_ub.shape[0], a_eq.shape[0]
-    m = m_ub + m_eq
+class RevisedSimplex:
+    """Bounded-variable revised simplex over a fixed constraint matrix.
 
-    # Build [A | slacks] with rhs >= 0.
-    a = np.zeros((m, n + m_ub))
-    b = np.zeros(m)
-    a[:m_ub, :n] = a_ub
-    a[:m_ub, n : n + m_ub] = np.eye(m_ub)
-    b[:m_ub] = b_ub
-    if m_eq:
-        a[m_ub:, :n] = a_eq
-        b[m_ub:] = b_eq
+    Built once per :class:`~repro.solver.model.StandardForm` (or per branch
+    & bound tree — branching changes only bounds, never rows), then solved
+    repeatedly with different bounds and optional warm-start bases.
+    """
 
-    needs_artificial = []
-    for i in range(m):
-        if b[i] < 0:
-            a[i] *= -1.0
-            b[i] *= -1.0
-            needs_artificial.append(i)  # slack coefficient is now -1
-        elif i >= m_ub:
-            needs_artificial.append(i)  # equality rows always need one
+    def __init__(self, form: StandardForm) -> None:
+        if np.any(~np.isfinite(np.asarray(form.lb, dtype=float))):
+            raise ValueError("simplex backend requires finite lower bounds")
+        self.form = form
+        self.n = len(form.c)
+        self.m_ub = form.a_ub.shape[0]
+        self.m_eq = form.a_eq.shape[0]
+        self.m = self.m_ub + self.m_eq
+        n_total = self.n + self.m_ub
+        a = np.zeros((self.m, n_total))
+        if self.m_ub:
+            a[: self.m_ub, : self.n] = form.a_ub
+            a[: self.m_ub, self.n :] = np.eye(self.m_ub)
+        if self.m_eq:
+            a[self.m_ub :, : self.n] = form.a_eq
+        self.a = a
+        self.b = np.concatenate(
+            [np.asarray(form.b_ub, dtype=float), np.asarray(form.b_eq, dtype=float)]
+        )
+        self.c = np.zeros(n_total)
+        self.c[: self.n] = form.c
+        self.n_total = n_total
 
-    n_slack = m_ub
-    n_art = len(needs_artificial)
-    total = n + n_slack + n_art
-    tableau = np.zeros((m, total))
-    tableau[:, : n + n_slack] = a
-    basis = np.empty(m, dtype=int)
+    # -- public entry points -------------------------------------------
 
-    art_col = n + n_slack
-    art_rows = set(needs_artificial)
-    for i in range(m):
-        if i in art_rows:
-            tableau[i, art_col] = 1.0
-            basis[i] = art_col
-            art_col += 1
-        else:
-            basis[i] = n + i  # slack with +1 coefficient
+    def solve(
+        self,
+        lb: np.ndarray | None = None,
+        ub: np.ndarray | None = None,
+        *,
+        basis: Basis | None = None,
+    ) -> LPSolution:
+        """Solve with the given structural bounds (defaults: the form's).
 
-    rhs = b.copy()
-
-    if n_art:
-        # Phase 1: minimise the sum of artificials.
-        c1 = np.zeros(total)
-        c1[n + n_slack :] = 1.0
-        status, obj1 = _iterate(tableau, rhs, basis, c1)
-        if status is LPStatus.UNBOUNDED:  # pragma: no cover - impossible in phase 1
-            raise SimplexError("phase-1 unbounded")
-        if obj1 > 1e-6:
+        With ``basis``, attempts a dual-simplex warm start from that basis;
+        falls back to a cold two-phase solve if the basis is stale
+        (singular or no longer dual feasible), so the call always returns
+        the same optimum a cold solve would.
+        """
+        lb = np.asarray(self.form.lb if lb is None else lb, dtype=float)
+        ub = np.asarray(self.form.ub if ub is None else ub, dtype=float)
+        if np.any(~np.isfinite(lb)):
+            raise ValueError("simplex backend requires finite lower bounds")
+        if np.any(lb > ub + _TOL):
             return LPSolution(LPStatus.INFEASIBLE)
-        _drive_out_artificials(tableau, rhs, basis, n + n_slack)
-        # Drop redundant rows whose artificial could not be driven out.
-        keep = basis < n + n_slack
-        tableau = tableau[keep]
-        rhs = rhs[keep]
-        basis = basis[keep]
+        if basis is not None:
+            solution = self._warm_solve(lb, ub, basis)
+            if solution is not None:
+                return solution
+        return self._cold_solve(lb, ub)
 
-    # Phase 2 over original + slack columns only.
-    c2 = np.zeros(n + n_slack)
-    c2[:n] = c
-    tableau2 = np.ascontiguousarray(tableau[:, : n + n_slack])
-    status, obj = _iterate(tableau2, rhs, basis, c2)
-    if status is LPStatus.UNBOUNDED:
-        return LPSolution(LPStatus.UNBOUNDED)
+    # -- bound vectors --------------------------------------------------
 
-    x = np.zeros(n + n_slack)
-    for i, col in enumerate(basis):
-        if col < n + n_slack:
-            x[col] = rhs[i]
-    return LPSolution(LPStatus.OPTIMAL, x, obj)
+    def _full_bounds(
+        self, lb: np.ndarray, ub: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        full_lb = np.zeros(self.n_total)
+        full_ub = np.full(self.n_total, math.inf)
+        full_lb[: self.n] = lb
+        full_ub[: self.n] = ub
+        return full_lb, full_ub
 
+    # -- cold path ------------------------------------------------------
 
-def _iterate(
-    tableau: np.ndarray, rhs: np.ndarray, basis: np.ndarray, c: np.ndarray
-) -> tuple[LPStatus, float]:
-    """Run primal simplex pivots in place; returns (status, objective)."""
-    m, total = tableau.shape
-    for iteration in range(_MAX_ITERS):
-        cb = c[basis]
-        # Reduced costs: c_j - cb . B^-1 A_j; tableau is already B^-1 A.
-        reduced = c - cb @ tableau
-        reduced[basis] = 0.0
-        use_bland = iteration >= _BLAND_AFTER
-        if use_bland:
-            candidates = np.flatnonzero(reduced < -_TOL)
+    def _cold_solve(self, lb: np.ndarray, ub: np.ndarray) -> LPSolution:
+        full_lb, full_ub = self._full_bounds(lb, ub)
+
+        # Residuals at the all-at-lower-bound point decide which rows need
+        # a (sign-matched) scratch artificial: equality rows always, <=
+        # rows only when the slack would start negative.
+        residual = self.b - self.a[:, : self.n] @ lb
+        art_rows: list[int] = []
+        art_sign: list[float] = []
+        for i in range(self.m):
+            if i >= self.m_ub or residual[i] < 0:
+                art_rows.append(i)
+                art_sign.append(-1.0 if residual[i] < 0 else 1.0)
+
+        n_art = len(art_rows)
+        a_work = np.hstack([self.a, np.zeros((self.m, n_art))])
+        work_lb = np.concatenate([full_lb, np.zeros(n_art)])
+        work_ub = np.concatenate([full_ub, np.full(n_art, math.inf)])
+        for k, (row, sign) in enumerate(zip(art_rows, art_sign)):
+            a_work[row, self.n_total + k] = sign
+
+        ws = _Workspace(a_work, self.b, work_lb, work_ub)
+        # Initial basis: slack for clean <= rows, artificial elsewhere.
+        art_of_row = {row: self.n_total + k for k, row in enumerate(art_rows)}
+        for i in range(self.m):
+            col = art_of_row.get(i, self.n + i)
+            ws.basic[i] = col
+            ws.status[col] = _BASIC
+        # Sign-flipped artificials make B != I, so the maintained inverse
+        # must be computed, not assumed.
+        ws.refactor()
+
+        pivots = 0
+        if n_art:
+            c1 = np.zeros(a_work.shape[1])
+            c1[self.n_total :] = 1.0
+            status = self._primal(ws, c1)
+            pivots = ws.pivots
+            if status is LPStatus.UNBOUNDED:  # pragma: no cover - c1 >= 0
+                raise SimplexError("phase-1 unbounded")
+            phase1_obj = float(c1[ws.basic] @ ws.beta())
+            if phase1_obj > 1e-6:
+                return LPSolution(LPStatus.INFEASIBLE, pivots=pivots)
+            # Fix artificials at zero for phase 2; basic ones on redundant
+            # rows stay basic at value 0 and can never rise again.
+            ws.ub[self.n_total :] = 0.0
+
+        c2 = np.zeros(a_work.shape[1])
+        c2[: self.n] = self.form.c
+        status = self._primal(ws, c2)
+        if status is LPStatus.UNBOUNDED:
+            return LPSolution(LPStatus.UNBOUNDED, pivots=ws.pivots)
+        return self._extract(ws)
+
+    # -- warm path ------------------------------------------------------
+
+    def _warm_solve(
+        self, lb: np.ndarray, ub: np.ndarray, basis: Basis
+    ) -> LPSolution | None:
+        """Dual-simplex re-solve from ``basis``; ``None`` means fall back."""
+        if len(basis.basic) != self.m:
+            return None
+        full_lb, full_ub = self._full_bounds(lb, ub)
+
+        art_rows = [i for i, col in enumerate(basis.basic) if col == ARTIFICIAL]
+        n_art = len(art_rows)
+        a_work = np.hstack([self.a, np.zeros((self.m, n_art))]) if n_art else self.a.copy()
+        work_lb = np.concatenate([full_lb, np.zeros(n_art)])
+        work_ub = np.concatenate([full_ub, np.zeros(n_art)])
+        for k, row in enumerate(art_rows):
+            a_work[row, self.n_total + k] = 1.0
+
+        ws = _Workspace(a_work, self.b, work_lb, work_ub)
+        next_art = self.n_total
+        for i, col in enumerate(basis.basic):
+            if col == ARTIFICIAL:
+                col = next_art
+                next_art += 1
+            elif not 0 <= col < self.n_total:
+                return None
+            ws.basic[i] = col
+        if len(set(ws.basic.tolist())) != self.m:
+            return None
+        ws.status[ws.basic] = _BASIC
+        for col in basis.at_upper:
+            if not 0 <= col < self.n_total or ws.status[col] == _BASIC:
+                return None
+            # A bound that became infinite (never happens under branching,
+            # which only tightens) falls back to the lower bound.
+            if math.isfinite(ws.ub[col]):
+                ws.status[col] = _AT_UPPER
+        try:
+            ws.refactor()
+        except np.linalg.LinAlgError:
+            return None
+
+        c = np.zeros(a_work.shape[1])
+        c[: self.n] = self.form.c
+        d = ws.reduced_costs(c)
+        free = ws.ub - ws.lb > _TOL
+        lower_bad = (ws.status == _AT_LOWER) & free & (d < -_FEAS_TOL)
+        upper_bad = (ws.status == _AT_UPPER) & free & (d > _FEAS_TOL)
+        if lower_bad.any() or upper_bad.any():
+            return None  # stale basis: not dual feasible for these costs
+
+        status = self._dual(ws, c)
+        if status is LPStatus.INFEASIBLE:
+            return LPSolution(LPStatus.INFEASIBLE, pivots=ws.pivots)
+        # Polish: usually zero pivots, but guarantees true optimality if
+        # the dual loop stopped at tolerance boundaries.
+        status = self._primal(ws, c)
+        if status is LPStatus.UNBOUNDED:
+            return LPSolution(LPStatus.UNBOUNDED, pivots=ws.pivots)
+        return self._extract(ws)
+
+    # -- result extraction ----------------------------------------------
+
+    def _extract(self, ws: _Workspace) -> LPSolution:
+        # Kept for tableau readers (Gomory cut generation) — valid until
+        # the next solve on this instance.
+        self.last_workspace = ws
+        values = ws.solution_values()
+        x = values[: self.n].copy()
+        np.clip(x, self.form.lb, None, out=x)
+        objective = float(self.form.c @ x)
+        basic = tuple(
+            int(col) if col < self.n_total else ARTIFICIAL for col in ws.basic
+        )
+        at_upper = tuple(
+            int(j)
+            for j in np.flatnonzero(ws.status[: self.n_total] == _AT_UPPER)
+        )
+        return LPSolution(
+            LPStatus.OPTIMAL,
+            x,
+            objective,
+            pivots=ws.pivots,
+            basis=Basis(basic=basic, at_upper=at_upper),
+        )
+
+    # -- primal loop ----------------------------------------------------
+
+    def _primal(self, ws: _Workspace, c: np.ndarray) -> LPStatus:
+        """Primal simplex to optimality from a primal-feasible basis."""
+        fixed = ws.ub - ws.lb <= _TOL
+        for iteration in range(_MAX_ITERS):
+            d = ws.reduced_costs(c)
+            at_lower = (ws.status == _AT_LOWER) & ~fixed
+            at_upper = ws.status == _AT_UPPER
+            score = np.zeros(ws.ncols)
+            score[at_lower] = -d[at_lower]
+            score[at_upper] = d[at_upper]
+            use_bland = iteration >= _BLAND_AFTER
+            if use_bland:
+                candidates = np.flatnonzero(score > _TOL)
+                if candidates.size == 0:
+                    return LPStatus.OPTIMAL
+                entering = int(candidates[0])
+            else:
+                entering = int(np.argmax(score))
+                if score[entering] <= _TOL:
+                    return LPStatus.OPTIMAL
+
+            direction = 1.0 if ws.status[entering] == _AT_LOWER else -1.0
+            alpha = ws.binv @ ws.a[:, entering]
+            beta = ws.beta()
+            lb_b = ws.lb[ws.basic]
+            ub_b = ws.ub[ws.basic]
+
+            # Basic variables move by -direction * alpha per unit step.
+            step = ws.ub[entering] - ws.lb[entering]  # bound-flip limit
+            leaving_row = -1
+            move = direction * alpha
+            for i in range(ws.m):
+                if move[i] > _PIVOT_TOL:
+                    limit = (beta[i] - lb_b[i]) / move[i]
+                elif move[i] < -_PIVOT_TOL and math.isfinite(ub_b[i]):
+                    limit = (ub_b[i] - beta[i]) / -move[i]
+                else:
+                    continue
+                if limit < step - _TOL or (
+                    limit < step + _TOL
+                    and (leaving_row == -1 or ws.basic[i] < ws.basic[leaving_row])
+                ):
+                    step = limit
+                    leaving_row = i
+            if math.isinf(step):
+                return LPStatus.UNBOUNDED
+
+            if leaving_row == -1:
+                # Bound flip: the entering variable crosses to its other
+                # bound without a basis change.
+                ws.status[entering] = (
+                    _AT_UPPER if ws.status[entering] == _AT_LOWER else _AT_LOWER
+                )
+                ws.pivots += 1
+                continue
+
+            leaves_to = move[leaving_row] > 0
+            leaving = ws.basic[leaving_row]
+            ws.pivot(leaving_row, entering)
+            ws.status[leaving] = _AT_LOWER if leaves_to else _AT_UPPER
+        raise SimplexError(f"simplex exceeded {_MAX_ITERS} iterations")
+
+    # -- dual loop ------------------------------------------------------
+
+    def _dual(self, ws: _Workspace, c: np.ndarray) -> LPStatus:
+        """Dual simplex from a dual-feasible basis to primal feasibility.
+
+        Returns OPTIMAL when all basic variables sit within bounds, or
+        INFEASIBLE when a violated row admits no entering column (the
+        standard dual-simplex infeasibility certificate — the common exit
+        for branch & bound children whose bound change cut off the
+        feasible region).
+        """
+        fixed = ws.ub - ws.lb <= _TOL
+        for iteration in range(_MAX_ITERS):
+            beta = ws.beta()
+            lb_b = ws.lb[ws.basic]
+            ub_b = ws.ub[ws.basic]
+            below = lb_b - beta
+            above = beta - ub_b
+            above[~np.isfinite(ub_b)] = -math.inf
+            violation = np.maximum(below, above)
+            use_bland = iteration >= _BLAND_AFTER
+            if use_bland:
+                rows = np.flatnonzero(violation > _FEAS_TOL)
+                if rows.size == 0:
+                    return LPStatus.OPTIMAL
+                row = int(rows[0])
+            else:
+                row = int(np.argmax(violation))
+                if violation[row] <= _FEAS_TOL:
+                    return LPStatus.OPTIMAL
+
+            rho = ws.binv[row] @ ws.a  # tableau row of the leaving variable
+            d = ws.reduced_costs(c)
+            # Leaving variable exits at the violated bound; the sign of the
+            # admissible entering direction follows from which bound.
+            needs_increase = below[row] > above[row]
+            at_lower = (ws.status == _AT_LOWER) & ~fixed
+            at_upper = ws.status == _AT_UPPER
+            if needs_increase:
+                eligible = (at_lower & (rho < -_PIVOT_TOL)) | (
+                    at_upper & (rho > _PIVOT_TOL)
+                )
+            else:
+                eligible = (at_lower & (rho > _PIVOT_TOL)) | (
+                    at_upper & (rho < -_PIVOT_TOL)
+                )
+            candidates = np.flatnonzero(eligible)
             if candidates.size == 0:
-                return LPStatus.OPTIMAL, float(cb @ rhs)
-            entering = int(candidates[0])
-        else:
-            entering = int(np.argmin(reduced))
-            if reduced[entering] >= -_TOL:
-                return LPStatus.OPTIMAL, float(cb @ rhs)
+                return LPStatus.INFEASIBLE
+            ratios = np.abs(d[candidates]) / np.abs(rho[candidates])
+            if use_bland:
+                entering = int(candidates[0])
+            else:
+                best = ratios.min()
+                ties = candidates[ratios <= best + _TOL]
+                entering = int(ties[0])
 
-        column = tableau[:, entering]
-        positive = column > _TOL
-        if not np.any(positive):
-            return LPStatus.UNBOUNDED, -math.inf
-        ratios = np.full(m, math.inf)
-        ratios[positive] = rhs[positive] / column[positive]
-        best = ratios.min()
-        ties = np.flatnonzero(np.abs(ratios - best) <= _TOL * (1 + abs(best)))
-        # Bland tie-break: smallest basis index leaves.
-        leaving = int(ties[np.argmin(basis[ties])]) if use_bland else int(ties[0])
-
-        _pivot(tableau, rhs, leaving, entering)
-        basis[leaving] = entering
-    raise SimplexError(f"simplex exceeded {_MAX_ITERS} iterations")
+            leaving = ws.basic[row]
+            ws.pivot(row, entering)
+            ws.status[leaving] = _AT_LOWER if needs_increase else _AT_UPPER
+        raise SimplexError(f"dual simplex exceeded {_MAX_ITERS} iterations")
 
 
-def _pivot(tableau: np.ndarray, rhs: np.ndarray, row: int, col: int) -> None:
-    pivot = tableau[row, col]
-    tableau[row] /= pivot
-    rhs[row] /= pivot
-    for i in range(tableau.shape[0]):
-        if i != row and abs(tableau[i, col]) > _TOL:
-            factor = tableau[i, col]
-            tableau[i] -= factor * tableau[row]
-            rhs[i] -= factor * rhs[row]
-    rhs[rhs < 0] = np.where(rhs[rhs < 0] > -_TOL, 0.0, rhs[rhs < 0])
+def solve_standard_form(
+    form: StandardForm, *, basis: Basis | None = None
+) -> LPSolution:
+    """Solve the LP relaxation of a standard form (integrality ignored).
 
-
-def _drive_out_artificials(
-    tableau: np.ndarray, rhs: np.ndarray, basis: np.ndarray, n_real: int
-) -> None:
-    """Pivot basic artificial variables out of the basis where possible."""
-    for i in range(len(basis)):
-        if basis[i] < n_real:
-            continue
-        row = tableau[i, :n_real]
-        candidates = np.flatnonzero(np.abs(row) > _TOL)
-        if candidates.size:
-            _pivot(tableau, rhs, i, int(candidates[0]))
-            basis[i] = int(candidates[0])
-        # else: redundant row; the artificial stays basic at value 0.
+    Convenience wrapper building a one-shot :class:`RevisedSimplex`;
+    callers re-solving the same rows under changing bounds (branch &
+    bound) should hold a ``RevisedSimplex`` instance instead.
+    """
+    return RevisedSimplex(form).solve(basis=basis)

@@ -1,0 +1,66 @@
+"""Warm-start context: carry one solve's outcome into the next.
+
+The suite's solver calls are rarely independent: the partition sweep
+solves the same model for N, N+1, ... GPUs; fault re-planning solves the
+N-1 instance right after the N instance.  :class:`WarmStartContext` is the
+small, explicit bridge between those solves:
+
+* ``boundaries`` seeds :func:`repro.core.partition.mip_partition`'s
+  incumbent (the previous partition, re-split to the new stage count);
+* ``x`` seeds :class:`repro.solver.branch_bound.BranchAndBoundSolver`'s
+  incumbent when it is integer-feasible for the new instance.
+
+Warm starts are *hints*: both consumers use canonical tie-breaking and
+tie-exploring pruning, so the returned optimum is identical with or
+without the context — only the work (nodes, pivots) shrinks.  That
+invariance is what keeps warm starts out of the memoization cache keys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["WarmStartContext"]
+
+
+@dataclasses.dataclass(frozen=True)
+class WarmStartContext:
+    """Hints carried from a previous solve into a related one.
+
+    Attributes:
+        boundaries: Layer cut points of a previously optimal partition
+            (consumed by ``mip_partition``; duck-typed via this attribute).
+        x: Integer-feasible point of a previous MIP solve in the *original*
+            variable space (consumed by ``BranchAndBoundSolver.solve``).
+        label: Where the hint came from, for traces and benchmarks.
+    """
+
+    boundaries: tuple[int, ...] | None = None
+    x: tuple[float, ...] | None = None
+    label: str = ""
+
+    @classmethod
+    def from_partition(cls, result: object, *, label: str = "partition") -> "WarmStartContext":
+        """Build from a ``PartitionResult`` / ``Partition`` / boundary list."""
+        boundaries = getattr(result, "boundaries", None)
+        if boundaries is None:
+            partition = getattr(result, "partition", None)
+            boundaries = getattr(partition, "boundaries", None)
+        if boundaries is None and isinstance(result, (tuple, list)):
+            boundaries = result
+        if boundaries is None:
+            raise TypeError(f"cannot extract boundaries from {type(result).__name__}")
+        return cls(boundaries=tuple(int(b) for b in boundaries), label=label)
+
+    @classmethod
+    def from_mip(cls, solution: object, *, label: str = "mip") -> "WarmStartContext":
+        """Build from a ``MIPSolution`` with a solution vector."""
+        x = getattr(solution, "x", None)
+        if x is None:
+            raise TypeError("MIP solution has no x vector to warm start from")
+        return cls(x=tuple(float(v) for v in np.asarray(x, dtype=float)), label=label)
+
+    def x_array(self) -> np.ndarray | None:
+        return None if self.x is None else np.asarray(self.x, dtype=float)

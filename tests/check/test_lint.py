@@ -169,6 +169,84 @@ class TestMob002HotPathDeterminism:
         assert not report.findings
 
 
+class TestMob002StrictClock:
+    """The strict variant over ``solver/``: even monotonic clocks are banned
+    outside allowlisted sites, so solver results stay budget-deterministic."""
+
+    SOLVER_MODULE = "src/repro/solver/some_module.py"
+
+    def test_perf_counter_flagged_in_solver(self):
+        report = _lint(
+            """
+            import time
+
+            def elapsed(t0):
+                return time.perf_counter() - t0
+            """,
+            self.SOLVER_MODULE,
+        )
+        assert "MOB002" in _codes(report)
+
+    def test_monotonic_flagged_in_solver(self):
+        report = _lint(
+            """
+            import time
+
+            def tick():
+                return time.monotonic()
+            """,
+            self.SOLVER_MODULE,
+        )
+        assert "MOB002" in _codes(report)
+
+    def test_from_time_import_flagged(self):
+        report = _lint(
+            "from time import perf_counter\n", self.SOLVER_MODULE
+        )
+        assert "MOB002" in _codes(report)
+
+    def test_allowlisted_site_passes(self):
+        # The one sanctioned clock site: MIPSolution.solve_seconds reporting.
+        report = _lint(
+            """
+            import time
+
+            class BranchAndBoundSolver:
+                def solve(self, program):
+                    started = time.perf_counter()
+                    return time.perf_counter() - started
+            """,
+            "src/repro/solver/branch_bound.py",
+        )
+        assert not report.findings
+
+    def test_other_method_in_allowlisted_file_flagged(self):
+        report = _lint(
+            """
+            import time
+
+            class BranchAndBoundSolver:
+                def other(self):
+                    return time.perf_counter()
+            """,
+            "src/repro/solver/branch_bound.py",
+        )
+        assert "MOB002" in _codes(report)
+
+    def test_strict_rule_scoped_to_solver(self):
+        # perf_counter stays legal in ordinary hot paths (sim/, core/).
+        report = _lint(
+            """
+            import time
+
+            def elapsed(t0):
+                return time.perf_counter() - t0
+            """,
+            HOT_MODULE,
+        )
+        assert not report.findings
+
+
 class TestMob003TaskLabels:
     def test_helper_constructor_passes(self):
         report = _lint(

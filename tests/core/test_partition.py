@@ -107,3 +107,91 @@ class TestMinStagePartition:
     def test_infeasible_min_stage_raises(self, model, cm):
         with pytest.raises(ValueError):
             min_stage_partition(model, cm, 2, 2, BW, gpu_memory=1000)
+
+
+class TestForwardStackStepTime:
+    """The incremental backward sweep must be bit-identical to the full
+    pipeline evaluation it replaces on the DFS leaf path."""
+
+    def test_matches_evaluate_pipeline_on_random_partitions(self, model, cm):
+        import itertools
+
+        from repro.core.partition import _ForwardStack, _SearchContext
+        from repro.core.timing import evaluate_pipeline
+
+        n_layers = len(model.layers)
+        gpu_memory = cm.usable_gpu_bytes()
+        for n_gpus in (2, 3):
+            ctx = _SearchContext(model, cm, n_gpus, n_gpus, BW, gpu_memory)
+            checked = 0
+            for boundaries in itertools.combinations(
+                range(1, n_layers), n_gpus * 2 - 1
+            ):
+                cuts = (0,) + boundaries + (n_layers,)
+                stack = _ForwardStack(ctx)
+                for start, stop in zip(cuts, cuts[1:]):
+                    stack.push(start, stop)
+                stage_costs = [
+                    ctx.stage_cost(start, stop)
+                    for start, stop in zip(cuts, cuts[1:])
+                ]
+                expected = evaluate_pipeline(
+                    stage_costs, n_gpus, n_gpus, BW, gpu_memory
+                ).step_seconds
+                if expected != float("inf"):
+                    assert stack.step_time() == expected
+                    checked += 1
+                if checked >= 40:
+                    break
+            assert checked > 0
+
+
+class TestDeterministicBudgets:
+    def test_node_budget_truncates_deterministically(self, model, cm):
+        first = mip_partition(model, cm, 2, 2, BW, max_nodes=10)
+        second = mip_partition(model, cm, 2, 2, BW, max_nodes=10)
+        assert not first.optimal  # budget of 10 cannot finish this search
+        assert first.partition.boundaries == second.partition.boundaries
+        assert first.nodes_explored == second.nodes_explored == 10
+
+    def test_result_independent_of_time_limit(self, model, cm):
+        fast = mip_partition(model, cm, 2, 2, BW, time_limit=1.0)
+        slow = mip_partition(model, cm, 2, 2, BW, time_limit=60.0)
+        assert fast.partition.boundaries == slow.partition.boundaries
+        assert fast.nodes_explored == slow.nodes_explored
+
+
+class TestPartitionWarmStart:
+    def test_warm_start_cannot_change_the_result(self, model, cm):
+        cold = mip_partition(model, cm, 2, 2, BW)
+        warm = mip_partition(model, cm, 2, 2, BW, warm_start=cold.partition)
+        assert warm.warm_started
+        assert warm.partition.boundaries == cold.partition.boundaries
+        assert warm.timings.step_seconds == cold.timings.step_seconds
+        assert warm.nodes_explored <= cold.nodes_explored
+
+    def test_warm_start_accepts_boundary_sequence(self, model, cm):
+        cold = mip_partition(model, cm, 2, 2, BW)
+        warm = mip_partition(
+            model, cm, 2, 2, BW, warm_start=list(cold.partition.boundaries)
+        )
+        assert warm.partition.boundaries == cold.partition.boundaries
+
+    def test_infeasible_hint_is_ignored(self, model, cm):
+        cold = mip_partition(model, cm, 2, 2, BW)
+        warm = mip_partition(model, cm, 2, 2, BW, warm_start=(1,))
+        assert warm.partition.boundaries == cold.partition.boundaries
+
+    def test_cross_gpu_count_hint_shrinks_search(self):
+        # The fault-replan scenario: re-solve for N-1 GPUs warm-started
+        # from the N-GPU plan.  Fewer nodes, same canonical answer.
+        from repro.models.zoo import gpt2_small
+
+        model = gpt2_small()
+        cm = CostModel(RTX_3090TI, model.default_microbatch_size)
+        full = mip_partition(model, cm, 4, 4, BW)
+        cold = mip_partition(model, cm, 3, 3, BW)
+        warm = mip_partition(model, cm, 3, 3, BW, warm_start=full.partition)
+        assert warm.warm_started
+        assert warm.partition.boundaries == cold.partition.boundaries
+        assert warm.nodes_explored < cold.nodes_explored

@@ -119,3 +119,39 @@ class TestReplanAfterDropout:
         config = MobiusConfig(partition_time_limit=1.0)
         with pytest.raises(PlanInfeasibleError):
             replan_after_dropout(tiny_model, topology, config, 0)
+
+
+class TestReplanWarmStart:
+    def test_replan_uses_fewer_solver_nodes_than_cold(self, monkeypatch):
+        """The N-1 re-solve warm-starts from the pre-fault partition and
+        must report a strictly smaller branch & bound tree than planning
+        the surviving topology from scratch."""
+        from repro.core import api
+        from repro.models.costmodel import CostModel
+        from repro.models.zoo import gpt2_small
+        from repro.perf.cache import cache_overridden
+
+        model = gpt2_small()
+        topology = commodity_server([2, 2])
+        config = MobiusConfig()
+
+        monkeypatch.setattr(api, "_PARTITION_HINTS", {})
+        with cache_overridden(memory=True, disk=False):
+            old = plan_mobius(model, topology, config)
+            result = replan_after_dropout(
+                model, topology, config, 3, old_plan_report=old
+            )
+            assert result.warm_started
+            warm_nodes = result.solver_nodes
+
+        monkeypatch.setattr(api, "_PARTITION_HINTS", {})
+        with cache_overridden(memory=True, disk=False):
+            cold = plan_mobius(model, surviving_topology(topology, 3), config)
+            cold_nodes = cold.partition_result.nodes_explored
+            assert not cold.partition_result.warm_started
+
+        assert warm_nodes < cold_nodes
+        assert (
+            result.plan_report.plan.partition.boundaries
+            == cold.plan.partition.boundaries
+        ), "warm start must not change the recovery plan"

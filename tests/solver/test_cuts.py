@@ -1,0 +1,121 @@
+"""Tests for Gomory fractional and knapsack-cover cutting planes."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.solver.cuts import cover_cuts, gomory_cuts
+from repro.solver.model import LinearProgram
+from repro.solver.simplex import LPStatus, RevisedSimplex
+
+
+def _integer_points(form):
+    """Every integer point of a small all-integer ``form``'s box."""
+    ranges = [
+        range(int(lo), int(hi) + 1) for lo, hi in zip(form.lb, form.ub)
+    ]
+    for point in itertools.product(*ranges):
+        x = np.asarray(point, dtype=float)
+        if form.a_ub.size and np.any(form.a_ub @ x > form.b_ub + 1e-9):
+            continue
+        yield x
+
+
+def _assert_valid_cut(form, coefs, rhs):
+    """A cut must not remove any integer-feasible point."""
+    for x in _integer_points(form):
+        assert float(np.dot(coefs, x)) <= rhs + 1e-6, (
+            f"cut {coefs} <= {rhs} removes integer point {x}"
+        )
+
+
+class TestGomoryCuts:
+    def _fractional_instance(self):
+        # max x + y s.t. 3x + 2y <= 6, -3x + 2y <= 0 — LP optimum at
+        # (1, 1.5), both integer vars fractional in the basis.
+        lp = LinearProgram()
+        x = lp.add_var("x", lb=0, ub=4, integer=True)
+        y = lp.add_var("y", lb=0, ub=4, integer=True)
+        lp.add_constraint(3 * x + 2 * y <= 6)
+        lp.add_constraint(-3 * x + 2 * y <= 0)
+        lp.set_objective(-1 * x - 1 * y)  # minimize -(x + y)
+        return lp.to_standard_form()
+
+    def test_cuts_are_valid_and_violated(self):
+        form = self._fractional_instance()
+        simplex = RevisedSimplex(form)
+        solution = simplex.solve()
+        assert solution.status is LPStatus.OPTIMAL
+        frac = solution.x - np.floor(solution.x)
+        assert np.any(np.abs(frac - 0.5) < 0.49), "relaxation should be fractional"
+        cuts = gomory_cuts(simplex, form)
+        assert cuts, "a fractional basis row should produce a cut"
+        for coefs, rhs in cuts:
+            _assert_valid_cut(form, coefs, rhs)
+            assert float(np.dot(coefs, solution.x)) > rhs + 1e-9, (
+                "a Gomory cut must separate the LP point"
+            )
+
+    def test_integral_relaxation_produces_no_cuts(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", lb=0, ub=3, integer=True)
+        lp.add_constraint(x <= 2)
+        lp.set_objective(-1 * x)
+        form = lp.to_standard_form()
+        simplex = RevisedSimplex(form)
+        assert simplex.solve().status is LPStatus.OPTIMAL
+        assert gomory_cuts(simplex, form) == []
+
+    def test_requires_a_prior_solve(self):
+        form = self._fractional_instance()
+        simplex = RevisedSimplex(form)
+        assert gomory_cuts(simplex, form) == []
+
+
+class TestCoverCuts:
+    def _knapsack(self):
+        # 3x1 + 3x2 + 3x3 <= 5 over binaries: any two items overflow.
+        lp = LinearProgram()
+        xs = [lp.add_binary(f"x{i}") for i in range(3)]
+        lp.add_constraint(3 * xs[0] + 3 * xs[1] + 3 * xs[2] <= 5)
+        lp.set_objective(-1 * xs[0] - 1 * xs[1] - 1 * xs[2])
+        return lp.to_standard_form()
+
+    def test_violated_cover_found(self):
+        form = self._knapsack()
+        x_lp = np.array([0.9, 0.767, 0.0])  # fractional LP-ish point
+        cuts = cover_cuts(form, x_lp)
+        assert cuts
+        for coefs, rhs in cuts:
+            _assert_valid_cut(form, coefs, rhs)
+            assert float(np.dot(coefs, x_lp)) > rhs + 1e-9
+
+    def test_integral_point_yields_nothing(self):
+        form = self._knapsack()
+        assert cover_cuts(form, np.array([1.0, 0.0, 0.0])) == []
+
+    def test_non_knapsack_rows_skipped(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", lb=0, ub=10)  # continuous: not a knapsack
+        y = lp.add_binary("y")
+        lp.add_constraint(2 * x + 3 * y <= 4)
+        lp.set_objective(-1 * x)
+        form = lp.to_standard_form()
+        assert cover_cuts(form, np.array([0.5, 0.9])) == []
+
+
+class TestCutsInsideBranchAndBound:
+    def test_cuts_do_not_change_the_answer(self):
+        from repro.solver.branch_bound import BranchAndBoundSolver, MIPStatus
+
+        lp = LinearProgram()
+        xs = [lp.add_var(f"x{i}", lb=0, ub=5, integer=True) for i in range(4)]
+        lp.add_constraint(6 * xs[0] + 5 * xs[1] + 4 * xs[2] + 3 * xs[3] <= 13)
+        lp.add_constraint(2 * xs[0] + 3 * xs[1] + 5 * xs[2] + 7 * xs[3] <= 11)
+        lp.set_objective(-9 * xs[0] - 7 * xs[1] - 6 * xs[2] - 4 * xs[3])
+        with_cuts = BranchAndBoundSolver(cuts=2).solve(lp)
+        without = BranchAndBoundSolver(cuts=0).solve(lp)
+        assert with_cuts.status is MIPStatus.OPTIMAL
+        assert with_cuts.objective == pytest.approx(without.objective, abs=1e-9)
+        np.testing.assert_allclose(with_cuts.x, without.x, atol=1e-9)

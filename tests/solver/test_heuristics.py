@@ -1,0 +1,83 @@
+"""Tests for the rounding/diving primal heuristics."""
+
+import numpy as np
+
+from repro.solver.heuristics import dive, round_and_repair
+from repro.solver.model import LinearProgram
+from repro.solver.simplex import LPStatus, RevisedSimplex
+
+
+def _feasible(form, x, tol=1e-6):
+    if np.any(x < form.lb - tol) or np.any(x > form.ub + tol):
+        return False
+    if form.a_ub.size and np.any(form.a_ub @ x > form.b_ub + tol):
+        return False
+    if form.a_eq.size and np.any(np.abs(form.a_eq @ x - form.b_eq) > tol):
+        return False
+    return True
+
+
+def _solved(lp):
+    form = lp.to_standard_form()
+    simplex = RevisedSimplex(form)
+    solution = simplex.solve()
+    assert solution.status is LPStatus.OPTIMAL
+    return form, simplex, solution
+
+
+class TestRoundAndRepair:
+    def test_mixed_instance_repaired(self):
+        # min -x - 10y with integer y; rounding y and re-optimizing x must
+        # yield an integer-feasible point.
+        lp = LinearProgram()
+        x = lp.add_var("x", lb=0, ub=10)
+        y = lp.add_var("y", lb=0, ub=10, integer=True)
+        lp.add_constraint(2 * x + 3 * y <= 12)
+        lp.set_objective(-1 * x - 10 * y)
+        form, simplex, solution = _solved(lp)
+        point = round_and_repair(simplex, form, solution.x)
+        assert point is not None
+        assert _feasible(form, point)
+        assert np.allclose(point[form.integer], np.round(point[form.integer]))
+
+    def test_infeasible_rounding_returns_none(self):
+        # x + y == 1 over binaries; LP point (0.5, 0.5) rounds to (0, 0)
+        # (round-half-to-even), violating the equality with no continuous
+        # slack to repair it.
+        lp = LinearProgram()
+        x = lp.add_binary("x")
+        y = lp.add_binary("y")
+        lp.add_constraint(x + y == 1)
+        lp.set_objective(-1 * x - 1 * y)
+        form = lp.to_standard_form()
+        simplex = RevisedSimplex(form)
+        assert simplex.solve().status is LPStatus.OPTIMAL
+        point = round_and_repair(simplex, form, np.array([0.5, 0.5]))
+        assert point is None or _feasible(form, point)
+
+
+class TestDive:
+    def test_dive_reaches_integer_feasible_point(self):
+        lp = LinearProgram()
+        xs = [lp.add_var(f"x{i}", lb=0, ub=3, integer=True) for i in range(3)]
+        lp.add_constraint(3 * xs[0] + 5 * xs[1] + 7 * xs[2] <= 11)
+        lp.set_objective(-4 * xs[0] - 6 * xs[1] - 9 * xs[2])
+        form, simplex, solution = _solved(lp)
+        point = dive(simplex, form, solution.x)
+        assert point is not None
+        assert _feasible(form, point)
+        assert np.allclose(point[form.integer], np.round(point[form.integer]))
+
+    def test_dive_is_deterministic(self):
+        lp = LinearProgram()
+        xs = [lp.add_var(f"x{i}", lb=0, ub=4, integer=True) for i in range(4)]
+        lp.add_constraint(2 * xs[0] + 3 * xs[1] + 4 * xs[2] + 5 * xs[3] <= 10)
+        lp.set_objective(-5 * xs[0] - 4 * xs[1] - 3 * xs[2] - 2 * xs[3])
+        form, simplex, solution = _solved(lp)
+        first = dive(simplex, form, solution.x.copy())
+        form2, simplex2, solution2 = _solved(lp)
+        second = dive(simplex2, form2, solution2.x.copy())
+        if first is None:
+            assert second is None
+        else:
+            np.testing.assert_array_equal(first, second)

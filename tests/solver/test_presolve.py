@@ -20,8 +20,10 @@ class TestReductions:
         result = presolve(lp.to_standard_form())
         assert result.n_removed == 1
         assert list(result.kept) == [1]
-        # RHS absorbed the fixed value: y <= 4.
-        np.testing.assert_allclose(result.form.b_ub, [4.0])
+        # Propagation absorbed the whole row into y's bound (y <= 4), which
+        # makes the row redundant against the tightened box.
+        assert result.form.a_ub.shape[0] == 0
+        assert result.form.ub[0] == pytest.approx(4.0)
 
     def test_singleton_row_becomes_bound(self):
         lp = LinearProgram()
@@ -95,3 +97,137 @@ def test_presolve_preserves_optimum(seed):
     assert plain.status == reduced.status
     if plain.status is MIPStatus.OPTIMAL:
         assert reduced.objective == pytest.approx(plain.objective, abs=1e-6)
+
+
+class TestPropagateBounds:
+    """Edge cases of the incremental activity-based propagator."""
+
+    def _run(self, a_ub, b_ub, lb, ub, integer=None, **kw):
+        import numpy as np
+
+        from repro.solver.presolve import propagate_bounds
+
+        a_ub = np.asarray(a_ub, dtype=float).reshape(len(b_ub), -1)
+        integer = (
+            np.zeros(len(lb), dtype=bool)
+            if integer is None
+            else np.asarray(integer, dtype=bool)
+        )
+        return propagate_bounds(
+            a_ub,
+            np.asarray(b_ub, dtype=float),
+            np.asarray(lb, dtype=float),
+            np.asarray(ub, dtype=float),
+            integer,
+            **kw,
+        )
+
+    def test_simple_tightening(self):
+        # x + y <= 4 with y >= 3 forces x <= 1.
+        lb, ub, feasible = self._run([[1, 1]], [4], [0, 3], [10, 10])
+        assert feasible
+        assert ub[0] == pytest.approx(1.0)
+
+    def test_negative_coefficient_raises_lower_bound(self):
+        # -x + y <= -2 (i.e. x >= y + 2) with y >= 1 forces x >= 3.
+        lb, ub, feasible = self._run([[-1, 1]], [-2], [0, 1], [10, 10])
+        assert feasible
+        assert lb[0] == pytest.approx(3.0)
+
+    def test_integer_rounding(self):
+        # 2x <= 5 over an integer x gives x <= 2, not 2.5.
+        lb, ub, feasible = self._run([[2]], [5], [0], [10], integer=[True])
+        assert feasible
+        assert ub[0] == pytest.approx(2.0)
+
+    def test_min_activity_infeasibility(self):
+        lb, ub, feasible = self._run([[1, 1]], [1], [2, 2], [5, 5])
+        assert not feasible
+
+    def test_crossed_input_bounds_rejected(self):
+        lb, ub, feasible = self._run([[1]], [10], [5], [3])
+        assert not feasible
+
+    def test_two_infinite_terms_learn_nothing(self):
+        import math
+
+        lb, ub, feasible = self._run(
+            [[1, 1]], [4], [-math.inf, -math.inf], [math.inf, math.inf]
+        )
+        assert feasible
+        assert math.isinf(ub[0]) and math.isinf(ub[1])
+
+    def test_one_infinite_term_still_bounds_it(self):
+        import math
+
+        # x + y <= 4, y in [1, 2], x unbounded below: learn x <= 3.
+        lb, ub, feasible = self._run(
+            [[1, 1]], [4], [-math.inf, 1], [math.inf, 2]
+        )
+        assert feasible
+        assert ub[0] == pytest.approx(3.0)
+
+    def test_fixpoint_chains_across_rows(self):
+        # x <= 1 then x + y >= 3 (as -x - y <= -3) forces y >= 2.
+        lb, ub, feasible = self._run(
+            [[1, 0], [-1, -1]], [1, -3], [0, 0], [10, 10]
+        )
+        assert feasible
+        assert lb[1] == pytest.approx(2.0)
+
+
+class TestRowReductions:
+    def test_redundant_row_dropped(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", ub=2)
+        y = lp.add_var("y", ub=2)
+        lp.add_constraint(x + y <= 100)  # max activity is 4: redundant
+        lp.set_objective(-x - y)
+        result = presolve(lp.to_standard_form())
+        assert result.form.a_ub.shape[0] == 0
+
+    def test_duplicate_rows_keep_tightest_rhs(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", ub=10)
+        y = lp.add_var("y", ub=10)
+        lp.add_constraint(x + y <= 9)
+        lp.add_constraint(x + y <= 7)
+        lp.set_objective(-x - y)
+        result = presolve(lp.to_standard_form())
+        assert result.form.a_ub.shape[0] == 1
+        assert result.form.b_ub[0] == pytest.approx(7.0)
+
+    def test_gcd_reduction_tightens_integer_row(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", ub=10, integer=True)
+        y = lp.add_var("y", ub=10, integer=True)
+        lp.add_constraint(2 * x + 2 * y <= 5)  # divide by 2, floor: x+y <= 2
+        lp.set_objective(-x - y)
+        result = presolve(lp.to_standard_form())
+        solution = BranchAndBoundSolver().solve(lp)
+        assert solution.objective == pytest.approx(-2.0)
+        row = result.form.a_ub[0]
+        rhs = result.form.b_ub[0]
+        assert rhs == pytest.approx(2.0)
+        np.testing.assert_allclose(row[np.abs(row) > 1e-9], [1.0, 1.0])
+
+    def test_presolve_infeasibility_via_propagation(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", lb=0, ub=1, integer=True)
+        y = lp.add_var("y", lb=0, ub=1, integer=True)
+        lp.add_constraint(x + y >= 3)  # two binaries cannot reach 3
+        lp.set_objective(x + y)
+        assert presolve(lp.to_standard_form()).infeasible
+
+    def test_postsolve_round_trip_through_solver(self):
+        lp = LinearProgram()
+        fixed = lp.add_var("fixed", lb=3, ub=3, integer=True)
+        x = lp.add_var("x", ub=4, integer=True)
+        y = lp.add_var("y", ub=4)
+        lp.add_constraint(fixed + x + y <= 8)
+        lp.set_objective(-fixed - 2 * x - y)
+        plain = BranchAndBoundSolver().solve(lp)
+        reduced = BranchAndBoundSolver(presolve=True).solve(lp)
+        assert len(reduced.x) == 3  # lifted back to the original space
+        assert reduced.x[0] == pytest.approx(3.0)
+        assert reduced.objective == pytest.approx(plain.objective, abs=1e-9)

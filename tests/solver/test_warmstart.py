@@ -1,0 +1,97 @@
+"""Warm-start invariance: a hint may shrink the tree, never change the answer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver.branch_bound import BranchAndBoundSolver, MIPStatus
+from repro.solver.model import LinearProgram
+from repro.solver.warmstart import WarmStartContext
+
+
+def _knapsack(seed: int, n_vars: int) -> LinearProgram:
+    rng = np.random.default_rng(seed)
+    lp = LinearProgram()
+    xs = [lp.add_var(f"x{i}", lb=0, ub=3, integer=True) for i in range(n_vars)]
+    weights = rng.integers(1, 10, size=n_vars)
+    values = rng.integers(1, 10, size=n_vars)
+    capacity = int(weights.sum() // 2) + 1
+    lp.add_constraint(sum(int(w) * x for w, x in zip(weights, xs)) <= capacity)
+    lp.set_objective(sum(-int(v) * x for v, x in zip(values, xs)))
+    return lp
+
+
+class TestWarmStartContext:
+    def test_from_partition_duck_types(self):
+        class Dummy:
+            boundaries = (2, 5, 9)
+
+        ctx = WarmStartContext.from_partition(Dummy())
+        assert ctx.boundaries == (2, 5, 9)
+        assert WarmStartContext.from_partition([1, 2]).boundaries == (1, 2)
+
+    def test_from_partition_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            WarmStartContext.from_partition(object())
+
+    def test_from_mip_requires_x(self):
+        solution = BranchAndBoundSolver().solve(_knapsack(0, 3))
+        ctx = WarmStartContext.from_mip(solution)
+        np.testing.assert_array_equal(ctx.x_array(), solution.x)
+        with pytest.raises(TypeError):
+            WarmStartContext.from_mip(MIPStatus.INFEASIBLE)
+
+    def test_is_hashable_and_frozen(self):
+        ctx = WarmStartContext(boundaries=(1, 2), label="t")
+        hash(ctx)
+        with pytest.raises(Exception):
+            ctx.label = "other"
+
+
+class TestWarmEqualsCold:
+    @settings(deadline=None, max_examples=25)
+    @given(seed=st.integers(0, 1_000), n_vars=st.integers(2, 6))
+    def test_bit_identical_x_and_no_larger_tree(self, seed, n_vars):
+        lp = _knapsack(seed, n_vars)
+        cold = BranchAndBoundSolver().solve(lp)
+        assert cold.status is MIPStatus.OPTIMAL
+        warm = BranchAndBoundSolver().solve(
+            lp, warm_start=WarmStartContext.from_mip(cold)
+        )
+        assert warm.status is cold.status
+        assert warm.warm_started
+        np.testing.assert_array_equal(warm.x, cold.x)
+        assert warm.objective == cold.objective
+        assert warm.nodes_explored <= cold.nodes_explored
+
+    def test_infeasible_hint_is_ignored(self):
+        lp = _knapsack(7, 4)
+        cold = BranchAndBoundSolver().solve(lp)
+        bogus = WarmStartContext(x=tuple(100.0 for _ in cold.x))
+        warm = BranchAndBoundSolver().solve(lp, warm_start=bogus)
+        assert not warm.warm_started
+        np.testing.assert_array_equal(warm.x, cold.x)
+
+    def test_wrong_length_hint_is_ignored(self):
+        lp = _knapsack(3, 4)
+        cold = BranchAndBoundSolver().solve(lp)
+        warm = BranchAndBoundSolver().solve(
+            lp, warm_start=WarmStartContext(x=(1.0,))
+        )
+        np.testing.assert_array_equal(warm.x, cold.x)
+
+    def test_hint_survives_presolve_mapping(self):
+        # Presolve fixes variables; the hint must be translated into the
+        # reduced space (or dropped) without changing the result.
+        lp = LinearProgram()
+        fixed = lp.add_var("fixed", lb=2, ub=2, integer=True)
+        free = lp.add_var("free", lb=0, ub=5, integer=True)
+        lp.add_constraint(fixed + 2 * free <= 8)
+        lp.set_objective(-1 * fixed - 3 * free)
+        cold = BranchAndBoundSolver(presolve=True).solve(lp)
+        warm = BranchAndBoundSolver(presolve=True).solve(
+            lp, warm_start=WarmStartContext.from_mip(cold)
+        )
+        np.testing.assert_array_equal(warm.x, cold.x)
+        assert warm.objective == cold.objective
