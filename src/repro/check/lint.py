@@ -15,11 +15,13 @@ three that have bitten (or would silently bite) the reproduction:
   (``import random``, legacy ``numpy.random.*`` calls).  The simulator's
   virtual clock is the only time source there; ``time.perf_counter`` is
   allowed because it only feeds search-duration metadata, never results.
-  Modules under ``repro/solver/`` are held to the *strict* variant: the
-  solver runs under deterministic node/pivot budgets, so even monotonic
-  clocks (``perf_counter``, ``monotonic``) are banned except at the
-  explicitly allowlisted ``solve_seconds`` reporting site
-  (``clock_allowlist``).
+  Modules under ``repro/solver/`` and ``repro/sim/`` are held to the
+  *strict* variant: the solver runs under deterministic node/pivot budgets
+  and the simulator under its virtual clock, so even monotonic clocks
+  (``perf_counter``, ``monotonic``) are banned except at explicitly
+  allowlisted reporting sites (``clock_allowlist``) — ``solve_seconds``
+  metadata and the ``simbench``/``solvebench`` wall-time columns, which
+  are informational by contract.
 
 * **MOB003 — task-label contract.**  Task labels built in
   ``repro/core/pipeline.py`` must come from the :mod:`repro.core.labels`
@@ -135,17 +137,26 @@ class LintConfig:
         # The MILP stack stops on node/pivot budgets, never the clock.
         "src/repro/solver/",
     )
-    strict_clock_prefixes: tuple[str, ...] = ("src/repro/solver/",)
+    strict_clock_prefixes: tuple[str, ...] = (
+        "src/repro/solver/",
+        # The simulator's only time source is the virtual clock; its bench
+        # reports wall seconds but the simbench gate never compares them.
+        "src/repro/sim/",
+    )
     clock_allowlist: frozenset[str] = frozenset(
         {
             # The single sanctioned clock read: MIPSolution.solve_seconds
             # reporting.  It feeds metadata only — budgets control the
             # search — and stays out of every hot loop.
             "src/repro/solver/branch_bound.py::BranchAndBoundSolver.solve",
-            # The benchmark's wall times are informational by contract —
-            # the solvebench CI gate compares node counts and parity only.
+            # The benchmarks' wall times are informational by contract —
+            # the solvebench CI gate compares node counts and parity only,
+            # and the simbench gate compares fingerprints and allocator
+            # work counters only.
             "src/repro/solver/bench.py::_run_mip_rows",
             "src/repro/solver/bench.py::_run_partition_rows",
+            "src/repro/sim/bench.py::_run_corpus_rows",
+            "src/repro/sim/bench.py::_run_chaos_rows",
         }
     )
     label_modules: tuple[str, ...] = ("src/repro/core/pipeline.py",)
@@ -315,9 +326,10 @@ def _check_strict_clock(
                         report.add(
                             _CHECKER,
                             "MOB002",
-                            f"clock read time.{chain[-1]} in the solver; "
-                            "deterministic node/pivot budgets are the only "
-                            "stopping criteria here (allowlist the site in "
+                            f"clock read time.{chain[-1]} in a "
+                            "strict-clock module; deterministic budgets and "
+                            "the virtual clock are the only time sources "
+                            "here (allowlist the site in "
                             "LintConfig.clock_allowlist if it is pure "
                             "reporting)",
                             subject=f"{rel_path}:{child.lineno}",
@@ -332,9 +344,9 @@ def _check_strict_clock(
                     report.add(
                         _CHECKER,
                         "MOB002",
-                        f"clock import(s) {', '.join(bad)} from 'time' in the "
-                        "solver; qualify reads as time.<attr> so the "
-                        "allowlist can scope them",
+                        f"clock import(s) {', '.join(bad)} from 'time' in "
+                        "a strict-clock module; qualify reads as "
+                        "time.<attr> so the allowlist can scope them",
                         subject=f"{rel_path}:{child.lineno}",
                     )
             visit(child, child_qualname)

@@ -15,7 +15,11 @@ Subcommands:
 * ``solvebench`` — benchmark the MIP solver stack (:mod:`repro.solver`)
   over the check corpus: objective parity vs scipy/HiGHS, warm-vs-cold
   invariance, node/pivot counts; ``--check-against`` gates CI on the
-  committed ``BENCH_solver.json``.
+  committed ``BENCH_solver.json``;
+* ``simbench`` — benchmark the discrete-event simulator (:mod:`repro.sim`)
+  over the check corpus and chaos scenarios: trace fingerprints plus the
+  incremental allocator's work counters; ``--check-against`` gates CI on
+  the committed ``BENCH_sim.json`` (any fingerprint divergence fails).
 
 Examples:
     python -m repro plan --model 15B --topology 2+2
@@ -25,6 +29,7 @@ Examples:
     python -m repro check --json
     python -m repro chaos --json
     python -m repro solvebench --json BENCH_solver.json
+    python -m repro simbench --check-against BENCH_sim.json
 """
 
 from __future__ import annotations
@@ -152,6 +157,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--check-against", default=None, metavar="PATH",
         help="committed BENCH_solver.json baseline; exit 1 on objective-"
         "parity or >25%% node-count regression",
+    )
+
+    simbench = sub.add_parser(
+        "simbench",
+        help="benchmark the simulator's incremental flow allocator",
+    )
+    simbench.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="PATH",
+        help="write the benchmark JSON to PATH (or stdout with no PATH)",
+    )
+    simbench.add_argument(
+        "--check-against", default=None, metavar="PATH",
+        help="committed BENCH_sim.json baseline; exit 1 on trace-"
+        "fingerprint divergence or >25%% allocator-work regression",
     )
     return parser
 
@@ -321,6 +340,41 @@ def _cmd_solvebench(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_simbench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.sim.bench import compare_benchmarks, run_bench, write_bench
+
+    document = run_bench()
+    if args.json == "-":
+        print(json.dumps(document, indent=1))
+    elif args.json is not None:
+        write_bench(args.json, document)
+        print(f"benchmark written to {args.json}")
+    else:
+        for row in document["corpus"]:
+            print(
+                f"corpus {row['name']:<18} events={row['events']:<6} "
+                f"realloc={row['reallocations']:<5} "
+                f"touched/realloc={row['flows_touched_per_reallocation']:<6} "
+                f"fp={row['fingerprint'][:12]}"
+            )
+        for row in document["chaos"]:
+            fp = row["fingerprint"]
+            print(
+                f"chaos {row['name']:<28} {row['status']:<10} "
+                f"fp={fp[:12] if fp else '-'}"
+            )
+    failures: list[str] = []
+    if args.check_against is not None:
+        with open(args.check_against) as f:
+            baseline = json.load(f)
+        failures.extend(compare_benchmarks(document, baseline))
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 _COMMANDS = {
     "plan": _cmd_plan,
     "compare": _cmd_compare,
@@ -329,6 +383,7 @@ _COMMANDS = {
     "check": _cmd_check,
     "chaos": _cmd_chaos,
     "solvebench": _cmd_solvebench,
+    "simbench": _cmd_simbench,
 }
 
 

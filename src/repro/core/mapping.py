@@ -123,12 +123,19 @@ def cross_mapping(topology: Topology, n_stages: int) -> MappingResult:
     shared = _shared_matrix(topology)
 
     if n <= _EXACT_SEARCH_LIMIT:
+        # All N! candidates are scored in one batched gather+reduce; the
+        # per-permutation reduction over the contiguous (n, n) block is
+        # bit-identical to np.sum(weights * shared[np.ix_(p, p)]), and the
+        # running-best selection below replicates the scalar loop exactly
+        # (same order, same 1e-12 strict-improvement rule).
+        perms = list(itertools.permutations(range(n)))
+        indices = np.array(perms, dtype=np.intp)
+        blocks = shared[indices[:, :, None], indices[:, None, :]]
+        scores = (weights[np.newaxis] * blocks).sum(axis=(1, 2)).tolist()
         best_perm: tuple[int, ...] | None = None
         best_score = math.inf
-        count = 0
-        for perm in itertools.permutations(range(n)):
-            count += 1
-            score = _score(perm, weights, shared)
+        count = len(perms)
+        for perm, score in zip(perms, scores):
             if score < best_score - 1e-12:
                 best_perm, best_score = perm, score
         assert best_perm is not None

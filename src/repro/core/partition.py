@@ -195,6 +195,11 @@ class _ForwardStack:
         self._rows: list[list[float]] = []
         self._end_fwd: list[float] = []
         self._d_fwd: list[float] = []
+        # Rolling row buffers for step_time(): the backward sweep only ever
+        # reads rows j and j+1, so leaves reuse two fixed buffers instead of
+        # allocating an S x M matrix per leaf.
+        self._row_a = [0.0] * ctx.n_microbatches
+        self._row_b = [0.0] * ctx.n_microbatches
 
     def push(self, start: int, stop: int) -> float:
         """Append stage ``[start, stop)``; return the new prefix bound.
@@ -230,15 +235,29 @@ class _ForwardStack:
             gpu_free = self._end_fwd[k - ctx.n_gpus]
             ready = gpu_free + max(0.0, remaining) / bandwidth
 
+        # The mb loop is the search's hottest arithmetic; max() is unrolled
+        # into comparisons (bit-identical, including ties) and the mb == 0
+        # special case is peeled out of the loop.
         row = [0.0] * m
-        for mb in range(m):
-            start_t = ready if mb == 0 else row[mb - 1] + fwd_seconds
-            if mb == 0:
-                start_t = max(start_t, gpu_free)
-            if prev_row is not None:
-                start_t = max(start_t, prev_row[mb] + t_prev + act_latency)
-            row[mb] = start_t
-        end = row[m - 1] + fwd_seconds
+        start_t = ready
+        if gpu_free > start_t:
+            start_t = gpu_free
+        if prev_row is not None:
+            arrival = prev_row[0] + t_prev + act_latency
+            if arrival > start_t:
+                start_t = arrival
+            row[0] = start_t
+            for mb in range(1, m):
+                chained = start_t + fwd_seconds
+                arrival = prev_row[mb] + t_prev + act_latency
+                start_t = arrival if arrival > chained else chained
+                row[mb] = start_t
+        else:
+            row[0] = start_t
+            for mb in range(1, m):
+                start_t = start_t + fwd_seconds
+                row[mb] = start_t
+        end = start_t + fwd_seconds
         self._stages.append(cost)
         self._rows.append(row)
         self._end_fwd.append(end)
@@ -266,41 +285,59 @@ class _ForwardStack:
         m = ctx.n_microbatches
         n_gpus = ctx.n_gpus
         bandwidth = ctx.bandwidth
+        gpu_memory = ctx.gpu_memory
         end_fwd = self._end_fwd
-        t_bwd: list[list[float]] = [[0.0] * m for _ in range(s)]
         d_bwd = [0.0] * s
         end_bwd = [0.0] * s
-        for j in range(s - 1, -1, -1):
+        # Only rows j and j+1 are ever live, so two reusable buffers replace
+        # the S x M matrix; max() is unrolled into comparisons and mb == 0
+        # peeled, exactly as in push() — ties and operation order preserved.
+        row = self._row_a
+        next_row = self._row_b
+        boundary = s - n_gpus
+        last = s - 1
+        t_next = 0.0
+        for j in range(last, -1, -1):
             cost = costs[j]
             bwd_seconds = cost.bwd_seconds
-            t_next = costs[j + 1].bwd_seconds if j < s - 1 else 0.0
-            grad_latency = (
-                (cost.output_activation_bytes / bandwidth) if j < s - 1 else 0.0
-            )
-            if j >= s - n_gpus:
+            if j >= boundary:
                 ready = end_fwd[j]
-                gpu_free = end_fwd[j]
+                gpu_free = ready
             else:
                 window = d_bwd[j + n_gpus]
                 upload = cost.param_bytes + m * cost.input_activation_bytes
-                room = ctx.gpu_memory - costs[j + n_gpus].mem_bwd(m)
+                room = gpu_memory - costs[j + n_gpus].mem_bwd(m)
                 prefetch = max(0, min(upload, room))
                 prefetched = min(prefetch, bandwidth * window)
                 remaining = upload - prefetched
                 gpu_free = end_bwd[j + n_gpus]
                 ready = gpu_free + max(0.0, remaining) / bandwidth
-            row = t_bwd[j]
-            next_row = t_bwd[j + 1] if j < s - 1 else None
-            for mb in range(m):
-                start_t = ready if mb == 0 else row[mb - 1] + bwd_seconds
-                if mb == 0:
-                    start_t = max(start_t, gpu_free)
-                if next_row is not None:
-                    start_t = max(start_t, next_row[mb] + t_next + grad_latency)
-                row[mb] = start_t
-            end_bwd[j] = row[m - 1] + bwd_seconds
-            d_bwd[j] = bwd_seconds + row[m - 1] - row[0]
-        return t_bwd[0][m - 1] + costs[0].bwd_seconds
+            start_t = ready
+            if gpu_free > start_t:
+                start_t = gpu_free
+            if j < last:
+                grad_latency = cost.output_activation_bytes / bandwidth
+                arrival = next_row[0] + t_next + grad_latency
+                if arrival > start_t:
+                    start_t = arrival
+                first = start_t
+                row[0] = first
+                for mb in range(1, m):
+                    chained = start_t + bwd_seconds
+                    arrival = next_row[mb] + t_next + grad_latency
+                    start_t = arrival if arrival > chained else chained
+                    row[mb] = start_t
+            else:
+                first = start_t
+                row[0] = first
+                for mb in range(1, m):
+                    start_t = start_t + bwd_seconds
+                    row[mb] = start_t
+            end_bwd[j] = start_t + bwd_seconds
+            d_bwd[j] = bwd_seconds + start_t - first
+            row, next_row = next_row, row
+            t_next = bwd_seconds
+        return end_bwd[0]
 
 
 def _balanced_boundaries(n_layers: int, n_stages: int) -> list[int]:

@@ -1,0 +1,223 @@
+"""Simulator benchmark: the ``repro simbench`` backend.
+
+Runs the discrete-event simulator over deterministic workloads derived
+from the check corpus (:mod:`repro.check.corpus`) and emits
+``BENCH_sim.json``:
+
+* **corpus rows** — each cell's Mobius plan simulated end to end, with the
+  trace fingerprint (:mod:`repro.perf.fingerprint` over the columnar trace
+  views) and the incremental allocator's deterministic work counters:
+  events processed, reallocation calls, components and rounds of
+  progressive filling, and flows touched per reallocation;
+* **chaos rows** — every fault scenario of :mod:`repro.faults.chaos` per
+  cell (including windowed ``set_bandwidth_scale`` epochs and dropout
+  re-plans), fingerprinted the same way.
+
+Fingerprints and counters are event-sequence determined — no wall-clock
+input — so equal code produces equal documents across machines.  Wall
+seconds are recorded for context but never compared.  The CI gate
+(:func:`compare_benchmarks`) fails on any trace-fingerprint divergence
+(the allocator's bit-identical equivalence contract, DESIGN.md §11) or a
+>25% regression in allocator work counters against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.check.corpus import default_corpus
+from repro.core.api import plan_mobius
+from repro.core.partition import PlanInfeasibleError
+from repro.core.pipeline import build_mobius_tasks
+from repro.faults.chaos import SCENARIOS, build_schedule
+from repro.faults.models import FaultSchedule
+from repro.faults.recovery import run_step
+from repro.faults.replan import replan_after_dropout
+from repro.perf.fingerprint import fingerprint
+from repro.sim.tasks import TaskGraphRunner
+
+__all__ = ["run_bench", "write_bench", "compare_benchmarks", "BENCH_SCHEMA"]
+
+BENCH_SCHEMA = "mobius-bench-sim/1"
+
+#: Allocator work-counter regressions beyond this ratio fail the CI gate.
+WORK_REGRESSION_RATIO = 1.25
+
+#: Counters gated by :func:`compare_benchmarks` (all integers, all
+#: deterministic; ``flows_touched`` is the incremental allocator's headline
+#: number — a from-scratch refill regression shows up there first).
+GATED_COUNTERS = (
+    "events",
+    "reallocations",
+    "components_filled",
+    "fill_rounds",
+    "flows_touched",
+)
+
+
+def _run_corpus_rows() -> list[dict[str, Any]]:
+    rows = []
+    for cell in default_corpus():
+        report = plan_mobius(cell.model, cell.topology, cell.config)
+        stage_costs = report.plan.partition.stage_costs(report.cost_model)
+        tasks = build_mobius_tasks(
+            report.plan,
+            cell.topology,
+            stage_costs,
+            prefetch=cell.config.prefetch,
+            use_priorities=cell.config.use_priorities,
+        )
+        runner = TaskGraphRunner(cell.topology)
+        started = time.perf_counter()
+        trace = runner.execute(tasks)
+        wall = time.perf_counter() - started
+        stats = runner.network.stats
+        reallocations = stats.reallocations
+        rows.append(
+            {
+                "name": cell.name,
+                "fingerprint": fingerprint(trace),
+                "events": runner.sim.events_processed,
+                "reallocations": reallocations,
+                "components_filled": stats.components_filled,
+                "fill_rounds": stats.fill_rounds,
+                "flows_touched": stats.flows_touched,
+                "flows_touched_per_reallocation": (
+                    round(stats.flows_touched / reallocations, 3)
+                    if reallocations
+                    else 0.0
+                ),
+                "wall_seconds": round(wall, 4),
+            }
+        )
+    return rows
+
+
+def _run_chaos_rows() -> list[dict[str, Any]]:
+    rows = []
+    for cell in default_corpus():
+        report = plan_mobius(cell.model, cell.topology, cell.config)
+        clean = run_step(
+            report.plan,
+            cell.topology,
+            report.cost_model,
+            FaultSchedule(0),
+            prefetch=cell.config.prefetch,
+            use_priorities=cell.config.use_priorities,
+        )
+        for scenario in SCENARIOS:
+            schedule = build_schedule(scenario, cell, 0, clean.step_seconds, report.plan)
+            started = time.perf_counter()
+            if schedule.dropouts:
+                try:
+                    replanned = replan_after_dropout(
+                        cell.model,
+                        cell.topology,
+                        cell.config,
+                        schedule.dropouts[0].gpu,
+                        old_plan_report=report,
+                    )
+                except PlanInfeasibleError:
+                    rows.append(
+                        {
+                            "name": f"{cell.name}/{scenario}",
+                            "fingerprint": None,
+                            "status": "infeasible",
+                            "wall_seconds": 0.0,
+                        }
+                    )
+                    continue
+                new_report = replanned.plan_report
+                step = run_step(
+                    new_report.plan,
+                    replanned.topology,
+                    new_report.cost_model,
+                    schedule.without_dropouts(),
+                    prefetch=cell.config.prefetch,
+                    use_priorities=cell.config.use_priorities,
+                )
+            else:
+                step = run_step(
+                    report.plan,
+                    cell.topology,
+                    report.cost_model,
+                    schedule,
+                    prefetch=cell.config.prefetch,
+                    use_priorities=cell.config.use_priorities,
+                )
+            wall = time.perf_counter() - started
+            rows.append(
+                {
+                    "name": f"{cell.name}/{scenario}",
+                    "fingerprint": fingerprint(step.trace),
+                    "status": "ok",
+                    "wall_seconds": round(wall, 4),
+                }
+            )
+    return rows
+
+
+def run_bench() -> dict[str, Any]:
+    """Run the full simulator benchmark; returns the JSON document."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "corpus": _run_corpus_rows(),
+        "chaos": _run_chaos_rows(),
+    }
+
+
+def write_bench(path: Path | str, document: dict[str, Any] | None = None) -> dict:
+    """Run (if needed) and write the benchmark JSON to ``path``."""
+    document = document if document is not None else run_bench()
+    Path(path).write_text(json.dumps(document, indent=1, sort_keys=False) + "\n")
+    return document
+
+
+def compare_benchmarks(
+    current: dict[str, Any], baseline: dict[str, Any]
+) -> list[str]:
+    """CI gate: regressions of ``current`` against the committed baseline.
+
+    Returns a list of human-readable failures (empty = gate passes):
+
+    * a trace fingerprint differs from the baseline — the allocator's
+      bit-identical equivalence contract is broken;
+    * an allocator work counter (:data:`GATED_COUNTERS`) grew beyond
+      :data:`WORK_REGRESSION_RATIO` times the baseline — the incremental
+      reallocation degraded toward from-scratch refills.
+
+    Rows present only on one side are failures too — the workload set is
+    part of the contract.  Wall times are never compared.
+    """
+    failures: list[str] = []
+    for section in ("corpus", "chaos"):
+        base_rows = {row["name"]: row for row in baseline.get(section, [])}
+        cur_rows = {row["name"]: row for row in current.get(section, [])}
+        for name in sorted(base_rows.keys() | cur_rows.keys()):
+            if name not in cur_rows:
+                failures.append(f"{section}:{name}: row missing from current run")
+                continue
+            if name not in base_rows:
+                failures.append(f"{section}:{name}: row missing from baseline")
+                continue
+            base, cur = base_rows[name], cur_rows[name]
+            if cur.get("fingerprint") != base.get("fingerprint"):
+                failures.append(
+                    f"{section}:{name}: trace fingerprint diverged "
+                    f"({base.get('fingerprint')} -> {cur.get('fingerprint')})"
+                )
+            for counter in GATED_COUNTERS:
+                if counter not in base:
+                    continue
+                base_count = base[counter]
+                cur_count = cur.get(counter, 0)
+                if base_count > 0 and cur_count > WORK_REGRESSION_RATIO * base_count:
+                    failures.append(
+                        f"{section}:{name}: {counter} regressed "
+                        f"{base_count} -> {cur_count} "
+                        f"(>{WORK_REGRESSION_RATIO:.2f}x)"
+                    )
+    return failures

@@ -12,6 +12,16 @@ Two resource types drive every experiment:
   contention observations: two GPUs pushing data through one CPU root
   complex each see half its bandwidth (Figure 2), and prefetches issued with
   ``cudaStreamCreateWithPriority`` (§3.3) preempt lower-priority flows.
+
+The allocator is *incremental* (DESIGN.md §11): per-edge membership maps
+index which flows share which links, and a flow arrival/departure/scale
+event re-runs progressive filling only over the edge-connected component(s)
+reachable from the change.  Max-min rates depend only on the flow set,
+paths, priorities and link capacities — never on transfer progress — so
+flows outside the affected component provably keep their rates, and the
+resulting traces are bit-identical to a from-scratch refill (asserted by
+the fuzz oracle in ``tests/sim/test_allocator_equivalence.py`` and the
+``repro simbench`` fingerprint gate).
 """
 
 from __future__ import annotations
@@ -19,15 +29,16 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import math
-from collections import defaultdict, deque
-from collections.abc import Callable
+from collections import deque
+from collections.abc import Callable, Iterable
 
 from repro.hardware.topology import Edge, Path, Topology
 from repro.sim.engine import EventHandle, Simulator
 
-__all__ = ["ComputeUnit", "Flow", "FlowNetwork"]
+__all__ = ["ComputeUnit", "Flow", "FlowNetwork", "FlowNetworkStats"]
 
 _EPS = 1e-12
+_INF = float("inf")
 
 
 class ComputeUnit:
@@ -42,12 +53,29 @@ class ComputeUnit:
         self.name = name
         self._queue: deque[tuple[float, Callable[[], None]]] = deque()
         self._busy = False
-        #: Total busy seconds, for utilisation accounting.
-        self.busy_seconds = 0.0
+        self._busy_accrued = 0.0
+        #: ``(start_time, duration)`` of the in-flight task, if any.
+        self._running: tuple[float, float] | None = None
 
     @property
     def busy(self) -> bool:
         return self._busy
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total busy seconds, for utilisation accounting.
+
+        Completed tasks accrue their full duration; an in-flight task is
+        pro-rated to the current clock, so reading utilisation after
+        ``run(until=...)`` never counts simulated-future work.
+        """
+        total = self._busy_accrued
+        if self._running is not None:
+            started, duration = self._running
+            elapsed = self.sim.now - started
+            if elapsed > 0:
+                total += duration if elapsed >= duration else elapsed
+        return total
 
     def submit(self, seconds: float, on_done: Callable[[], None]) -> None:
         """Queue a task of length ``seconds``; ``on_done`` fires at its end."""
@@ -63,9 +91,11 @@ class ComputeUnit:
             return
         self._busy = True
         seconds, on_done = self._queue.popleft()
-        self.busy_seconds += seconds
+        self._running = (self.sim.now, seconds)
 
         def finish() -> None:
+            self._busy_accrued += seconds
+            self._running = None
             # Run the completion callback first so dependent work enqueued by
             # it at the same timestamp is ordered behind queued tasks.
             on_done()
@@ -74,7 +104,7 @@ class ComputeUnit:
         self.sim.schedule(seconds, finish)
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Flow:
     """One in-flight transfer.
 
@@ -98,12 +128,37 @@ class Flow:
     start_time: float = 0.0
 
 
+@dataclasses.dataclass
+class FlowNetworkStats:
+    """Deterministic allocator work counters (``repro simbench`` gates these).
+
+    All counters are event-sequence determined — no wall-clock input — so
+    equal workloads produce equal counts across machines and runs.
+    """
+
+    #: ``_reallocate`` invocations that had at least one active flow.
+    reallocations: int = 0
+    #: Flows re-filled, summed over reallocations (the incremental win:
+    #: this stays near the component size, not the total flow count).
+    flows_touched: int = 0
+    #: Edge-connected components progressively filled.
+    components_filled: int = 0
+    #: Progressive-filling rounds across all component fills.
+    fill_rounds: int = 0
+    #: Bandwidth-scale window boundaries applied (epoch changes).
+    scale_epochs: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+
 class FlowNetwork:
     """Priority-aware max-min fair bandwidth sharing over a topology.
 
     The model is *fluid*: each flow progresses continuously at its currently
-    assigned rate.  Rates change only when a flow starts or finishes, at
-    which point the network re-solves the allocation and reschedules its
+    assigned rate.  Rates change only when a flow starts or finishes (or a
+    link's capacity is rescaled), at which point the network re-solves the
+    allocation over the affected component and reschedules its
     next-completion event.
 
     Allocation: flows are grouped by priority, highest first.  Within a
@@ -119,15 +174,29 @@ class FlowNetwork:
         self._uid = itertools.count()
         self._last_update = 0.0
         self._next_event: EventHandle | None = None
-        self._bandwidth_scale: dict[Edge, float] = {}
+        #: Live flows crossing each edge (uid -> Flow); the sharing index
+        #: that makes component closures O(component), not O(F·E).
+        self._edge_members: dict[Edge, dict[int, Flow]] = {}
+        #: Stack of active scale factors per edge (overlapping windows
+        #: compose multiplicatively; each window removes its own factor).
+        self._scale_factors: dict[Edge, list[float]] = {}
+        #: Effective-bandwidth cache, invalidated per edge at scale epochs.
+        self._eff_bw: dict[Edge, float] = {}
+        self.stats = FlowNetworkStats()
 
     @property
     def active_flows(self) -> tuple[Flow, ...]:
         return tuple(self._flows.values())
 
     def effective_bandwidth(self, edge: Edge) -> float:
-        """Current capacity of ``edge``: topology bandwidth x any live scale."""
-        return self.topology.bandwidth_of(edge) * self._bandwidth_scale.get(edge, 1.0)
+        """Current capacity of ``edge``: topology bandwidth x any live scales."""
+        bandwidth = self._eff_bw.get(edge)
+        if bandwidth is None:
+            bandwidth = self.topology.bandwidth_of(edge)
+            for factor in self._scale_factors.get(edge, ()):
+                bandwidth *= factor
+            self._eff_bw[edge] = bandwidth
+        return bandwidth
 
     def set_bandwidth_scale(
         self,
@@ -144,6 +213,11 @@ class FlowNetwork:
         topology internals): between ``start`` and ``end`` the link's
         capacity is ``factor`` x its nominal bandwidth, and in-flight flows
         are re-allocated at both boundary instants.
+
+        Overlapping or nested windows on the same edge compose: each window
+        pushes its factor onto a per-edge stack on entry and removes *its
+        own* factor on exit, so the effective capacity is the nominal
+        bandwidth times the product of all currently-open windows' factors.
 
         Args:
             edge: A directed edge of the topology (validated eagerly).
@@ -162,13 +236,26 @@ class FlowNetwork:
 
         def apply() -> None:
             self._advance()
-            self._bandwidth_scale[edge] = factor
-            self._reallocate()
+            self._scale_factors.setdefault(edge, []).append(factor)
+            self._eff_bw.pop(edge, None)
+            self.stats.scale_epochs += 1
+            members = self._edge_members.get(edge)
+            self._reallocate(members.values() if members else ())
 
         def clear() -> None:
             self._advance()
-            self._bandwidth_scale.pop(edge, None)
-            self._reallocate()
+            stack = self._scale_factors.get(edge)
+            if stack is not None:
+                try:
+                    stack.remove(factor)
+                except ValueError:
+                    pass
+                if not stack:
+                    del self._scale_factors[edge]
+            self._eff_bw.pop(edge, None)
+            self.stats.scale_epochs += 1
+            members = self._edge_members.get(edge)
+            self._reallocate(members.values() if members else ())
 
         if start is None or start <= self.sim.now:
             apply()
@@ -208,7 +295,14 @@ class FlowNetwork:
             return flow
         self._advance()
         self._flows[flow.uid] = flow
-        self._reallocate()
+        edge_members = self._edge_members
+        for edge in path:
+            members = edge_members.get(edge)
+            if members is None:
+                edge_members[edge] = {flow.uid: flow}
+            else:
+                members[flow.uid] = flow
+        self._reallocate((flow,))
         return flow
 
     # ------------------------------------------------------------------
@@ -220,87 +314,249 @@ class FlowNetwork:
         elapsed = self.sim.now - self._last_update
         if elapsed > 0:
             for flow in self._flows.values():
-                flow.remaining = max(0.0, flow.remaining - flow.rate * elapsed)
+                remaining = flow.remaining - flow.rate * elapsed
+                flow.remaining = remaining if remaining > 0.0 else 0.0
         self._last_update = self.sim.now
 
-    def _reallocate(self) -> None:
-        """Recompute all rates and reschedule the next completion event."""
+    def _reallocate(self, touched: Iterable[Flow] | None = None) -> None:
+        """Refill rates over the component(s) reachable from ``touched``.
+
+        ``touched=None`` refills everything (from-scratch).  The
+        next-completion event is unconditionally cancelled and rescheduled
+        — even when no rate changed — so the event heap's insertion-order
+        tie-breaking matches a from-scratch reallocation exactly.
+        """
         if self._next_event is not None:
             self._next_event.cancel()
             self._next_event = None
-        if not self._flows:
+        flows = self._flows
+        if not flows:
             return
-        self._assign_rates()
-        horizon = min(
-            flow.remaining / flow.rate if flow.rate > _EPS else float("inf")
-            for flow in self._flows.values()
-        )
-        if horizon == float("inf"):
+        self.stats.reallocations += 1
+        affected = list(flows.values()) if touched is None else self._closure(touched)
+        if affected:
+            self._fill(affected)
+        # Completion horizon.  Per-flow deadlines must be recomputed from the
+        # advanced ``remaining`` at *this* event for trace byte-identity (a
+        # lazily-invalidated deadline heap measurably diverges — DESIGN.md
+        # §11), so this stays an eager scan over the (small) flow set.
+        horizon = _INF
+        for flow in flows.values():
+            rate = flow.rate
+            if rate > _EPS:
+                quotient = flow.remaining / rate
+                if quotient < horizon:
+                    horizon = quotient
+        if horizon == _INF:
             raise RuntimeError(
                 "flow network deadlock: active flows received zero bandwidth"
             )
         self._next_event = self.sim.schedule(horizon, self._on_completion_event)
 
-    def _assign_rates(self) -> None:
-        used: dict[Edge, float] = defaultdict(float)
-        by_priority: dict[int, list[Flow]] = defaultdict(list)
-        for flow in self._flows.values():
-            by_priority[flow.priority].append(flow)
-        for priority in sorted(by_priority, reverse=True):
-            self._progressive_fill(by_priority[priority], used)
+    def _closure(self, seeds: Iterable[Flow]) -> list[Flow]:
+        """All live flows edge-connected (transitively) to ``seeds``."""
+        edge_members = self._edge_members
+        seen: set[int] = set()
+        stack: list[Flow] = []
+        for flow in seeds:
+            if flow.uid not in seen:
+                seen.add(flow.uid)
+                stack.append(flow)
+        out: list[Flow] = []
+        while stack:
+            flow = stack.pop()
+            out.append(flow)
+            for edge in flow.path:
+                for uid, other in edge_members[edge].items():
+                    if uid not in seen:
+                        seen.add(uid)
+                        stack.append(other)
+        return out
 
-    def _progressive_fill(self, flows: list[Flow], used: dict[Edge, float]) -> None:
-        """Max-min fill ``flows`` into remaining edge capacity, updating ``used``."""
-        unfrozen = {flow.uid: flow for flow in flows}
+    def _fill(self, flows: list[Flow]) -> None:
+        """Refill ``flows`` (a union of whole components) from scratch.
+
+        Groups by priority (highest first), splits each group into
+        edge-connected components, and progressively fills each component
+        against the shared ``used`` capacity map — the same arithmetic, in
+        the same order, as a global refill restricted to these flows.
+        """
+        stats = self.stats
+        stats.flows_touched += len(flows)
+        used: dict[Edge, float] = {}
+        if len(flows) == 1:
+            stats.components_filled += 1
+            stats.fill_rounds += self._fill_component(flows, used)
+            return
+        by_priority: dict[int, list[Flow]] = {}
+        for flow in flows:
+            group = by_priority.get(flow.priority)
+            if group is None:
+                by_priority[flow.priority] = [flow]
+            else:
+                group.append(flow)
+        for priority in sorted(by_priority, reverse=True):
+            for component in _components(by_priority[priority]):
+                stats.components_filled += 1
+                stats.fill_rounds += self._fill_component(component, used)
+
+    def _fill_component(self, flows: list[Flow], used: dict[Edge, float]) -> int:
+        """Max-min fill one component into remaining edge capacity.
+
+        Updates ``used`` in place and returns the number of filling rounds.
+        Arithmetic is operation-for-operation identical to the classic
+        global progressive fill (the oracle in
+        ``tests/sim/test_allocator_equivalence.py``); capacities are merely
+        hoisted out of the round loop (they are constant within a fill).
+        """
+        if len(flows) == 1:
+            # Single-flow fast path: one round of the general loop, with the
+            # same max(headroom, 0.0) / live (live == 1) arithmetic.
+            flow = flows[0]
+            bottleneck = _INF
+            for edge in flow.path:
+                headroom = self.effective_bandwidth(edge) - used.get(edge, 0.0)
+                if headroom < 0.0:
+                    headroom = 0.0
+                if headroom < bottleneck:
+                    bottleneck = headroom
+            if bottleneck == _INF:
+                flow.rate = 0.0  # no edges (defensive; not expected)
+                return 1
+            flow.rate = 0.0 + bottleneck
+            for edge in flow.path:
+                used[edge] = used.get(edge, 0.0) + bottleneck
+            return 1
+
         for flow in flows:
             flow.rate = 0.0
-        edge_flows: dict[Edge, list[Flow]] = defaultdict(list)
+        # Per-edge state rows: [used, live, capacity, threshold, members].
+        # Capacity and the saturation threshold are loop invariants.
+        edge_state: dict[Edge, list] = {}
+        flow_edges: list[tuple[Flow, list[list]]] = []
         for flow in flows:
+            rows = []
             for edge in flow.path:
-                edge_flows[edge].append(flow)
+                row = edge_state.get(edge)
+                if row is None:
+                    capacity = self.effective_bandwidth(edge)
+                    row = [used.get(edge, 0.0), 1, capacity, capacity * (1 - _EPS), [flow]]
+                    edge_state[edge] = row
+                else:
+                    row[1] += 1
+                    row[4].append(flow)
+                rows.append(row)
+            flow_edges.append((flow, rows))
 
+        rows_list = list(edge_state.values())
+        frozen: set[int] = set()
+        unfrozen = len(flows)
+        rounds = 0
         while unfrozen:
-            delta = float("inf")
-            for edge, members in edge_flows.items():
-                live = sum(1 for f in members if f.uid in unfrozen)
+            rounds += 1
+            delta = _INF
+            for row in rows_list:
+                live = row[1]
                 if not live:
                     continue
-                headroom = self.effective_bandwidth(edge) - used[edge]
-                delta = min(delta, max(headroom, 0.0) / live)
-            if delta == float("inf"):
+                headroom = row[2] - row[0]
+                if headroom < 0.0:
+                    headroom = 0.0
+                share = headroom / live
+                if share < delta:
+                    delta = share
+            if delta == _INF:
                 break  # remaining flows cross no edges (defensive; not expected)
-            for flow in unfrozen.values():
+            for flow, rows in flow_edges:
+                if flow.uid in frozen:
+                    continue
                 flow.rate += delta
-                for edge in flow.path:
-                    used[edge] += delta
+                for row in rows:
+                    row[0] += delta
             # Freeze flows crossing any saturated edge.
-            saturated = {
-                edge
-                for edge in edge_flows
-                if used[edge] >= self.effective_bandwidth(edge) * (1 - _EPS)
-                and any(f.uid in unfrozen for f in edge_flows[edge])
-            }
+            saturated = [
+                row for row in rows_list if row[1] and row[0] >= row[3]
+            ]
             if not saturated:
                 if delta <= 0:
                     break  # no headroom anywhere: all remaining stay at 0
                 continue
-            for edge in saturated:
-                for flow in edge_flows[edge]:
-                    unfrozen.pop(flow.uid, None)
+            for row in saturated:
+                for flow in row[4]:
+                    uid = flow.uid
+                    if uid not in frozen:
+                        frozen.add(uid)
+                        unfrozen -= 1
+            # Recount live membership after freezing.
+            for row in rows_list:
+                if row[1]:
+                    row[1] = sum(1 for f in row[4] if f.uid not in frozen)
+        for edge, row in edge_state.items():
+            used[edge] = row[0]
+        return rounds
 
     def _on_completion_event(self) -> None:
         self._next_event = None
         self._advance()
+        flows = self._flows
         # Sub-byte residues are numerical noise (floating-point advance can
         # leave a remainder too small to represent as a future event time,
         # which would livelock the loop) — treat them as finished.
-        finished = [
-            f
-            for f in self._flows.values()
-            if f.remaining <= max(1.0, 1e-9 * f.total_bytes)
-        ]
+        finished = []
+        for flow in flows.values():
+            threshold = 1e-9 * flow.total_bytes
+            if threshold < 1.0:
+                threshold = 1.0
+            if flow.remaining <= threshold:
+                finished.append(flow)
+        edge_members = self._edge_members
         for flow in finished:
-            del self._flows[flow.uid]
-        self._reallocate()
+            del flows[flow.uid]
+            for edge in flow.path:
+                members = edge_members[edge]
+                del members[flow.uid]
+                if not members:
+                    del edge_members[edge]
+        # Refill the components the departures touched: live flows that
+        # shared an edge with a finished flow seed the closure.
+        seeds: dict[int, Flow] = {}
+        for flow in finished:
+            for edge in flow.path:
+                members = edge_members.get(edge)
+                if members:
+                    seeds.update(members)
+        self._reallocate(seeds.values())
         for flow in finished:
             flow.on_done()
+
+
+def _components(group: list[Flow]) -> list[list[Flow]]:
+    """Split a priority group into edge-connected components.
+
+    Union-find over group positions; deterministic output (components
+    ordered by first member, members in group order).
+    """
+    if len(group) == 1:
+        return [group]
+    parent = list(range(len(group)))
+
+    def find(i: int) -> int:
+        root = i
+        while parent[root] != root:
+            root = parent[root]
+        while parent[i] != root:
+            parent[i], i = root, parent[i]
+        return root
+
+    edge_owner: dict[Edge, int] = {}
+    for i, flow in enumerate(group):
+        for edge in flow.path:
+            j = edge_owner.setdefault(edge, i)
+            if j != i:
+                ri, rj = find(i), find(j)
+                if ri != rj:
+                    parent[ri] = rj
+    components: dict[int, list[Flow]] = {}
+    for i, flow in enumerate(group):
+        components.setdefault(find(i), []).append(flow)
+    return list(components.values())

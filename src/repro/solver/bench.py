@@ -199,7 +199,13 @@ def run_bench() -> dict[str, Any]:
     bench_suite = Path("BENCH_suite.json")
     if bench_suite.is_file():
         try:
-            suite_after = json.loads(bench_suite.read_text())["total_seconds"]
+            suite_doc = json.loads(bench_suite.read_text())
+            # A three-pass (--baseline) suite document records the serial
+            # uncached total under "baseline"; single-pass documents only
+            # have the top-level total.
+            suite_after = suite_doc.get("baseline", {}).get(
+                "total_seconds", suite_doc["total_seconds"]
+            )
         except (ValueError, KeyError):
             suite_after = None
     return {

@@ -17,7 +17,8 @@ def _lint(source: str, rel_path: str, config: LintConfig = DEFAULT_CONFIG):
 
 
 FINGERPRINT_MODULE = DEFAULT_CONFIG.fingerprint_modules[0]
-HOT_MODULE = "src/repro/sim/synthetic.py"
+# A hot-path (MOB002) module that is not also strict-clock scoped.
+HOT_MODULE = "src/repro/core/synthetic.py"
 LABEL_MODULE = DEFAULT_CONFIG.label_modules[0]
 
 
@@ -170,10 +171,12 @@ class TestMob002HotPathDeterminism:
 
 
 class TestMob002StrictClock:
-    """The strict variant over ``solver/``: even monotonic clocks are banned
-    outside allowlisted sites, so solver results stay budget-deterministic."""
+    """The strict variant over ``solver/`` and ``sim/``: even monotonic
+    clocks are banned outside allowlisted sites, so solver results stay
+    budget-deterministic and simulator results virtual-clock-only."""
 
     SOLVER_MODULE = "src/repro/solver/some_module.py"
+    SIM_MODULE = "src/repro/sim/some_module.py"
 
     def test_perf_counter_flagged_in_solver(self):
         report = _lint(
@@ -233,8 +236,7 @@ class TestMob002StrictClock:
         )
         assert "MOB002" in _codes(report)
 
-    def test_strict_rule_scoped_to_solver(self):
-        # perf_counter stays legal in ordinary hot paths (sim/, core/).
+    def test_perf_counter_flagged_in_sim(self):
         report = _lint(
             """
             import time
@@ -242,7 +244,50 @@ class TestMob002StrictClock:
             def elapsed(t0):
                 return time.perf_counter() - t0
             """,
-            HOT_MODULE,
+            self.SIM_MODULE,
+        )
+        assert "MOB002" in _codes(report)
+
+    def test_sim_bench_reporting_sites_allowlisted(self):
+        # The simbench wall-time columns are reporting-only by contract;
+        # its two row builders are the sanctioned sim/ clock sites.
+        report = _lint(
+            """
+            import time
+
+            def _run_corpus_rows():
+                started = time.perf_counter()
+                return time.perf_counter() - started
+
+            def _run_chaos_rows():
+                return time.perf_counter()
+            """,
+            "src/repro/sim/bench.py",
+        )
+        assert not report.findings
+
+    def test_other_function_in_sim_bench_flagged(self):
+        report = _lint(
+            """
+            import time
+
+            def run_bench():
+                return time.perf_counter()
+            """,
+            "src/repro/sim/bench.py",
+        )
+        assert "MOB002" in _codes(report)
+
+    def test_strict_rule_scoped_to_strict_prefixes(self):
+        # perf_counter stays legal in ordinary hot paths (core/).
+        report = _lint(
+            """
+            import time
+
+            def elapsed(t0):
+                return time.perf_counter() - t0
+            """,
+            "src/repro/core/some_module.py",
         )
         assert not report.findings
 

@@ -246,6 +246,113 @@ class TestBandwidthScale:
         )
 
 
+class TestOverlappingScaleWindows:
+    """Regression: windows used to occupy one scale slot per edge, so the
+    earlier window's end event cleared the later window's factor too.
+    Factors now stack multiplicatively and each window removes only its own.
+    """
+
+    def test_overlapping_windows_compose_and_outlive_each_other(self):
+        # A: 0.5x on [0, 1); B: 0.5x on [0.5, 2).  One PCIE-sized flow:
+        #   [0, 0.5)  0.5x   -> 0.25  of the bytes
+        #   [0.5, 1)  0.25x  -> 0.125 (factors multiply while overlapped)
+        #   [1, 2)    0.5x   -> 0.5   (A ended; B must survive its clear)
+        #   remaining 0.125 at full rate -> done at t = 2.125.
+        # Under the old bug A's end reset the link to nominal (1.625s).
+        topo = topo_2_2()
+        sim = Simulator()
+        network = FlowNetwork(sim, topo)
+        network.set_bandwidth_scale(("sw0", "rc0"), 0.5, start=0.0, end=1.0)
+        network.set_bandwidth_scale(("sw0", "rc0"), 0.5, start=0.5, end=2.0)
+        done = {}
+        network.start_flow(
+            topo.path_to_dram(0), PCIE, lambda: done.setdefault(0, sim.now)
+        )
+        sim.run()
+        assert done[0] == pytest.approx(2.125, rel=1e-6)
+
+    def test_nested_window_restores_outer_factor(self):
+        # B: 0.5x on [1, 2) nested inside A: 0.5x on [0, 4).  When B ends
+        # the link must return to A's factor, not to nominal.
+        topo = topo_2_2()
+        sim = Simulator()
+        network = FlowNetwork(sim, topo)
+        edge = ("sw0", "rc0")
+        nominal = topo.bandwidth_of(edge)
+        network.set_bandwidth_scale(edge, 0.5, start=0.0, end=4.0)
+        network.set_bandwidth_scale(edge, 0.5, start=1.0, end=2.0)
+        probes = {}
+        for at in (0.5, 1.5, 3.0, 5.0):
+            sim.schedule_at(
+                at,
+                lambda at=at: probes.__setitem__(
+                    at, network.effective_bandwidth(edge)
+                ),
+            )
+        sim.run()
+        assert probes[0.5] == pytest.approx(0.5 * nominal)
+        assert probes[1.5] == pytest.approx(0.25 * nominal)
+        assert probes[3.0] == pytest.approx(0.5 * nominal)
+        assert probes[5.0] == pytest.approx(nominal)
+
+    def test_overlapping_link_degradation_faults(self):
+        # The same composition through faults.models.LinkDegradation, the
+        # production producer of overlapping windows (chaos schedules).
+        from repro.faults.models import FaultSchedule, LinkDegradation
+        from repro.faults.recovery import FaultInjectingRunner
+
+        topo = topo_2_2()
+        schedule = FaultSchedule(
+            0,
+            (
+                LinkDegradation(("sw0", "rc0"), 0.5, start=0.0, end=1.0),
+                LinkDegradation(("sw0", "rc0"), 0.5, start=0.5, end=2.0),
+            ),
+        )
+        runner = FaultInjectingRunner(topo, schedule)
+        done = {}
+        runner.network.start_flow(
+            topo.path_to_dram(0),
+            PCIE,
+            lambda: done.setdefault(0, runner.sim.now),
+        )
+        runner.sim.run()
+        assert done[0] == pytest.approx(2.125, rel=1e-6)
+
+
+class TestBusySecondsAccrual:
+    """Regression: ``busy_seconds`` was credited in full when a task
+    *started*, so a paused simulation over-reported utilisation.  It now
+    accrues on completion and pro-rates the in-flight task at ``run(until=)``.
+    """
+
+    def test_in_flight_task_pro_rated_at_pause(self):
+        sim = Simulator()
+        unit = ComputeUnit(sim, "gpu0")
+        unit.submit(2.0, lambda: None)
+        sim.run(until=0.75)
+        assert unit.busy_seconds == pytest.approx(0.75)
+        sim.run()
+        assert unit.busy_seconds == pytest.approx(2.0)
+
+    def test_not_credited_before_work_happens(self):
+        sim = Simulator()
+        unit = ComputeUnit(sim, "gpu0")
+        unit.submit(5.0, lambda: None)
+        assert unit.busy_seconds == 0.0
+        sim.run(until=0.0)
+        assert unit.busy_seconds == 0.0
+
+    def test_queued_tasks_not_counted_while_waiting(self):
+        sim = Simulator()
+        unit = ComputeUnit(sim, "gpu0")
+        unit.submit(1.0, lambda: None)
+        unit.submit(1.0, lambda: None)
+        sim.run(until=1.5)
+        # First task finished (1.0), second is half-way (0.5).
+        assert unit.busy_seconds == pytest.approx(1.5)
+
+
 @settings(max_examples=25, deadline=None)
 @given(
     sizes=st.lists(
