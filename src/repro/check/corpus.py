@@ -72,7 +72,15 @@ def _gpt_b() -> ModelSpec:
 
 
 def default_corpus() -> list[CorpusCell]:
-    """The default cells: two models crossed with the paper's servers."""
+    """The default cells: two models crossed with the paper's servers.
+
+    Datacenter-scale coverage deliberately lives elsewhere: every corpus
+    cell also feeds the literal Eq. 3-11 partition MIP into the solver
+    parity tests and ``solvebench``, so cells must stay small enough for a
+    dense MILP cross-check.  The 1024-GPU regime is exercised by the
+    simulator bench's ``large`` section (:mod:`repro.sim.workloads`), which
+    simulates a synthetic task graph without planning it.
+    """
     gpt_a = _gpt_a()
     gpt_b = _gpt_b()
     return [

@@ -157,6 +157,7 @@ class LintConfig:
             "src/repro/solver/bench.py::_run_partition_rows",
             "src/repro/sim/bench.py::_run_corpus_rows",
             "src/repro/sim/bench.py::_run_chaos_rows",
+            "src/repro/sim/bench.py::_run_large_rows",
         }
     )
     label_modules: tuple[str, ...] = ("src/repro/core/pipeline.py",)

@@ -365,6 +365,12 @@ def _cmd_simbench(args: argparse.Namespace) -> int:
                 f"chaos {row['name']:<28} {row['status']:<10} "
                 f"fp={fp[:12] if fp else '-'}"
             )
+        for row in document.get("large", []):
+            print(
+                f"large {row['name']:<18} events={row['events']:<8} "
+                f"wall={row['wall_seconds']:<8} rss={row['peak_rss_mb']}MB "
+                f"fp={row['fingerprint'][:12]}"
+            )
     failures: list[str] = []
     if args.check_against is not None:
         with open(args.check_against) as f:
@@ -390,6 +396,13 @@ _COMMANDS = {
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    from repro.experiments.runner import default_jobs
+
+    try:
+        default_jobs()  # fail fast on a malformed REPRO_JOBS before any work
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return _COMMANDS[args.command](args)
 
 

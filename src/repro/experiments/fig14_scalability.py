@@ -5,44 +5,69 @@ GPUs on a separate root complex), microbatch size 1, batch size growing
 with the GPU count (M = N).  Expected shapes: throughput scales at least
 linearly with even GPU counts; odd counts dip slightly (uneven root-complex
 contention).
+
+The sweep's GPU counts are independent cells, so they fan out per cell
+through :func:`~repro.experiments.runner.run_systems_parallel` (sharing
+the disk result cache across workers); the table is assembled serially in
+sweep order afterwards.
 """
 
 from __future__ import annotations
 
-from repro.core.api import MobiusConfig, run_mobius
-from repro.experiments.runner import ExperimentTable, print_tables
+from repro.core.api import MobiusConfig
+from repro.experiments.runner import (
+    ExperimentCell,
+    ExperimentTable,
+    print_tables,
+    run_systems_parallel,
+)
 from repro.hardware.topology import commodity_server
 from repro.models.zoo import gpt_15b
 
 __all__ = ["run", "main"]
 
 
-def run(fast: bool = False) -> ExperimentTable:
-    """Regenerate Figure 14."""
+def run(fast: bool = False, jobs: int | None = None) -> ExperimentTable:
+    """Regenerate Figure 14.
+
+    Args:
+        fast: Sweep only the even GPU counts (the CI subset).
+        jobs: Per-cell worker processes (``None`` =
+            :func:`~repro.experiments.runner.default_jobs`).
+    """
     gpu_counts = (2, 4, 8) if fast else (2, 3, 4, 5, 6, 7, 8)
     table = ExperimentTable(
         title="Figure 14: Mobius scalability (15B model, samples/second)",
         columns=("gpus", "groups", "step_s", "throughput", "linear_ref", "speedup_vs_linear"),
     )
     model = gpt_15b()
-    baseline_throughput = None
+    sweep = []
     for n in gpu_counts:
         groups = [n - n // 2, n // 2] if n > 1 else [1]
-        topology = commodity_server(groups)
-        report = run_mobius(
-            model,
-            topology,
-            MobiusConfig(microbatch_size=1, partition_time_limit=2.0),
+        sweep.append((n, groups))
+    cells = [
+        ExperimentCell(
+            system="mobius",
+            model=model,
+            topology=commodity_server(groups),
+            mobius_config=MobiusConfig(microbatch_size=1, partition_time_limit=2.0),
         )
-        samples = report.plan_report.plan.n_microbatches  # mbs 1, M = N
-        throughput = samples / report.step_seconds
+        for _, groups in sweep
+    ]
+    results = run_systems_parallel(cells, jobs=jobs)
+
+    baseline_throughput = None
+    for (n, groups), result in zip(sweep, results):
+        assert result.ok
+        samples = result.extras["plan_report"].plan.n_microbatches  # mbs 1, M = N
+        throughput = samples / result.step_seconds
         if baseline_throughput is None:
             baseline_throughput = throughput / n
         linear = baseline_throughput * n
         table.add_row(
             n,
             "+".join(map(str, groups)),
-            report.step_seconds,
+            result.step_seconds,
             throughput,
             linear,
             f"{throughput / linear:.2f}",

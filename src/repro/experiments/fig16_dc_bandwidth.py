@@ -5,12 +5,22 @@ On the NVLink server, inter-GPU traffic leaves the PCIe tree, so the CDF of
 shapes: the DeepSpeed/Mobius contention gap narrows relative to the
 commodity server, but Mobius still sees less contention (fewer simultaneous
 stage transfers).
+
+The (model, system) grid is embarrassingly parallel, so the cells fan out
+through :func:`~repro.experiments.runner.run_systems_parallel` (sharing
+the disk result cache across workers) and the table is assembled serially
+in grid order.
 """
 
 from __future__ import annotations
 
 from repro.analysis.bandwidth import fraction_of_bytes_above
-from repro.experiments.runner import ExperimentTable, print_tables, run_system
+from repro.experiments.runner import (
+    ExperimentCell,
+    ExperimentTable,
+    print_tables,
+    run_systems_parallel,
+)
 from repro.hardware.topology import datacenter_server
 from repro.models.zoo import gpt_8b, gpt_15b
 
@@ -26,25 +36,38 @@ _DRAM_KINDS = (
 )
 
 
-def run(fast: bool = False) -> ExperimentTable:
-    """Regenerate Figure 16's summary statistics."""
+def run(fast: bool = False, jobs: int | None = None) -> ExperimentTable:
+    """Regenerate Figure 16's summary statistics.
+
+    Args:
+        fast: Only the 8B model (the CI subset).
+        jobs: Per-cell worker processes (``None`` =
+            :func:`~repro.experiments.runner.default_jobs`).
+    """
     models = [gpt_8b] if fast else [gpt_8b, gpt_15b]
     table = ExperimentTable(
         title="Figure 16: GPU-CPU bandwidth CDF summary on the DC server",
         columns=("model", "system", "median_GBps", "above_8GBps"),
     )
     topology = datacenter_server()
-    for model_factory in models:
-        model = model_factory()
-        for system in ("deepspeed", "mobius"):
-            result = run_system(system, model, topology, microbatch_size=2)
-            assert result.trace is not None
-            table.add_row(
-                model.name,
-                system,
-                result.trace.median_bandwidth(kinds=_DRAM_KINDS) / 1e9,
-                fraction_of_bytes_above(result.trace, 8.0, kinds=_DRAM_KINDS),
-            )
+    grid = [
+        (model_factory(), system)
+        for model_factory in models
+        for system in ("deepspeed", "mobius")
+    ]
+    cells = [
+        ExperimentCell(system=system, model=model, topology=topology, microbatch_size=2)
+        for model, system in grid
+    ]
+    results = run_systems_parallel(cells, jobs=jobs)
+    for (model, system), result in zip(grid, results):
+        assert result.trace is not None
+        table.add_row(
+            model.name,
+            system,
+            result.trace.median_bandwidth(kinds=_DRAM_KINDS) / 1e9,
+            fraction_of_bytes_above(result.trace, 8.0, kinds=_DRAM_KINDS),
+        )
     table.notes.append(
         "paper: the DS/Mobius contention gap narrows on the DC server, "
         "but Mobius's GPU-CPU transfers still contend less"

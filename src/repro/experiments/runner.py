@@ -36,6 +36,7 @@ __all__ = [
     "ExperimentCell",
     "PlanInfeasibleError",
     "SystemResult",
+    "default_jobs",
     "run_system",
     "run_systems_parallel",
     "SYSTEMS",
@@ -232,6 +233,29 @@ def _worker_init(config: CacheConfig) -> None:
     )
 
 
+def default_jobs() -> int:
+    """Worker count when the caller did not pass ``jobs`` explicitly.
+
+    ``REPRO_JOBS`` (a positive integer) wins over the detected CPU count:
+    containers frequently report ``os.cpu_count() == 1`` (or ``None``)
+    while having more cores available, and conversely the suite runner
+    sets ``REPRO_JOBS=1`` inside its figure-pool workers so per-cell
+    fan-out never nests a pool inside a pool.
+    """
+    env = os.environ.get("REPRO_JOBS")
+    if env is not None:
+        try:
+            requested = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be a positive integer, got {env!r}"
+            ) from None
+        if requested <= 0:
+            raise ValueError(f"REPRO_JOBS must be a positive integer, got {env!r}")
+        return requested
+    return os.cpu_count() or 1
+
+
 def run_systems_parallel(
     cells: Sequence[ExperimentCell], *, jobs: int | None = None
 ) -> list[SystemResult]:
@@ -246,12 +270,14 @@ def run_systems_parallel(
 
     Args:
         cells: Work items, one per (system, configuration) pair.
-        jobs: Worker processes; ``None`` uses ``os.cpu_count()``.  With one
-            cell or ``jobs <= 1`` everything runs serially in-process.
+        jobs: Worker processes; ``None`` defers to :func:`default_jobs`
+            (the ``REPRO_JOBS`` environment override, else
+            ``os.cpu_count()``).  With one cell or ``jobs <= 1``
+            everything runs serially in-process.
     """
     cells = list(cells)
     if jobs is None:
-        jobs = os.cpu_count() or 1
+        jobs = default_jobs()
     if jobs <= 1 or len(cells) <= 1:
         return [cell.run() for cell in cells]
 

@@ -40,7 +40,7 @@ from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.experiments import ALL_EXPERIMENTS
-from repro.experiments.runner import ExperimentTable
+from repro.experiments.runner import ExperimentTable, default_jobs
 from repro.perf.cache import (
     CACHE_VERSION,
     CacheConfig,
@@ -125,7 +125,12 @@ class SuiteReport:
             "machine": {
                 "platform": platform.platform(),
                 "python": platform.python_version(),
+                # Both sides of the worker-count decision (satellite of
+                # DESIGN.md §12): what the container reports, and what the
+                # REPRO_JOBS override requested — containers often report
+                # one CPU while more cores are actually available.
                 "cpus": os.cpu_count(),
+                "repro_jobs_env": os.environ.get("REPRO_JOBS"),
             },
             "figures": [figure.as_dict() for figure in self.figures],
         }
@@ -163,8 +168,15 @@ def _execute_figure(name: str, fast: bool) -> FigureRun:
 
 
 def _figure_worker(task: tuple[str, bool, CacheConfig]) -> FigureRun:
-    """Pool entry point: adopt the parent cache config, run one figure."""
+    """Pool entry point: adopt the parent cache config, run one figure.
+
+    ``REPRO_JOBS=1`` pins the figure's own per-cell fan-out
+    (:func:`repro.experiments.runner.run_systems_parallel`) to serial: the
+    suite already parallelises across figures here, and a pool inside a
+    pool would oversubscribe the machine.
+    """
     name, fast, config = task
+    os.environ["REPRO_JOBS"] = "1"
     configure_cache(memory=config.memory, disk=config.disk, directory=config.directory)
     return _execute_figure(name, fast)
 
@@ -299,6 +311,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--cache-dir", default=None, help="override the on-disk cache directory"
     )
     args = parser.parse_args(argv)
+
+    try:
+        default_jobs()  # fail fast on a malformed REPRO_JOBS before any work
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     names = resolve_names(args.names)
     if not names:

@@ -52,7 +52,10 @@ __all__ = [
 #: fields (warm_started, pivots, cuts_added) and the partition search moved
 #: to a deterministic node budget, so v1 entries describe a different
 #: search and must never be returned.
-CACHE_VERSION = 2
+#: v3: Trace moved to columnar span storage — its pickle payload is now
+#: exported column arrays, so v2 entries (list-of-spans layout) cannot be
+#: loaded into the new class.
+CACHE_VERSION = 3
 
 DEFAULT_CACHE_DIR = ".mobius_cache"
 

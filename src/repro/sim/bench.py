@@ -11,19 +11,28 @@ from the check corpus (:mod:`repro.check.corpus`) and emits
   progressive filling, and flows touched per reallocation;
 * **chaos rows** — every fault scenario of :mod:`repro.faults.chaos` per
   cell (including windowed ``set_bandwidth_scale`` epochs and dropout
-  re-plans), fingerprinted the same way.
+  re-plans), fingerprinted the same way;
+* **large rows** — the datacenter-scale synthetic workload
+  (:mod:`repro.sim.workloads` on
+  :func:`~repro.hardware.topology.large_cluster`): ~10^6 heap events at
+  1024 GPUs, identified by the bit-exact columnar trace digest
+  (``Trace.columnar_digest``) instead of the span-object fingerprint —
+  hashing a million materialised span tuples would dominate the run.
 
 Fingerprints and counters are event-sequence determined — no wall-clock
 input — so equal code produces equal documents across machines.  Wall
-seconds are recorded for context but never compared.  The CI gate
-(:func:`compare_benchmarks`) fails on any trace-fingerprint divergence
-(the allocator's bit-identical equivalence contract, DESIGN.md §11) or a
->25% regression in allocator work counters against the committed baseline.
+seconds (and the large rows' peak RSS) are recorded for context but never
+compared.  The CI gate (:func:`compare_benchmarks`) fails on any
+trace-fingerprint divergence (the allocator's bit-identical equivalence
+contract, DESIGN.md §11) or a >25% regression in allocator work counters
+against the committed baseline.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import resource
 import time
 from pathlib import Path
 from typing import Any
@@ -36,12 +45,22 @@ from repro.faults.chaos import SCENARIOS, build_schedule
 from repro.faults.models import FaultSchedule
 from repro.faults.recovery import run_step
 from repro.faults.replan import replan_after_dropout
+from repro.hardware.topology import large_cluster
 from repro.perf.fingerprint import fingerprint
 from repro.sim.tasks import TaskGraphRunner
+from repro.sim.workloads import run_cluster_workload
 
-__all__ = ["run_bench", "write_bench", "compare_benchmarks", "BENCH_SCHEMA"]
+__all__ = [
+    "run_bench",
+    "write_bench",
+    "compare_benchmarks",
+    "BENCH_SCHEMA",
+    "LargeCell",
+    "LARGE_CELLS",
+]
 
-BENCH_SCHEMA = "mobius-bench-sim/1"
+# v2: adds the "large" section (datacenter-scale synthetic rows).
+BENCH_SCHEMA = "mobius-bench-sim/2"
 
 #: Allocator work-counter regressions beyond this ratio fail the CI gate.
 WORK_REGRESSION_RATIO = 1.25
@@ -160,12 +179,66 @@ def _run_chaos_rows() -> list[dict[str, Any]]:
     return rows
 
 
+@dataclasses.dataclass(frozen=True)
+class LargeCell:
+    """One datacenter-scale bench scenario (see :mod:`repro.sim.workloads`)."""
+
+    name: str
+    n_gpus: int
+    group_size: int
+    rounds: int
+
+
+#: The committed large-scale workload set: 1024 GPUs in groups of four,
+#: 256 upload/compute/offload rounds per GPU — ~1.04M simulator events.
+LARGE_CELLS: tuple[LargeCell, ...] = (
+    LargeCell(name="dc-1024x4-r256", n_gpus=1024, group_size=4, rounds=256),
+)
+
+
+def _run_large_rows(
+    cells: tuple[LargeCell, ...] = LARGE_CELLS,
+) -> list[dict[str, Any]]:
+    rows = []
+    for cell in cells:
+        topology = large_cluster(cell.n_gpus, cell.group_size)
+        started = time.perf_counter()
+        result = run_cluster_workload(topology, rounds=cell.rounds)
+        wall = time.perf_counter() - started
+        stats = result.stats
+        reallocations = stats.reallocations
+        # ru_maxrss is process-wide (KB on Linux) — informational only,
+        # like wall seconds; the gate never compares it.
+        peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss // 1024
+        rows.append(
+            {
+                "name": cell.name,
+                "fingerprint": result.digest,
+                "events": result.events_processed,
+                "n_tasks": result.n_tasks,
+                "reallocations": reallocations,
+                "components_filled": stats.components_filled,
+                "fill_rounds": stats.fill_rounds,
+                "flows_touched": stats.flows_touched,
+                "flows_touched_per_reallocation": (
+                    round(stats.flows_touched / reallocations, 3)
+                    if reallocations
+                    else 0.0
+                ),
+                "wall_seconds": round(wall, 4),
+                "peak_rss_mb": peak_rss_mb,
+            }
+        )
+    return rows
+
+
 def run_bench() -> dict[str, Any]:
     """Run the full simulator benchmark; returns the JSON document."""
     return {
         "schema": BENCH_SCHEMA,
         "corpus": _run_corpus_rows(),
         "chaos": _run_chaos_rows(),
+        "large": _run_large_rows(),
     }
 
 
@@ -190,10 +263,10 @@ def compare_benchmarks(
       reallocation degraded toward from-scratch refills.
 
     Rows present only on one side are failures too — the workload set is
-    part of the contract.  Wall times are never compared.
+    part of the contract.  Wall times and peak RSS are never compared.
     """
     failures: list[str] = []
-    for section in ("corpus", "chaos"):
+    for section in ("corpus", "chaos", "large"):
         base_rows = {row["name"]: row for row in baseline.get(section, [])}
         cur_rows = {row["name"]: row for row in current.get(section, [])}
         for name in sorted(base_rows.keys() | cur_rows.keys()):

@@ -5,6 +5,23 @@ absolute times and executed in time order (ties broken by insertion order so
 runs are fully deterministic).  Higher-level components — the flow network
 (:mod:`repro.sim.resources`) and the task-graph runner
 (:mod:`repro.sim.tasks`) — build on these primitives.
+
+Two dispatch loops share the heap (DESIGN.md §12):
+
+* :meth:`Simulator.run` — the classic one-event-at-a-time loop, kept as the
+  reference oracle for equivalence tests;
+* :meth:`Simulator.run_batched` — the production hot path for large
+  scenarios: equal-timestamp *cohorts* are popped from the heap in one run
+  and dispatched back to back.  Cancellation is re-checked at dispatch time
+  and same-timestamp events scheduled by cohort members join the tail of
+  the cohort, so the firing order, the clock trajectory and the
+  ``events_processed`` count are exactly those of :meth:`run` (asserted by
+  the seeded fuzz harness in ``tests/sim/test_dispatch_equivalence.py``).
+
+Events that never need cancellation can skip the :class:`EventHandle`
+allocation entirely via :meth:`Simulator.schedule_call`; both loops accept
+bare callables and handles on the same heap and the shared insertion
+counter keeps tie-breaking identical either way.
 """
 
 from __future__ import annotations
@@ -59,7 +76,7 @@ class Simulator:
         #: Callbacks dispatched so far (cancelled events excluded); a
         #: deterministic work counter reported by ``repro simbench``.
         self.events_processed = 0
-        self._heap: list[tuple[float, int, EventHandle]] = []
+        self._heap: list[tuple[float, int, object]] = []
         self._counter = itertools.count()
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
@@ -76,8 +93,27 @@ class Simulator:
         heapq.heappush(self._heap, (time, next(self._counter), handle))
         return handle
 
+    def schedule_call(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule a non-cancellable ``callback`` ``delay`` seconds from now.
+
+        The fast path for fire-and-forget events (compute completions,
+        barriers, zero-byte transfers): no :class:`EventHandle` is
+        allocated.  The shared insertion counter makes the tie-break order
+        identical to an equivalent :meth:`schedule` call.
+        """
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        time = self.now + delay
+        heapq.heappush(self._heap, (time, next(self._counter), callback))
+
+    def schedule_call_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Absolute-time variant of :meth:`schedule_call`."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < now {self.now}")
+        heapq.heappush(self._heap, (time, next(self._counter), callback))
+
     def run(self, until: float | None = None) -> None:
-        """Process events in time order.
+        """Process events one at a time, in time order (the oracle loop).
 
         Args:
             until: If given, stop once the next event would fire after this
@@ -97,17 +133,20 @@ class Simulator:
         # dominant run-to-drain case skips the per-event deadline check.
         heap = self._heap
         heappop = heapq.heappop
+        handle_type = EventHandle
         dispatched = 0
         try:
             if until is None:
                 while heap:
                     entry = heappop(heap)
                     handle = entry[2]
-                    if handle._cancelled:
-                        continue
+                    if handle.__class__ is handle_type:
+                        if handle._cancelled:
+                            continue
+                        handle = handle._callback
                     self.now = entry[0]
                     dispatched += 1
-                    handle._callback()
+                    handle()
                 return
             while heap:
                 entry = heap[0]
@@ -117,12 +156,64 @@ class Simulator:
                     return
                 heappop(heap)
                 handle = entry[2]
-                if handle._cancelled:
-                    continue
+                if handle.__class__ is handle_type:
+                    if handle._cancelled:
+                        continue
+                    handle = handle._callback
                 self.now = time
                 dispatched += 1
-                handle._callback()
+                handle()
             if until > self.now:
+                self.now = until
+        finally:
+            self.events_processed += dispatched
+
+    def run_batched(self, until: float | None = None) -> None:
+        """Process events in equal-timestamp cohorts (the production loop).
+
+        Semantics are identical to :meth:`run` — same firing order, same
+        clock trajectory, same ``events_processed`` — but the heap is
+        drained one *cohort* (maximal run of entries sharing a timestamp)
+        at a time:
+
+        * the ``until`` deadline is checked once per cohort, not per event;
+        * cancellation is re-checked at dispatch time, so a cohort member
+          cancelling a later member still suppresses it, exactly as the
+          one-at-a-time loop would;
+        * events scheduled *at the cohort's timestamp* by cohort callbacks
+          carry larger insertion counters than everything already popped,
+          so re-scanning the heap after the popped run preserves the
+          oracle's order.
+        """
+        if until is not None and until < self.now:
+            raise ValueError(
+                f"cannot run backwards: until={until} < now {self.now}"
+            )
+        heap = self._heap
+        heappop = heapq.heappop
+        handle_type = EventHandle
+        dispatched = 0
+        try:
+            while heap:
+                time = heap[0][0]
+                if until is not None and time > until:
+                    self.now = until
+                    return
+                # Drain every entry at `time`, re-scanning for same-time
+                # events the cohort's callbacks scheduled.
+                while heap and heap[0][0] == time:
+                    cohort = [heappop(heap)[2]]
+                    while heap and heap[0][0] == time:
+                        cohort.append(heappop(heap)[2])
+                    for handle in cohort:
+                        if handle.__class__ is handle_type:
+                            if handle._cancelled:
+                                continue
+                            handle = handle._callback
+                        self.now = time
+                        dispatched += 1
+                        handle()
+            if until is not None and until > self.now:
                 self.now = until
         finally:
             self.events_processed += dispatched
@@ -131,7 +222,7 @@ class Simulator:
         """Time of the next live event, or ``None`` if the heap is empty."""
         while self._heap:
             time, _, handle = self._heap[0]
-            if handle.cancelled:
+            if isinstance(handle, EventHandle) and handle.cancelled:
                 heapq.heappop(self._heap)
                 continue
             return time

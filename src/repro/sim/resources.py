@@ -22,6 +22,17 @@ flows outside the affected component provably keep their rates, and the
 resulting traces are bit-identical to a from-scratch refill (asserted by
 the fuzz oracle in ``tests/sim/test_allocator_equivalence.py`` and the
 ``repro simbench`` fingerprint gate).
+
+Per-event work that is still proportional to the number of *live* flows —
+progress advancement, the completion horizon, the finished-flow scan — is
+columnar at datacenter scale (DESIGN.md §12): once the concurrent flow
+count crosses :attr:`FlowNetwork.vector_threshold`, the network mirrors
+``remaining``/``rate`` into numpy slot arrays and those three scans become
+vector expressions.  The arithmetic is elementwise-identical to the scalar
+loops (same multiply/subtract/compare per flow, finished flows visited in
+uid order — exactly the dict insertion order the scalar scan sees), so
+traces stay bit-identical across the threshold; the fuzz harness runs both
+representations against each other.
 """
 
 from __future__ import annotations
@@ -31,6 +42,8 @@ import itertools
 import math
 from collections import deque
 from collections.abc import Callable, Iterable
+
+import numpy as np
 
 from repro.hardware.topology import Edge, Path, Topology
 from repro.sim.engine import EventHandle, Simulator
@@ -101,7 +114,8 @@ class ComputeUnit:
             on_done()
             self._start_next()
 
-        self.sim.schedule(seconds, finish)
+        # Completions are never cancelled: skip the EventHandle allocation.
+        self.sim.schedule_call(seconds, finish)
 
 
 @dataclasses.dataclass(slots=True)
@@ -115,6 +129,10 @@ class Flow:
             max-min share leftover bandwidth.
         on_done: Completion callback.
         label: Free-form tag used by the trace.
+        remaining: Internal progress bookkeeping.  Only current while the
+            owning network is in scalar mode; once it switches to the
+            columnar slot arrays (:attr:`FlowNetwork.vector_threshold`)
+            progress lives there instead.
     """
 
     path: Path
@@ -152,6 +170,126 @@ class FlowNetworkStats:
         return dataclasses.asdict(self)
 
 
+class _FlowSlots:
+    """Structure-of-arrays mirror of a network's live flow set.
+
+    Each live flow owns a slot in parallel ``remaining``/``rate``/``total``
+    numpy arrays (capacity-doubled, slots recycled through a free list), so
+    the three per-event scans the event loop performs — advance, horizon,
+    finished detection — are single vector expressions instead of Python
+    loops over ``Flow`` objects.
+
+    Once a network enters vector mode these arrays are authoritative for
+    transfer progress; ``Flow.remaining`` on the objects is no longer
+    advanced (``Flow.rate`` stays authoritative on the objects, written by
+    progressive filling and mirrored in via :meth:`sync_rates`).
+    """
+
+    __slots__ = (
+        "remaining",
+        "rate",
+        "threshold",
+        "uid",
+        "active",
+        "scratch",
+        "slot_of",
+        "free",
+        "high",
+    )
+
+    def __init__(self, flows: dict[int, Flow]) -> None:
+        capacity = max(256, 2 * len(flows))
+        self.remaining = np.zeros(capacity)
+        self.rate = np.zeros(capacity)
+        # Per-flow finished threshold max(1e-9 * total_bytes, 1.0) — a flow
+        # constant, so it is computed once at slot assignment instead of on
+        # every completion event.
+        self.threshold = np.zeros(capacity)
+        self.uid = np.full(capacity, -1, dtype=np.int64)
+        self.active = np.zeros(capacity, dtype=bool)
+        self.scratch = np.zeros(capacity)
+        self.slot_of: dict[int, int] = {}
+        self.free: list[int] = []
+        self.high = 0  # high-water slot index
+        for flow in flows.values():
+            self.add(flow)
+
+    def add(self, flow: Flow) -> None:
+        if self.free:
+            slot = self.free.pop()
+        else:
+            slot = self.high
+            if slot == len(self.rate):
+                for name in ("remaining", "rate", "threshold", "uid", "active", "scratch"):
+                    old = getattr(self, name)
+                    grown = np.zeros(2 * len(old), dtype=old.dtype)
+                    grown[: len(old)] = old
+                    setattr(self, name, grown)
+                self.uid[slot:] = -1
+            self.high = slot + 1
+        self.remaining[slot] = flow.remaining
+        self.rate[slot] = flow.rate
+        threshold = 1e-9 * flow.total_bytes
+        self.threshold[slot] = threshold if threshold >= 1.0 else 1.0
+        self.uid[slot] = flow.uid
+        self.active[slot] = True
+        self.slot_of[flow.uid] = slot
+
+    def remove(self, flow: Flow) -> None:
+        slot = self.slot_of.pop(flow.uid)
+        self.remaining[slot] = 0.0
+        self.rate[slot] = 0.0
+        self.threshold[slot] = 0.0
+        self.uid[slot] = -1
+        self.active[slot] = False
+        self.free.append(slot)
+
+    def sync_rates(self, flows: Iterable[Flow]) -> None:
+        """Mirror freshly-filled ``Flow.rate`` values into the rate column."""
+        rate = self.rate
+        slot_of = self.slot_of
+        for flow in flows:
+            rate[slot_of[flow.uid]] = flow.rate
+
+    def advance(self, elapsed: float) -> None:
+        """``remaining -= rate * elapsed``, clamped at zero, across slots.
+
+        Inactive slots have zero rate and zero remaining, so including
+        them is a no-op.
+        """
+        n = self.high
+        remaining = self.remaining[:n]
+        scratch = self.scratch[:n]
+        np.multiply(self.rate[:n], elapsed, out=scratch)
+        remaining -= scratch
+        np.maximum(remaining, 0.0, out=remaining)
+
+    def horizon(self) -> float:
+        """Earliest completion deadline, ``inf`` if no slot has bandwidth."""
+        n = self.high
+        if n == 0:
+            return _INF
+        rate = self.rate[:n]
+        scratch = self.scratch[:n]
+        scratch.fill(_INF)
+        # Rate-less slots keep their inf fill, so the min over the scratch
+        # buffer equals the masked min — without fancy-index allocations.
+        np.divide(self.remaining[:n], rate, out=scratch, where=rate > _EPS)
+        return float(scratch.min())
+
+    def finished_uids(self) -> list[int]:
+        """Uids of flows at or under the sub-byte residue threshold.
+
+        Returned in ascending uid order — identical to the insertion order
+        of the network's flow dict, since uids increase monotonically.
+        """
+        n = self.high
+        mask = self.active[:n] & (self.remaining[:n] <= self.threshold[:n])
+        uids = self.uid[:n][mask]
+        uids.sort()
+        return uids.tolist()
+
+
 class FlowNetwork:
     """Priority-aware max-min fair bandwidth sharing over a topology.
 
@@ -166,6 +304,14 @@ class FlowNetwork:
     saturates, freezes the flows crossing it, and repeats.  Capacity consumed
     by higher-priority groups is subtracted before lower groups fill.
     """
+
+    #: Live-flow count above which the per-event O(flows) scans (progress
+    #: advance, completion horizon, finished detection) switch to the
+    #: columnar slot arrays.  Small corpus workloads never cross it and keep
+    #: the allocation-free scalar loops; a 1024-GPU scenario crosses it in
+    #: the first simulated round.  Class attribute so tests can force either
+    #: representation (``network.vector_threshold = 0``).
+    vector_threshold: int = 128
 
     def __init__(self, sim: Simulator, topology: Topology) -> None:
         self.sim = sim
@@ -182,6 +328,9 @@ class FlowNetwork:
         self._scale_factors: dict[Edge, list[float]] = {}
         #: Effective-bandwidth cache, invalidated per edge at scale epochs.
         self._eff_bw: dict[Edge, float] = {}
+        #: Columnar mirror of the live flow set; ``None`` until the flow
+        #: count first exceeds :attr:`vector_threshold`.
+        self._slots: _FlowSlots | None = None
         self.stats = FlowNetworkStats()
 
     @property
@@ -260,9 +409,9 @@ class FlowNetwork:
         if start is None or start <= self.sim.now:
             apply()
         else:
-            self.sim.schedule_at(start, apply)
+            self.sim.schedule_call_at(start, apply)
         if end is not None and math.isfinite(end):
-            self.sim.schedule_at(max(end, self.sim.now), clear)
+            self.sim.schedule_call_at(max(end, self.sim.now), clear)
 
     def start_flow(
         self,
@@ -291,7 +440,7 @@ class FlowNetwork:
             start_time=self.sim.now,
         )
         if nbytes == 0 or not path:
-            self.sim.schedule(0.0, on_done)
+            self.sim.schedule_call(0.0, on_done)
             return flow
         self._advance()
         self._flows[flow.uid] = flow
@@ -302,6 +451,14 @@ class FlowNetwork:
                 edge_members[edge] = {flow.uid: flow}
             else:
                 members[flow.uid] = flow
+        if self._slots is not None:
+            self._slots.add(flow)
+        elif len(self._flows) > self.vector_threshold:
+            # Scalar mode kept every flow's `remaining` current through the
+            # `_advance` above, so the columnar mirror is exact here.  The
+            # switch is permanent for this network; from now on the slot
+            # arrays are authoritative for progress.
+            self._slots = _FlowSlots(self._flows)
         self._reallocate((flow,))
         return flow
 
@@ -310,12 +467,21 @@ class FlowNetwork:
     # ------------------------------------------------------------------
 
     def _advance(self) -> None:
-        """Progress all flows from the last update time to ``sim.now``."""
+        """Progress all flows from the last update time to ``sim.now``.
+
+        Vector mode performs the same per-flow ``remaining - rate*elapsed``
+        (one multiply, one subtract, clamp at zero) on the slot arrays;
+        the elementwise IEEE results are identical to the scalar loop.
+        """
         elapsed = self.sim.now - self._last_update
         if elapsed > 0:
-            for flow in self._flows.values():
-                remaining = flow.remaining - flow.rate * elapsed
-                flow.remaining = remaining if remaining > 0.0 else 0.0
+            slots = self._slots
+            if slots is not None:
+                slots.advance(elapsed)
+            else:
+                for flow in self._flows.values():
+                    remaining = flow.remaining - flow.rate * elapsed
+                    flow.remaining = remaining if remaining > 0.0 else 0.0
         self._last_update = self.sim.now
 
     def _reallocate(self, touched: Iterable[Flow] | None = None) -> None:
@@ -334,19 +500,27 @@ class FlowNetwork:
             return
         self.stats.reallocations += 1
         affected = list(flows.values()) if touched is None else self._closure(touched)
+        slots = self._slots
         if affected:
             self._fill(affected)
+            if slots is not None:
+                slots.sync_rates(affected)
         # Completion horizon.  Per-flow deadlines must be recomputed from the
         # advanced ``remaining`` at *this* event for trace byte-identity (a
         # lazily-invalidated deadline heap measurably diverges — DESIGN.md
-        # §11), so this stays an eager scan over the (small) flow set.
-        horizon = _INF
-        for flow in flows.values():
-            rate = flow.rate
-            if rate > _EPS:
-                quotient = flow.remaining / rate
-                if quotient < horizon:
-                    horizon = quotient
+        # §11), so this stays an eager scan over the flow set — vectorized
+        # over the slot arrays at scale (the quotients and the min are the
+        # same IEEE operations the scalar loop performs).
+        if slots is not None:
+            horizon = slots.horizon()
+        else:
+            horizon = _INF
+            for flow in flows.values():
+                rate = flow.rate
+                if rate > _EPS:
+                    quotient = flow.remaining / rate
+                    if quotient < horizon:
+                        horizon = quotient
         if horizon == _INF:
             raise RuntimeError(
                 "flow network deadlock: active flows received zero bandwidth"
@@ -499,19 +673,28 @@ class FlowNetwork:
         self._next_event = None
         self._advance()
         flows = self._flows
+        slots = self._slots
         # Sub-byte residues are numerical noise (floating-point advance can
         # leave a remainder too small to represent as a future event time,
-        # which would livelock the loop) — treat them as finished.
-        finished = []
-        for flow in flows.values():
-            threshold = 1e-9 * flow.total_bytes
-            if threshold < 1.0:
-                threshold = 1.0
-            if flow.remaining <= threshold:
-                finished.append(flow)
+        # which would livelock the loop) — treat them as finished.  The
+        # vector scan visits finished flows in ascending uid order, which
+        # is exactly the dict insertion order the scalar loop sees (uids
+        # are allocated monotonically and re-insertion cannot occur).
+        if slots is not None:
+            finished = [flows[uid] for uid in slots.finished_uids()]
+        else:
+            finished = []
+            for flow in flows.values():
+                threshold = 1e-9 * flow.total_bytes
+                if threshold < 1.0:
+                    threshold = 1.0
+                if flow.remaining <= threshold:
+                    finished.append(flow)
         edge_members = self._edge_members
         for flow in finished:
             del flows[flow.uid]
+            if slots is not None:
+                slots.remove(flow)
             for edge in flow.path:
                 members = edge_members[edge]
                 del members[flow.uid]

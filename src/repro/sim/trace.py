@@ -1,7 +1,7 @@
 """Execution traces and their post-processing.
 
-Every simulated training step produces a :class:`Trace`: the list of compute
-spans (per GPU) and transfer spans (with byte counts and achieved bandwidth).
+Every simulated training step produces a :class:`Trace`: the compute spans
+(per GPU) and transfer spans (with byte counts and achieved bandwidth).
 The analyses of §4.2 are all derived from traces:
 
 * **bandwidth CDFs** (Figures 2, 7, 11, 16) — per-transfer average bandwidth,
@@ -9,13 +9,30 @@ The analyses of §4.2 are all derived from traces:
 * **communication traffic** (Figure 6) — total bytes moved per step;
 * **non-overlapped communication time** (Figure 8) — per-GPU communication
   intervals minus that GPU's compute intervals.
+
+Storage is columnar (DESIGN.md §12): spans land directly in append-only,
+capacity-doubled numpy column buffers — transfer kinds interned as int
+codes — so the ``_compute_columns``/``_transfer_columns`` views the
+aggregate methods consume are zero-copy slices instead of O(n) rebuilds,
+and a trace of a ~1M-event datacenter scenario does not hold a million
+Python span objects.  ``trace.compute`` / ``trace.transfers`` remain
+sequence views that materialize :class:`ComputeSpan`/:class:`TransferSpan`
+records on demand, preserving the historical list API (``append``,
+indexing, iteration, ``==``) and — critically — the
+``__mobius_fingerprint__`` span-order contract byte for byte.
+
+Long traces can opt into *spilling*: constructed with ``spill_dir=``, a
+trace seals full chunks of columns to ``.npz`` segments and drops them
+from memory; views transparently reassemble spilled and active rows.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import math
-from collections.abc import Iterable, Sequence
+import pathlib
+from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -141,20 +158,374 @@ def total_length(intervals: Iterable[Interval]) -> float:
     return float(np.sum(ends - starts))
 
 
-class Trace:
-    """Recorded activity of one simulated training step."""
+# ----------------------------------------------------------------------
+# Columnar span storage
+# ----------------------------------------------------------------------
 
-    def __init__(self, n_gpus: int) -> None:
+#: Above this many rows, iterating a view does not cache the materialized
+#: span objects (a ~1M-row trace would otherwise pin ~100s of MB).
+_MATERIALIZE_CACHE_LIMIT = 1 << 17
+
+_INITIAL_CAPACITY = 1024
+
+
+class _ColumnStore:
+    """Append-only columnar buffer for one span family.
+
+    Rows live in capacity-doubled numpy arrays plus a parallel Python list
+    of labels.  A monotonically increasing *generation* counter stamps
+    every mutation; all derived caches (column views, materialized spans,
+    per-kind masks) are keyed on it, so stale reads are impossible even if
+    a buffer is swapped for an identically-sized one — the collision the
+    old ``(id(list), len(list))`` token allowed.
+
+    With ``spill_dir`` set, every ``spill_chunk`` rows the active buffers
+    are sealed to a compressed ``.npz`` segment and dropped from memory;
+    :meth:`columns` reassembles segments in order on demand.
+    """
+
+    #: (name, dtype) pairs for the numeric columns, in storage order.
+    numeric_fields: tuple[tuple[str, object], ...] = ()
+
+    def __init__(
+        self,
+        spill_dir: pathlib.Path | None = None,
+        spill_chunk: int = 1 << 18,
+        tag: str = "spans",
+    ) -> None:
+        if spill_chunk <= 0:
+            raise ValueError(f"spill_chunk must be positive, got {spill_chunk}")
+        self._capacity = _INITIAL_CAPACITY
+        self._arrays = {
+            name: np.empty(self._capacity, dtype=dtype)
+            for name, dtype in self.numeric_fields
+        }
+        self._labels: list[str] = []
+        self._n = 0  # rows in the active buffers
+        self._spilled_rows = 0
+        self._segments: list[pathlib.Path] = []
+        self._spill_dir = pathlib.Path(spill_dir) if spill_dir is not None else None
+        self._spill_chunk = spill_chunk
+        self._tag = tag
+        self.generation = 0
+        self._columns_cache: tuple[int, dict] | None = None
+        self._materialized_cache: tuple[int, list] | None = None
+
+    def __len__(self) -> int:
+        return self._spilled_rows + self._n
+
+    def append_row(self, values: tuple, label: str) -> None:
+        n = self._n
+        if n == self._capacity:
+            self._capacity *= 2
+            for name in self._arrays:
+                grown = np.empty(self._capacity, dtype=self._arrays[name].dtype)
+                grown[:n] = self._arrays[name]
+                self._arrays[name] = grown
+        for (name, _), value in zip(self.numeric_fields, values):
+            self._arrays[name][n] = value
+        self._labels.append(label)
+        self._n = n + 1
+        self.generation += 1
+        if self._spill_dir is not None and self._n >= self._spill_chunk:
+            self._seal_segment()
+
+    def _seal_segment(self) -> None:
+        """Write the active buffer to disk and reset it."""
+        self._spill_dir.mkdir(parents=True, exist_ok=True)
+        path = self._spill_dir / f"{self._tag}-{len(self._segments):06d}.npz"
+        payload = {name: arr[: self._n] for name, arr in self._arrays.items()}
+        payload["labels"] = np.array(self._labels, dtype=str)
+        np.savez_compressed(path, **payload)
+        self._segments.append(path)
+        self._spilled_rows += self._n
+        self._n = 0
+        self._labels = []
+        self.generation += 1
+
+    def columns(self) -> dict:
+        """Parallel numpy views over all rows (spilled + active), cached.
+
+        Without spill this is zero-copy (slices of the active buffers);
+        with spilled segments the pieces are concatenated once per
+        generation.
+        """
+        cached = self._columns_cache
+        if cached is not None and cached[0] == self.generation:
+            return cached[1]
+        n = self._n
+        if not self._segments:
+            columns = {name: arr[:n] for name, arr in self._arrays.items()}
+            columns["label"] = self._labels
+        else:
+            loaded = [np.load(path) for path in self._segments]
+            columns = {
+                name: np.concatenate([seg[name] for seg in loaded] + [arr[:n]])
+                for name, arr in self._arrays.items()
+            }
+            labels: list[str] = []
+            for seg in loaded:
+                labels.extend(seg["labels"].tolist())
+            labels.extend(self._labels)
+            columns["label"] = labels
+        self._columns_cache = (self.generation, columns)
+        return columns
+
+    def digest(self) -> str:
+        """SHA-256 over the raw column bytes — a cheap bit-exact identity.
+
+        Unlike ``__mobius_fingerprint__`` (which materializes span objects
+        and is the pinned corpus contract), this hashes the columns
+        directly, so it scales to ~1M-row traces; used by the large-cell
+        bench rows and the dispatch-equivalence tests.
+        """
+        columns = self.columns()
+        sha = hashlib.sha256()
+        for name, _ in self.numeric_fields:
+            sha.update(name.encode())
+            sha.update(np.ascontiguousarray(columns[name]).tobytes())
+        for label in columns["label"]:
+            sha.update(b"\x1f")
+            sha.update(label.encode())
+        return sha.hexdigest()
+
+    def _make_span(self, row: tuple):
+        raise NotImplementedError
+
+    def _iter_rows(self) -> Iterator[tuple]:
+        columns = self.columns()
+        lists = [columns[name].tolist() for name, _ in self.numeric_fields]
+        lists.append(columns["label"])
+        return zip(*lists)
+
+    def materialized(self) -> list:
+        """All rows as span objects; cached below the size threshold."""
+        cached = self._materialized_cache
+        if cached is not None and cached[0] == self.generation:
+            return cached[1]
+        spans = [self._make_span(row) for row in self._iter_rows()]
+        if len(spans) <= _MATERIALIZE_CACHE_LIMIT:
+            self._materialized_cache = (self.generation, spans)
+        return spans
+
+    def export_state(self) -> dict:
+        """Pickle payload: trimmed column copies covering every row."""
+        columns = self.columns()
+        state = {
+            name: np.array(columns[name]) for name, _ in self.numeric_fields
+        }
+        state["label"] = list(columns["label"])
+        return state
+
+    def load_state(self, state: dict) -> None:
+        labels = state["label"]
+        n = len(labels)
+        self._capacity = max(_INITIAL_CAPACITY, n)
+        for name, dtype in self.numeric_fields:
+            arr = np.empty(self._capacity, dtype=dtype)
+            arr[:n] = state[name]
+            self._arrays[name] = arr
+        self._labels = list(labels)
+        self._n = n
+
+
+class _ComputeStore(_ColumnStore):
+    numeric_fields = (("gpu", np.int64), ("start", np.float64), ("end", np.float64))
+
+    def append_span(self, span: ComputeSpan) -> None:
+        self.append_row((span.gpu, span.start, span.end), span.label)
+
+    def _make_span(self, row: tuple) -> ComputeSpan:
+        gpu, start, end, label = row
+        return ComputeSpan(gpu, start, end, label)
+
+
+class _TransferStore(_ColumnStore):
+    # `nbytes_int` preserves the Python numeric type of the recorded byte
+    # count across the float64 column round-trip: historical traces carried
+    # int byte counts from the task layer, and the fingerprint encoding
+    # distinguishes int from float — materialized spans must restore the
+    # original type bit for bit (byte counts are well under 2**53).
+    numeric_fields = (
+        ("gpu", np.int64),
+        ("start", np.float64),
+        ("end", np.float64),
+        ("nbytes", np.float64),
+        ("nbytes_int", np.bool_),
+        ("kind_code", np.int32),
+    )
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # Transfer kinds are drawn from a handful of categories; intern
+        # them as int codes so kind filters are integer compares, not
+        # string membership tests over an object array.
+        self._kind_codes: dict[str, int] = {}
+        self._kinds: list[str] = []
+        self._mask_cache: dict[int, tuple[int, np.ndarray]] = {}
+
+    def code_for(self, kind: str) -> int:
+        code = self._kind_codes.get(kind)
+        if code is None:
+            code = len(self._kinds)
+            self._kind_codes[kind] = code
+            self._kinds.append(kind)
+        return code
+
+    def append_span(self, span: TransferSpan) -> None:
+        nbytes = span.nbytes
+        self.append_row(
+            (
+                span.gpu,
+                span.start,
+                span.end,
+                nbytes,
+                isinstance(nbytes, int),
+                self.code_for(span.kind),
+            ),
+            span.label,
+        )
+
+    def _make_span(self, row: tuple) -> TransferSpan:
+        gpu, start, end, nbytes, nbytes_int, code, label = row
+        if nbytes_int:
+            nbytes = int(nbytes)
+        return TransferSpan(gpu, start, end, nbytes, self._kinds[code], label)
+
+    def kind_mask(self, kinds: Iterable[str]) -> np.ndarray:
+        """Boolean row mask selecting the given kinds, per-kind cached."""
+        selected: np.ndarray | None = None
+        for kind in kinds:
+            code = self._kind_codes.get(kind)
+            if code is None:
+                continue  # kind never recorded: selects nothing
+            cached = self._mask_cache.get(code)
+            if cached is None or cached[0] != self.generation:
+                mask = self.columns()["kind_code"] == code
+                self._mask_cache[code] = (self.generation, mask)
+            else:
+                mask = cached[1]
+            selected = mask if selected is None else (selected | mask)
+        if selected is None:
+            return np.zeros(len(self), dtype=bool)
+        return selected
+
+    def export_state(self) -> dict:
+        state = super().export_state()
+        state["kinds"] = list(self._kinds)
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self._kinds = list(state["kinds"])
+        self._kind_codes = {kind: code for code, kind in enumerate(self._kinds)}
+
+
+class _SpanView(Sequence):
+    """List-like façade over a :class:`_ColumnStore`.
+
+    Supports the operations the historical ``list[Span]`` attributes saw
+    in the wild: ``append`` (unvalidated — the sanitizer tests inject
+    malformed spans directly), indexing, slicing, iteration, ``len`` and
+    equality against other sequences of spans.
+    """
+
+    __slots__ = ("_store",)
+
+    # Lists are unhashable; keep that property.
+    __hash__ = None  # type: ignore[assignment]
+
+    def __init__(self, store: _ColumnStore) -> None:
+        self._store = store
+
+    def append(self, span) -> None:
+        self._store.append_span(span)
+
+    def extend(self, spans: Iterable) -> None:
+        for span in spans:
+            self._store.append_span(span)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __getitem__(self, index):
+        spans = self._store.materialized()
+        return spans[index]
+
+    def __iter__(self) -> Iterator:
+        return iter(self._store.materialized())
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, _SpanView):
+            other = other._store.materialized()
+        if isinstance(other, (list, tuple)):
+            if len(other) != len(self):
+                return False
+            return self._store.materialized() == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return repr(self._store.materialized())
+
+
+class Trace:
+    """Recorded activity of one simulated training step.
+
+    Args:
+        n_gpus: Number of GPUs the trace covers.
+        spill_dir: If given, seal full column chunks to ``.npz`` segments
+            under this directory instead of holding every span in memory
+            (opt-in streaming writer for ~1M-event scenarios).
+        spill_chunk: Rows per sealed segment.
+    """
+
+    def __init__(
+        self,
+        n_gpus: int,
+        *,
+        spill_dir: str | pathlib.Path | None = None,
+        spill_chunk: int = 1 << 18,
+    ) -> None:
         if n_gpus <= 0:
             raise ValueError(f"n_gpus must be positive, got {n_gpus}")
         self.n_gpus = n_gpus
-        self.compute: list[ComputeSpan] = []
-        self.transfers: list[TransferSpan] = []
-        # Columnar views of the span lists, rebuilt lazily whenever the
-        # underlying list object or its length changes (spans are
-        # append-only, so that check is sufficient).
-        self._transfer_columns_cache: tuple[tuple[int, int], dict] | None = None
-        self._compute_columns_cache: tuple[tuple[int, int], dict] | None = None
+        spill = pathlib.Path(spill_dir) if spill_dir is not None else None
+        self._compute_store = _ComputeStore(spill, spill_chunk, tag="compute")
+        self._transfer_store = _TransferStore(spill, spill_chunk, tag="transfer")
+        self._compute_view = _SpanView(self._compute_store)
+        self._transfer_view = _SpanView(self._transfer_store)
+
+    # ------------------------------------------------------------------
+    # Span sequence views (historical list API)
+    # ------------------------------------------------------------------
+
+    @property
+    def compute(self) -> _SpanView:
+        return self._compute_view
+
+    @compute.setter
+    def compute(self, spans: Iterable[ComputeSpan]) -> None:
+        store = self._compute_store
+        self._compute_store = _ComputeStore(
+            store._spill_dir, store._spill_chunk, tag="compute"
+        )
+        self._compute_view = _SpanView(self._compute_store)
+        for span in spans:
+            self._compute_store.append_span(span)
+
+    @property
+    def transfers(self) -> _SpanView:
+        return self._transfer_view
+
+    @transfers.setter
+    def transfers(self, spans: Iterable[TransferSpan]) -> None:
+        store = self._transfer_store
+        self._transfer_store = _TransferStore(
+            store._spill_dir, store._spill_chunk, tag="transfer"
+        )
+        self._transfer_view = _SpanView(self._transfer_store)
+        for span in spans:
+            self._transfer_store.append_span(span)
 
     def __mobius_fingerprint__(self) -> tuple:
         """Canonical content for :func:`repro.perf.fingerprint.fingerprint`.
@@ -162,8 +533,28 @@ class Trace:
         Two traces fingerprint identically iff they recorded the same spans
         in the same order — the determinism contract the fault-injection
         tests assert (same seed + same fault schedule => identical trace).
+        The encoding materializes span objects, so the bytes are unchanged
+        from the historical list-of-spans layout (pinned in BENCH_sim.json).
         """
-        return (self.n_gpus, tuple(self.compute), tuple(self.transfers))
+        return (
+            self.n_gpus,
+            tuple(self._compute_store.materialized()),
+            tuple(self._transfer_store.materialized()),
+        )
+
+    def columnar_digest(self) -> str:
+        """Bit-exact trace identity that never materializes span objects.
+
+        Hashes the raw column buffers; O(bytes) with no per-span Python
+        work, so it stays cheap at ~1M spans.  Used for the large-topology
+        bench rows; the pinned corpus/chaos rows keep the span-object
+        fingerprint above.
+        """
+        sha = hashlib.sha256()
+        sha.update(f"trace/{self.n_gpus}".encode())
+        sha.update(self._compute_store.digest().encode())
+        sha.update(self._transfer_store.digest().encode())
+        return sha.hexdigest()
 
     # ------------------------------------------------------------------
     # Recording
@@ -183,7 +574,7 @@ class Trace:
 
     def add_compute(self, gpu: int, start: float, end: float, label: str = "") -> None:
         self._check_span("compute", start, end, label)
-        self.compute.append(ComputeSpan(gpu, start, end, label))
+        self._compute_store.append_row((gpu, start, end), label)
 
     def add_transfer(
         self, gpu: int, start: float, end: float, nbytes: float, kind: str = "", label: str = ""
@@ -193,48 +584,42 @@ class Trace:
             raise ValueError(
                 f"transfer span {label!r} has invalid byte count {nbytes!r}"
             )
-        self.transfers.append(TransferSpan(gpu, start, end, nbytes, kind, label))
+        store = self._transfer_store
+        store.append_row(
+            (gpu, start, end, nbytes, isinstance(nbytes, int), store.code_for(kind)),
+            label,
+        )
+
+    # ------------------------------------------------------------------
+    # Pickling (content-addressed cache payloads)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        return {
+            "n_gpus": self.n_gpus,
+            "compute": self._compute_store.export_state(),
+            "transfers": self._transfer_store.export_state(),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["n_gpus"])
+        self._compute_store.load_state(state["compute"])
+        self._transfer_store.load_state(state["transfers"])
 
     # ------------------------------------------------------------------
     # Columnar views
     # ------------------------------------------------------------------
 
     def _transfer_columns(self) -> dict:
-        """Parallel numpy arrays over ``self.transfers``, cached."""
-        token = (id(self.transfers), len(self.transfers))
-        if self._transfer_columns_cache is None or self._transfer_columns_cache[0] != token:
-            spans = self.transfers
-            n = len(spans)
-            columns = {
-                "gpu": np.fromiter((s.gpu for s in spans), dtype=np.int64, count=n),
-                "start": np.fromiter((s.start for s in spans), dtype=float, count=n),
-                "end": np.fromiter((s.end for s in spans), dtype=float, count=n),
-                "nbytes": np.fromiter((s.nbytes for s in spans), dtype=float, count=n),
-                "kind": np.array([s.kind for s in spans], dtype=object),
-            }
-            self._transfer_columns_cache = (token, columns)
-        return self._transfer_columns_cache[1]
+        """Parallel numpy arrays over the transfer spans (cached views)."""
+        return self._transfer_store.columns()
 
     def _compute_columns(self) -> dict:
-        """Parallel numpy arrays over ``self.compute``, cached."""
-        token = (id(self.compute), len(self.compute))
-        if self._compute_columns_cache is None or self._compute_columns_cache[0] != token:
-            spans = self.compute
-            n = len(spans)
-            columns = {
-                "gpu": np.fromiter((s.gpu for s in spans), dtype=np.int64, count=n),
-                "start": np.fromiter((s.start for s in spans), dtype=float, count=n),
-                "end": np.fromiter((s.end for s in spans), dtype=float, count=n),
-            }
-            self._compute_columns_cache = (token, columns)
-        return self._compute_columns_cache[1]
+        """Parallel numpy arrays over the compute spans (cached views)."""
+        return self._compute_store.columns()
 
     def _kind_mask(self, kinds: Iterable[str]) -> np.ndarray:
-        column = self._transfer_columns()["kind"]
-        wanted = set(kinds)
-        return np.fromiter(
-            (kind in wanted for kind in column), dtype=bool, count=len(column)
-        )
+        return self._transfer_store.kind_mask(kinds)
 
     # ------------------------------------------------------------------
     # Aggregates

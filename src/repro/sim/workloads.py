@@ -1,0 +1,150 @@
+"""Synthetic datacenter-scale simulator workloads.
+
+The Mobius planner cannot emit a ~1M-event scenario directly: pipeline
+stages are bounded by model depth, so even a 64-GPU corpus plan executes a
+few thousand events.  The scale benchmarks (``repro simbench``'s ``large``
+section, DESIGN.md §12) instead drive the simulator with a *synthetic*
+offload-style workload shaped like Mobius execution at fleet scale: every
+GPU runs ``rounds`` chained rounds of
+
+    DRAM upload (``param-upload``) -> compute -> DRAM offload (``grad-offload``)
+
+so at any instant each root complex serves its group's concurrent up/down
+flows (cross-heterogeneity keeps completions from collapsing into a single
+timestamp).  On :func:`~repro.hardware.topology.large_cluster` at 1024
+GPUs this is ~10^6 heap events and ~2000 concurrent flows — past
+:attr:`~repro.sim.resources.FlowNetwork.vector_threshold`, so the columnar
+flow scans carry the load.
+
+Everything is event-sequence deterministic: per-task variation comes from
+integer-hash arithmetic (no ``random``, no clocks — this module is under
+the strict-clock/hot-path lint), so the trace digest is bit-identical
+across runs, machines and dispatch modes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hardware.topology import Topology
+from repro.sim.resources import FlowNetworkStats
+from repro.sim.tasks import ComputeTask, Task, TaskGraphRunner, TransferTask
+from repro.sim.trace import Trace
+
+__all__ = [
+    "build_cluster_workload",
+    "run_cluster_workload",
+    "ClusterWorkloadResult",
+]
+
+_GB = 1e9
+
+# Knuth-style multiplicative hashes; the exact constants are arbitrary but
+# frozen — they are part of the workload's deterministic identity.
+_HASH_A = 2654435761
+_HASH_B = 40503
+_HASH_C = 69427
+
+
+def _vary(gpu: int, rnd: int, salt: int, span: int) -> int:
+    """Deterministic pseudo-variation in ``[0, span)`` from integers only."""
+    return ((gpu * _HASH_A) ^ (rnd * _HASH_B) ^ (salt * _HASH_C)) % span
+
+
+def build_cluster_workload(
+    topology: Topology,
+    *,
+    rounds: int,
+    base_bytes: int = 50_000_000,
+    base_compute_seconds: float = 0.02,
+) -> list[Task]:
+    """Task graph for ``rounds`` upload/compute/offload rounds per GPU.
+
+    Per (gpu, round) the byte counts, compute durations and a sprinkling
+    of high-priority uploads (the §3.3 prefetch-priority path) vary by
+    integer hash, so concurrent flows have distinct completion instants
+    and the allocator sees realistic arrival/departure churn.
+
+    Returns ``3 * n_gpus * rounds`` tasks; executing them dispatches
+    roughly ``4 * n_gpus * rounds`` simulator events (two per compute,
+    one per transfer completion, minus coalesced same-instant finishes).
+    """
+    if rounds <= 0:
+        raise ValueError(f"rounds must be positive, got {rounds}")
+    tasks: list[Task] = []
+    for gpu in range(topology.n_gpus):
+        upload_path = topology.path_from_dram(gpu)
+        offload_path = topology.path_to_dram(gpu)
+        prev: Task | None = None
+        for rnd in range(rounds):
+            upload = TransferTask(
+                path=upload_path,
+                nbytes=base_bytes * (1 + _vary(gpu, rnd, 1, 7)),
+                gpu=gpu,
+                kind="param-upload",
+                priority=1 if _vary(gpu, rnd, 2, 5) == 0 else 0,
+            ).after(prev)
+            compute = ComputeTask(
+                gpu=gpu,
+                seconds=base_compute_seconds * (1 + _vary(gpu, rnd, 3, 4)),
+            ).after(upload)
+            offload = TransferTask(
+                path=offload_path,
+                nbytes=base_bytes * (1 + _vary(gpu, rnd, 4, 7)),
+                gpu=gpu,
+                kind="grad-offload",
+            ).after(compute)
+            tasks.extend((upload, compute, offload))
+            prev = offload
+    return tasks
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterWorkloadResult:
+    """Outcome of one synthetic cluster run."""
+
+    trace: Trace
+    #: Bit-exact columnar trace identity (``Trace.columnar_digest``).
+    digest: str
+    events_processed: int
+    n_tasks: int
+    stats: FlowNetworkStats
+
+
+def run_cluster_workload(
+    topology: Topology,
+    *,
+    rounds: int,
+    base_bytes: int = 50_000_000,
+    base_compute_seconds: float = 0.02,
+    dispatch: str = "batched",
+    spill_dir=None,
+    spill_chunk: int = 1 << 18,
+) -> ClusterWorkloadResult:
+    """Build and execute the cluster workload; returns trace + counters.
+
+    Args:
+        dispatch: ``"batched"`` (production) or ``"single"`` (the oracle
+            loop) — the equivalence tests run both and compare digests.
+        spill_dir: If given, record into a spill-to-disk trace (sealed
+            ``.npz`` segments of ``spill_chunk`` rows) instead of holding
+            every span column in memory.
+    """
+    tasks = build_cluster_workload(
+        topology,
+        rounds=rounds,
+        base_bytes=base_bytes,
+        base_compute_seconds=base_compute_seconds,
+    )
+    runner = TaskGraphRunner(topology, dispatch=dispatch)
+    trace = None
+    if spill_dir is not None:
+        trace = Trace(topology.n_gpus, spill_dir=spill_dir, spill_chunk=spill_chunk)
+    trace = runner.execute(tasks, trace=trace)
+    return ClusterWorkloadResult(
+        trace=trace,
+        digest=trace.columnar_digest(),
+        events_processed=runner.sim.events_processed,
+        n_tasks=len(tasks),
+        stats=runner.network.stats,
+    )

@@ -250,7 +250,7 @@ class TestMob002StrictClock:
 
     def test_sim_bench_reporting_sites_allowlisted(self):
         # The simbench wall-time columns are reporting-only by contract;
-        # its two row builders are the sanctioned sim/ clock sites.
+        # its three row builders are the sanctioned sim/ clock sites.
         report = _lint(
             """
             import time
@@ -261,10 +261,28 @@ class TestMob002StrictClock:
 
             def _run_chaos_rows():
                 return time.perf_counter()
+
+            def _run_large_rows():
+                return time.perf_counter()
             """,
             "src/repro/sim/bench.py",
         )
         assert not report.findings
+
+    def test_dispatch_and_streaming_modules_stay_clock_free(self):
+        # The batched-dispatch / columnar-streaming hot paths (DESIGN.md
+        # §12) must never read a clock: the large-bench fingerprints are
+        # pinned across machines.  Lint the real modules, not fixtures.
+        root = Path(__file__).resolve().parents[2]
+        for rel in (
+            "src/repro/sim/engine.py",
+            "src/repro/sim/trace.py",
+            "src/repro/sim/workloads.py",
+            "src/repro/sim/resources.py",
+        ):
+            source = (root / rel).read_text()
+            report = lint_source(source, rel)
+            assert report.ok, f"{rel}:\n{report.render()}"
 
     def test_other_function_in_sim_bench_flagged(self):
         report = _lint(

@@ -54,8 +54,8 @@ def _auto_sanitize_traces(monkeypatch):
 
     original = TaskGraphRunner.execute
 
-    def execute_and_sanitize(self, tasks):
-        trace = original(self, tasks)
+    def execute_and_sanitize(self, tasks, **kwargs):
+        trace = original(self, tasks, **kwargs)
         report = sanitize_run(self.last_tasks, trace, self.topology)
         assert report.ok, f"simulated trace failed sanitization:\n{report.render()}"
         return trace

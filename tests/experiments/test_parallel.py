@@ -6,6 +6,7 @@ import pytest
 
 from repro.experiments.runner import (
     ExperimentCell,
+    default_jobs,
     run_system,
     run_systems_parallel,
 )
@@ -34,6 +35,52 @@ def cells(tiny_model):
         ExperimentCell("gpipe", tiny_model, topology, microbatch_size=1),
         ExperimentCell("deepspeed", tiny_model, topology, microbatch_size=1),
     ]
+
+
+class TestDefaultJobs:
+    """Satellite: REPRO_JOBS beats a (often wrong) container CPU count."""
+
+    def test_env_override_wins_over_cpu_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "6")
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        assert default_jobs() == 6
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.setattr("os.cpu_count", lambda: 3)
+        assert default_jobs() == 3
+
+    def test_cpu_count_none_defaults_to_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.setattr("os.cpu_count", lambda: None)
+        assert default_jobs() == 1
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "many"])
+    def test_invalid_env_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_JOBS", bad)
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            default_jobs()
+
+    def test_run_systems_parallel_defers_to_env(self, monkeypatch, tiny_model):
+        """jobs=None must consult default_jobs(); REPRO_JOBS=1 keeps the
+        run serial in-process (no pool), which we observe via a poisoned
+        ProcessPoolExecutor.
+        """
+        import repro.experiments.runner as runner_module
+
+        monkeypatch.setenv("REPRO_JOBS", "1")
+
+        def boom(*args, **kwargs):  # pragma: no cover - would fail the test
+            raise AssertionError("pool should not be created with REPRO_JOBS=1")
+
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", boom)
+        cells = [
+            ExperimentCell("gpipe", tiny_model, topo_2_2(), microbatch_size=1),
+            ExperimentCell("deepspeed", tiny_model, topo_2_2(), microbatch_size=1),
+        ]
+        with cache_overridden(memory=True, disk=False):
+            results = run_systems_parallel(cells)
+        assert [r.status for r in results] == ["ok", "ok"]
 
 
 class TestRunSystemsParallel:

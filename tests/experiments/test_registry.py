@@ -13,9 +13,11 @@ def test_experiment_module_contract(name):
     module = importlib.import_module(f"repro.experiments.{name}")
     assert callable(module.run), name
     assert callable(module.main), name
-    # run() takes at most a `fast` keyword.
+    # run() takes at most `fast` plus an optional `jobs` fan-out knob.
     params = inspect.signature(module.run).parameters
-    assert set(params) <= {"fast"}, name
+    assert set(params) <= {"fast", "jobs"}, name
+    for extra in set(params) - {"fast"}:
+        assert params[extra].default is None, (name, extra)
 
 
 def test_registry_matches_files():

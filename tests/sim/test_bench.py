@@ -37,6 +37,21 @@ def _doc(**overrides):
                 "wall_seconds": 0.07,
             }
         ],
+        "large": [
+            {
+                "name": "dc-1024x4-r256",
+                "fingerprint": "dddd4444",
+                "events": 1_041_935,
+                "n_tasks": 786_432,
+                "reallocations": 1_041_924,
+                "components_filled": 824_962,
+                "fill_rounds": 824_962,
+                "flows_touched": 1_242_966,
+                "flows_touched_per_reallocation": 1.193,
+                "wall_seconds": 70.0,
+                "peak_rss_mb": 520,
+            }
+        ],
     }
     base.update(overrides)
     return base
@@ -88,6 +103,27 @@ class TestCompareBenchmarks:
             "missing from baseline" in f for f in compare_benchmarks(_doc(), shrunk)
         )
 
+    def test_large_section_gated_like_the_others(self):
+        bad = _doc()
+        bad["large"][0]["fingerprint"] = "eeee5555"
+        failures = compare_benchmarks(bad, _doc())
+        assert any("large" in f and "fingerprint diverged" in f for f in failures)
+        worse = _doc()
+        worse["large"][0]["events"] = int(_doc()["large"][0]["events"] * 1.3)
+        failures = compare_benchmarks(worse, _doc())
+        assert any("large" in f and "events regressed" in f for f in failures)
+        # Wall time and peak RSS stay informational.
+        slow = _doc()
+        slow["large"][0]["wall_seconds"] = 9999.0
+        slow["large"][0]["peak_rss_mb"] = 99999
+        assert compare_benchmarks(slow, _doc()) == []
+
+    def test_missing_large_row_fails(self):
+        assert any(
+            "large" in f and "missing from current" in f
+            for f in compare_benchmarks(_doc(large=[]), _doc())
+        )
+
 
 class TestSimbenchCli:
     @pytest.fixture
@@ -103,6 +139,8 @@ class TestSimbenchCli:
         out = capsys.readouterr().out
         assert "gpt-a/topo_2_2" in out
         assert "touched/realloc=" in out
+        assert "dc-1024x4-r256" in out
+        assert "rss=" in out
 
     def test_json_to_file_and_gate(self, fake_bench, tmp_path, capsys):
         out_path = tmp_path / "BENCH_sim.json"
@@ -137,3 +175,10 @@ class TestSimbenchCli:
         for row in committed["chaos"]:
             assert row["status"] in ("ok", "infeasible")
             assert (row["fingerprint"] is None) == (row["status"] == "infeasible")
+        # The datacenter row: ~1M events, identified by the columnar digest.
+        assert len(committed["large"]) >= 1
+        for row in committed["large"]:
+            assert row["events"] >= 1_000_000
+            assert row["fingerprint"] and len(row["fingerprint"]) == 64
+            assert row["flows_touched_per_reallocation"] < 10
+            assert row["wall_seconds"] > 0 and row["peak_rss_mb"] > 0
