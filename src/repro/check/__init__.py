@@ -10,6 +10,12 @@ model x topology corpus; pytest auto-sanitizes every simulated trace via the
 fixture in ``tests/conftest.py``.
 """
 
+from repro.check.analysis import (
+    AnalysisConfig,
+    LintRun,
+    analyze_tree,
+    run_lint,
+)
 from repro.check.corpus import CorpusCell, check_cell, default_corpus, run_corpus
 from repro.check.findings import CheckReport, Finding
 from repro.check.lint import DEFAULT_CONFIG, LintConfig, lint_file, lint_source, lint_tree
@@ -18,8 +24,12 @@ from repro.check.plan_check import check_plan
 from repro.check.trace_check import check_task_graph, sanitize_run, sanitize_trace
 
 __all__ = [
+    "AnalysisConfig",
     "CheckReport",
     "Finding",
+    "LintRun",
+    "analyze_tree",
+    "run_lint",
     "check_plan",
     "check_mapping",
     "optimal_contention",

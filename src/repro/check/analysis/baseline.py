@@ -1,0 +1,135 @@
+"""Checked-in suppression baseline for ``repro lint``.
+
+A baseline entry acknowledges one standing finding with a written
+justification; it matches on ``(code, path, symbol)`` — never line numbers,
+so routine edits don't invalidate it.  The file is plain JSON so review
+diffs show exactly which suppression was added and why:
+
+.. code-block:: json
+
+    {
+      "entries": [
+        {
+          "code": "MOB007",
+          "path": "src/repro/perf/cache.py",
+          "symbol": "repro.perf.cache.configure_cache",
+          "justification": "process-lifecycle seam: runs before workers fork"
+        }
+      ]
+    }
+
+Policy (enforced by tests): the baseline may never carry MOB004 entries —
+hot paths must be genuinely clean, not suppressed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.check.findings import CheckReport, Finding
+
+__all__ = ["BaselineEntry", "Baseline", "apply_baseline"]
+
+#: Repo-relative default location of the checked-in baseline.
+DEFAULT_BASELINE_PATH = "LINT_BASELINE.json"
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineEntry:
+    """One acknowledged finding."""
+
+    code: str
+    path: str
+    symbol: str
+    justification: str = ""
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.code, self.path, self.symbol)
+
+
+def _finding_key(finding: Finding) -> tuple[str, str, str]:
+    path = finding.subject.rsplit(":", 1)[0] if finding.subject else ""
+    return (finding.code, path, finding.symbol)
+
+
+@dataclasses.dataclass
+class Baseline:
+    """A set of suppression entries, loadable from / savable to JSON."""
+
+    entries: list[BaselineEntry] = dataclasses.field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        path = Path(path)
+        if not path.is_file():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        entries = [
+            BaselineEntry(
+                code=entry["code"],
+                path=entry["path"],
+                symbol=entry.get("symbol", ""),
+                justification=entry.get("justification", ""),
+            )
+            for entry in data.get("entries", [])
+        ]
+        return cls(entries)
+
+    @classmethod
+    def from_report(
+        cls, report: CheckReport, justification: str = "TODO: justify"
+    ) -> "Baseline":
+        """A baseline covering every finding in ``report`` (``--write-baseline``)."""
+        seen: dict[tuple[str, str, str], BaselineEntry] = {}
+        for finding in report:
+            key = _finding_key(finding)
+            if key not in seen:
+                seen[key] = BaselineEntry(
+                    code=key[0], path=key[1], symbol=key[2], justification=justification
+                )
+        return cls(sorted(seen.values(), key=lambda e: e.key))
+
+    def save(self, path: Path | str) -> None:
+        payload = {
+            "entries": [dataclasses.asdict(e) for e in sorted(self.entries, key=lambda e: e.key)]
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclasses.dataclass
+class BaselineResult:
+    """Outcome of filtering a report through a baseline."""
+
+    report: CheckReport
+    suppressed: list[Finding] = dataclasses.field(default_factory=list)
+    unused_entries: list[BaselineEntry] = dataclasses.field(default_factory=list)
+
+
+def apply_baseline(report: CheckReport, baseline: Baseline) -> BaselineResult:
+    """Split ``report`` into live findings and baseline-suppressed ones.
+
+    Entries that matched nothing are returned as ``unused_entries`` so the
+    CLI can warn — a stale suppression usually means the underlying code
+    moved and the baseline should be trimmed.
+    """
+    by_key: dict[tuple[str, str, str], BaselineEntry] = {
+        entry.key: entry for entry in baseline.entries
+    }
+    used: set[tuple[str, str, str]] = set()
+    live = CheckReport()
+    suppressed: list[Finding] = []
+    for finding in report:
+        key = _finding_key(finding)
+        if key in by_key:
+            used.add(key)
+            suppressed.append(finding)
+        else:
+            live.findings.append(finding)
+    unused = [entry for entry in baseline.entries if entry.key not in used]
+    return BaselineResult(report=live, suppressed=suppressed, unused_entries=unused)

@@ -1,0 +1,452 @@
+"""Whole-program symbol table for the interprocedural MOB rules.
+
+A :class:`Program` is a parsed view of every module under ``src/repro`` (or
+of an in-memory ``{rel_path: source}`` mapping in tests): per-module
+functions, classes with their methods and instance-attribute types, import
+aliases, and module-level mutable state.  It is the substrate the call
+graph (:mod:`repro.check.analysis.callgraph`) and the MOB004-007 rules
+(:mod:`repro.check.analysis.rules`) resolve names against.
+
+Everything here is a pure :mod:`ast` pass — the analyzed code is never
+imported, so a syntactically valid module with missing dependencies (or a
+deliberately hostile test fixture) is still analyzable.
+
+Scope decisions (documented in DESIGN.md §13):
+
+* **Nested functions and lambdas are folded into their enclosing top-level
+  function or method.**  Closures execute over the encloser's state and are
+  registered as callbacks by the encloser, so for reachability purposes a
+  reference to a nested ``def`` *is* a reference to the encloser.  This
+  over-approximates (a defined-but-never-called closure still contributes
+  its calls) but never loses an edge through a callback seam.
+* **Module-level mutable state** is any top-level binding of a ``dict`` /
+  ``list`` / ``set`` display or comprehension, a call to a known
+  mutable-container constructor (``dict``, ``list``, ``set``,
+  ``defaultdict``, ``deque``, ``Counter``, ``itertools.count``), or an
+  instantiation of a class defined in the program.  Immutable bindings
+  (tuples, frozen constants) are deliberately excluded.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import Path
+
+__all__ = [
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "Program",
+    "attr_chain",
+    "iter_python_files",
+    "module_name_for",
+]
+
+#: Call targets whose result is a shared mutable container when bound at
+#: module level.
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"dict", "list", "set", "defaultdict", "deque", "Counter", "count", "OrderedDict"}
+)
+
+_MUTABLE_DISPLAYS = (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)
+
+
+def attr_chain(node: ast.expr) -> list[str]:
+    """``a.b.c`` -> ``['a', 'b', 'c']`` (best effort; ``[]`` when the base
+    is not a plain name, e.g. a call or subscript)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return []
+    parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+def module_name_for(rel_path: str) -> str:
+    """Dotted module name of a repo-relative path (``src/`` stripped)."""
+    parts = Path(rel_path).with_suffix("").parts
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def iter_python_files(root: Path, subdir: str = "src/repro") -> list[Path]:
+    """All ``*.py`` files under ``root/subdir``, sorted for determinism."""
+    base = root / subdir
+    if not base.is_dir():
+        return []
+    return sorted(base.glob("**/*.py"))
+
+
+@dataclasses.dataclass
+class FunctionInfo:
+    """One analyzable function or method (nested defs folded in).
+
+    Attributes:
+        qualname: Program-wide name, ``repro.sim.engine.Simulator.run``.
+        module: Dotted module, ``repro.sim.engine``.
+        rel_path: Repo-relative POSIX path of the defining file.
+        name: Bare name (``run``).
+        class_name: Enclosing class name, or ``None`` for module functions.
+        node: The ``ast`` definition node; analysis walks its whole subtree,
+            which includes any nested defs and lambdas.
+        lineno: Definition line (for findings).
+    """
+
+    qualname: str
+    module: str
+    rel_path: str
+    name: str
+    class_name: str | None
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    lineno: int
+
+    @property
+    def site(self) -> str:
+        """Allowlist-style site key: ``path::Class.method`` / ``path::func``."""
+        local = f"{self.class_name}.{self.name}" if self.class_name else self.name
+        return f"{self.rel_path}::{local}"
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    """One class definition: methods, base names, instance-attribute types.
+
+    ``attr_types`` maps instance attributes to the *short* class name they
+    are assigned from (``self.network = FlowNetwork(...)`` records
+    ``network -> FlowNetwork``), resolved lazily through imports by the
+    call graph.
+    """
+
+    name: str
+    qualname: str
+    module: str
+    rel_path: str
+    lineno: int
+    base_names: list[str] = dataclasses.field(default_factory=list)
+    methods: dict[str, FunctionInfo] = dataclasses.field(default_factory=dict)
+    attr_types: dict[str, str] = dataclasses.field(default_factory=dict)
+    #: ``@dataclass(frozen=True)`` — instances are immutable, so a
+    #: module-level instance is not shared *mutable* state.
+    frozen: bool = False
+
+
+@dataclasses.dataclass
+class ModuleInfo:
+    """One parsed module and its top-level symbol table."""
+
+    name: str
+    rel_path: str
+    tree: ast.Module
+    functions: dict[str, FunctionInfo] = dataclasses.field(default_factory=dict)
+    classes: dict[str, ClassInfo] = dataclasses.field(default_factory=dict)
+    #: Local name -> fully qualified target.  ``import numpy as np`` maps
+    #: ``np -> numpy``; ``from repro.sim.engine import Simulator`` maps
+    #: ``Simulator -> repro.sim.engine.Simulator``.
+    imports: dict[str, str] = dataclasses.field(default_factory=dict)
+    #: Module-level mutable bindings: name -> definition line.
+    mutable_globals: dict[str, int] = dataclasses.field(default_factory=dict)
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        if not isinstance(deco, ast.Call):
+            continue
+        target = deco.func
+        name = (
+            target.id
+            if isinstance(target, ast.Name)
+            else target.attr if isinstance(target, ast.Attribute) else None
+        )
+        if name != "dataclass":
+            continue
+        for kw in deco.keywords:
+            if kw.arg == "frozen":
+                return isinstance(kw.value, ast.Constant) and kw.value.value is True
+    return False
+
+
+def _constructor_name(value: ast.expr) -> str | None:
+    """Short name of the class/constructor a ``Call`` expression invokes."""
+    if not isinstance(value, ast.Call):
+        return None
+    chain = attr_chain(value.func)
+    return chain[-1] if chain else None
+
+
+def _is_mutable_binding(value: ast.expr, program_classes: set[str]) -> bool:
+    if isinstance(value, _MUTABLE_DISPLAYS):
+        return True
+    name = _constructor_name(value)
+    if name is None:
+        return False
+    return name in _MUTABLE_CONSTRUCTORS or name in program_classes
+
+
+class Program:
+    """Symbol tables for a set of modules, indexed for call resolution."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        #: Module-level bindings awaiting the link pass's mutability
+        #: verdict (instance state — the analyzer itself must satisfy
+        #: MOB007's no-shared-module-state rule).
+        self._pending_globals: dict[tuple[str, str], ast.expr] = {}
+        #: qualname -> FunctionInfo, every function and method.
+        self.functions: dict[str, FunctionInfo] = {}
+        #: qualname -> ClassInfo.
+        self.classes: dict[str, ClassInfo] = {}
+        #: Short class name -> ClassInfo list (for import-free resolution).
+        self.classes_by_name: dict[str, list[ClassInfo]] = {}
+        #: Method name -> defining FunctionInfo list (name-match fallback).
+        self.methods_by_name: dict[str, list[FunctionInfo]] = {}
+        #: class qualname -> direct subclass qualnames.
+        self.subclasses: dict[str, list[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_sources(cls, sources: dict[str, str]) -> "Program":
+        """Build a program from ``{repo-relative path: source text}``.
+
+        Unparseable modules are skipped (the per-file lint pass reports
+        them as MOB000); analysis proceeds over the rest.
+        """
+        program = cls()
+        for rel_path in sorted(sources):
+            try:
+                tree = ast.parse(sources[rel_path], filename=rel_path)
+            except SyntaxError:
+                continue
+            program._add_module(rel_path, tree)
+        program._link()
+        return program
+
+    @classmethod
+    def from_tree(cls, root: Path | str, subdir: str = "src/repro") -> "Program":
+        """Build a program from every parseable module under ``root/subdir``."""
+        root = Path(root)
+        sources: dict[str, str] = {}
+        for path in iter_python_files(root, subdir):
+            rel_path = path.relative_to(root).as_posix()
+            try:
+                sources[rel_path] = path.read_bytes().decode("utf-8")
+            except UnicodeDecodeError:
+                continue  # reported as MOB000 by the per-file lint pass
+        return cls.from_sources(sources)
+
+    def _add_module(self, rel_path: str, tree: ast.Module) -> None:
+        module = ModuleInfo(name=module_name_for(rel_path), rel_path=rel_path, tree=tree)
+        self.modules[module.name] = module
+
+        for node in tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    module.imports[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+                    if alias.asname:
+                        module.imports[alias.asname] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports are not used under src/repro
+                for alias in node.names:
+                    module.imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(
+                    qualname=f"{module.name}.{node.name}",
+                    module=module.name,
+                    rel_path=rel_path,
+                    name=node.name,
+                    class_name=None,
+                    node=node,
+                    lineno=node.lineno,
+                )
+                module.functions[node.name] = info
+            elif isinstance(node, ast.ClassDef):
+                self._add_class(module, node)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                value = node.value
+                if value is None:
+                    continue
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        # Dunder metadata (__all__ and friends) is module
+                        # declaration, never runtime-shared state.
+                        if target.id.startswith("__") and target.id.endswith("__"):
+                            continue
+                        # Class membership is resolved after all modules load;
+                        # record the constructor name for _link() to decide.
+                        module.mutable_globals.setdefault(target.id, node.lineno)
+                        if not _is_mutable_binding(value, set()) and (
+                            _constructor_name(value) is None
+                        ):
+                            del module.mutable_globals[target.id]
+                        else:
+                            # Stash the value node for the link pass.
+                            self._pending_globals.setdefault(
+                                (module.name, target.id), value
+                            )
+
+    def _add_class(self, module: ModuleInfo, node: ast.ClassDef) -> None:
+        info = ClassInfo(
+            name=node.name,
+            qualname=f"{module.name}.{node.name}",
+            module=module.name,
+            rel_path=module.rel_path,
+            lineno=node.lineno,
+            frozen=_is_frozen_dataclass(node),
+        )
+        for base in node.bases:
+            chain = attr_chain(base)
+            if chain:
+                info.base_names.append(chain[-1])
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method = FunctionInfo(
+                    qualname=f"{info.qualname}.{child.name}",
+                    module=module.name,
+                    rel_path=module.rel_path,
+                    name=child.name,
+                    class_name=node.name,
+                    node=child,
+                    lineno=child.lineno,
+                )
+                info.methods[child.name] = method
+                # Instance-attribute types: self.x = ClassName(...) in any
+                # method body (``a or ClassName()`` scans BoolOp operands).
+                for stmt in ast.walk(child):
+                    if not isinstance(stmt, ast.Assign):
+                        continue
+                    ctor = _assigned_constructor(stmt.value)
+                    if ctor is None:
+                        continue
+                    for target in stmt.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            info.attr_types.setdefault(target.attr, ctor)
+        module.classes[node.name] = info
+
+    def _link(self) -> None:
+        """Build the cross-module indexes once every module is loaded."""
+        # A module-level instance is mutable shared state only when the
+        # class is not a frozen dataclass (conservative on name collisions:
+        # any non-frozen definition of the name keeps it mutable).
+        program_class_names = {
+            name
+            for module in self.modules.values()
+            for name, cls_info in module.classes.items()
+            if not cls_info.frozen
+        }
+        for module in self.modules.values():
+            for info in module.functions.values():
+                self.functions[info.qualname] = info
+            for cls_info in module.classes.values():
+                self.classes[cls_info.qualname] = cls_info
+                self.classes_by_name.setdefault(cls_info.name, []).append(cls_info)
+                for method in cls_info.methods.values():
+                    self.functions[method.qualname] = method
+                    self.methods_by_name.setdefault(method.name, []).append(method)
+            # Re-filter mutable globals now that program classes are known.
+            keep: dict[str, int] = {}
+            for name, lineno in module.mutable_globals.items():
+                value = self._pending_globals.pop((module.name, name), None)
+                if value is None or _is_mutable_binding(value, program_class_names):
+                    keep[name] = lineno
+            module.mutable_globals = keep
+        # Subclass map: resolve base names through imports or same module.
+        for module in self.modules.values():
+            for cls_info in module.classes.values():
+                for base_name in cls_info.base_names:
+                    base = self.resolve_class(module, base_name)
+                    if base is not None:
+                        self.subclasses.setdefault(base.qualname, []).append(
+                            cls_info.qualname
+                        )
+        self._pending_globals.clear()
+
+    # ------------------------------------------------------------------
+    # Resolution helpers
+    # ------------------------------------------------------------------
+
+    def resolve_class(self, module: ModuleInfo, name: str) -> ClassInfo | None:
+        """Resolve a short class name seen in ``module`` to its ClassInfo."""
+        if name in module.classes:
+            return module.classes[name]
+        target = module.imports.get(name)
+        if target is not None and target in self.classes:
+            return self.classes[target]
+        candidates = self.classes_by_name.get(name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def resolve_method(self, cls_info: ClassInfo, name: str) -> list[FunctionInfo]:
+        """A method by name on ``cls_info``: own def, inherited defs from
+        program-known ancestors, and overrides in program-known descendants
+        (a call through a base-typed reference may dispatch to any)."""
+        out: dict[str, FunctionInfo] = {}
+        # Own + ancestors.
+        stack = [cls_info]
+        seen = {cls_info.qualname}
+        while stack:
+            current = stack.pop()
+            if name in current.methods:
+                out.setdefault(current.methods[name].qualname, current.methods[name])
+            module = self.modules.get(current.module)
+            if module is None:
+                continue
+            for base_name in current.base_names:
+                base = self.resolve_class(module, base_name)
+                if base is not None and base.qualname not in seen:
+                    seen.add(base.qualname)
+                    stack.append(base)
+        # Descendants (overrides).
+        stack = [cls_info.qualname]
+        seen = {cls_info.qualname}
+        while stack:
+            for sub_qualname in self.subclasses.get(stack.pop(), ()):  # noqa: B909
+                if sub_qualname in seen:
+                    continue
+                seen.add(sub_qualname)
+                stack.append(sub_qualname)
+                sub = self.classes[sub_qualname]
+                if name in sub.methods:
+                    out.setdefault(sub.methods[name].qualname, sub.methods[name])
+        return list(out.values())
+
+    def function_at(self, qualname: str) -> FunctionInfo | None:
+        return self.functions.get(qualname)
+
+
+def _assigned_constructor(value: ast.expr) -> str | None:
+    """Short constructor name an assignment's value instantiates, scanning
+    through ``a or B()`` / ``a if c else B()`` shapes."""
+    if isinstance(value, ast.BoolOp):
+        for operand in value.values:
+            ctor = _assigned_constructor(operand)
+            if ctor is not None:
+                return ctor
+        return None
+    if isinstance(value, ast.IfExp):
+        return _assigned_constructor(value.body) or _assigned_constructor(value.orelse)
+    name = _constructor_name(value)
+    if name is None:
+        return None
+    # Class-like: Uppercase-first, allowing private classes (_SearchState).
+    return name if name.lstrip("_")[:1].isupper() else None
+

@@ -33,6 +33,10 @@ class Finding:
         severity: ``error`` (gate-failing) or ``warning``.
         slack: For quantitative constraints, ``limit - actual`` in the
             constraint's unit; negative means violated by that much.
+        symbol: For source findings, the qualified name of the function or
+            class the finding anchors to (``repro.core.api.plan_mobius``).
+            Baseline suppressions match on ``(code, path, symbol)`` so they
+            survive line-number drift.
     """
 
     checker: str
@@ -41,6 +45,7 @@ class Finding:
     subject: str = ""
     severity: str = "error"
     slack: float | None = None
+    symbol: str = ""
 
     def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:
@@ -87,9 +92,10 @@ class CheckReport:
         subject: str = "",
         severity: str = "error",
         slack: float | None = None,
+        symbol: str = "",
     ) -> Finding:
         """Record and return a new finding."""
-        finding = Finding(checker, code, message, subject, severity, slack)
+        finding = Finding(checker, code, message, subject, severity, slack, symbol)
         self.findings.append(finding)
         return finding
 

@@ -486,13 +486,32 @@ def lint_source(
     return report
 
 
+def _read_source(path: Path, rel_path: str, report: CheckReport) -> str | None:
+    """Decode a file as UTF-8, recording MOB000 instead of raising."""
+    try:
+        return path.read_bytes().decode("utf-8")
+    except UnicodeDecodeError as exc:
+        report.add(
+            _CHECKER,
+            "MOB000",
+            f"file is not valid UTF-8 ({exc.reason} at byte {exc.start}); "
+            "the linter cannot analyze it",
+            subject=f"{rel_path}:0",
+        )
+        return None
+
+
 def lint_file(
     path: Path | str, root: Path | str, config: LintConfig = DEFAULT_CONFIG
 ) -> CheckReport:
     """Lint one file, resolving its rule scope relative to ``root``."""
     path = Path(path)
     rel_path = path.relative_to(root).as_posix()
-    return lint_source(path.read_text(encoding="utf-8"), rel_path, config)
+    report = CheckReport()
+    source = _read_source(path, rel_path, report)
+    if source is None:
+        return report
+    return report.extend(lint_source(source, rel_path, config))
 
 
 def lint_tree(
@@ -509,6 +528,9 @@ def lint_tree(
 
     for rel_path in sorted(scoped):
         path = root / rel_path
-        if path.is_file():
-            report.extend(lint_source(path.read_text(encoding="utf-8"), rel_path, config))
+        if not path.is_file():
+            continue
+        source = _read_source(path, rel_path, report)
+        if source is not None:
+            report.extend(lint_source(source, rel_path, config))
     return report

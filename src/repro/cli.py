@@ -7,6 +7,9 @@ Subcommands:
   ZeRO-Offload, ZeRO-3 heterogeneous memory, Mobius) on one configuration;
 * ``advise``   — sweep microbatch sizes for the best throughput;
 * ``figures``  — regenerate paper figures by name (or ``all``);
+* ``lint``     — run the MOB source rules standalone: per-file MOB000-003
+  plus the interprocedural MOB004-007 analysis (:mod:`repro.check.analysis`);
+  ``--json`` / ``--sarif`` for CI, ``--baseline`` for suppressions;
 * ``check``    — verify planner output, traces and source contracts
   (:mod:`repro.check`); exits non-zero on findings, ``--json`` for CI;
 * ``chaos``    — run the fault-injection matrix (:mod:`repro.faults`):
@@ -26,6 +29,8 @@ Examples:
     python -m repro compare --model 8B --topology 4 --microbatch 1
     python -m repro advise --model 8B --topology 2+2
     python -m repro figures fig5 fig6
+    python -m repro lint --json
+    python -m repro lint src/repro/sim --sarif lint.sarif
     python -m repro check --json
     python -m repro chaos --json
     python -m repro solvebench --json BENCH_solver.json
@@ -106,6 +111,38 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument(
         "--bench-out", default=None, metavar="PATH",
         help="write a machine-readable timing report (e.g. BENCH_suite.json)",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the MOB source rules (per-file + whole-program analysis)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="repo-relative files/directories to report on (default: all)",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="machine-readable report for CI"
+    )
+    lint.add_argument(
+        "--sarif", default=None, metavar="PATH",
+        help="write a SARIF 2.1.0 report to PATH ('-' for stdout)",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="suppression baseline (default: <root>/LINT_BASELINE.json)",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    lint.add_argument(
+        "--no-analysis", action="store_true",
+        help="per-file rules only; skip the interprocedural MOB004-007 pass",
+    )
+    lint.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="repo root (default: auto-detected)",
     )
 
     check = sub.add_parser(
@@ -255,21 +292,82 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_check(args: argparse.Namespace) -> int:
+def _lint_root(root_arg: str | None):
     from pathlib import Path
 
-    from repro.check import CheckReport, lint_tree, run_corpus
+    return (
+        Path(root_arg)
+        if root_arg is not None
+        else Path(__file__).resolve().parents[2]
+    )
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.check.analysis import Baseline, run_lint, to_sarif
+    from repro.check.analysis.baseline import DEFAULT_BASELINE_PATH
+
+    root = _lint_root(args.root)
+    if not (root / "src" / "repro").is_dir():
+        print(f"error: no src/repro under {root}", file=sys.stderr)
+        return 2
+
+    baseline_path = (
+        args.baseline if args.baseline is not None else root / DEFAULT_BASELINE_PATH
+    )
+    run = run_lint(
+        root,
+        args.paths or None,
+        baseline_path=baseline_path,
+        analysis=not args.no_analysis,
+    )
+
+    if args.write_baseline:
+        findings = run.report
+        findings.extend(run.suppressed)
+        Baseline.from_report(findings).save(baseline_path)
+        print(f"baseline with {len(findings)} finding(s) written to {baseline_path}")
+        return 0
+
+    if args.sarif is not None:
+        sarif = to_sarif(run.report)
+        if args.sarif == "-":
+            print(sarif)
+        else:
+            with open(args.sarif, "w", encoding="utf-8") as f:
+                f.write(sarif + "\n")
+            if not args.json:
+                print(f"SARIF report written to {args.sarif}")
+
+    if args.json:
+        print(_json_dumps(run.to_dict()))
+    elif args.sarif != "-":
+        print(run.report.render())
+        if run.suppressed:
+            print(f"{len(run.suppressed)} finding(s) suppressed by baseline")
+        for entry in run.unused_entries:
+            print(
+                f"warning: stale baseline entry {entry.code} "
+                f"{entry.path}::{entry.symbol} matched nothing"
+            )
+    return 0 if run.ok else 1
+
+
+def _json_dumps(payload: dict) -> str:
+    import json
+
+    return json.dumps(payload, indent=2)
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import CheckReport, run_corpus
+    from repro.check.analysis import run_lint
 
     report = CheckReport()
 
     if not args.no_lint:
-        root = (
-            Path(args.root)
-            if args.root is not None
-            else Path(__file__).resolve().parents[2]
-        )
+        root = _lint_root(args.root)
         if (root / "src" / "repro").is_dir():
-            report.extend(lint_tree(root))
+            report.extend(run_lint(root).report)
         elif not args.json:
             print(f"note: no src/repro under {root}; skipping source lint")
 
@@ -386,6 +484,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "advise": _cmd_advise,
     "figures": _cmd_figures,
+    "lint": _cmd_lint,
     "check": _cmd_check,
     "chaos": _cmd_chaos,
     "solvebench": _cmd_solvebench,

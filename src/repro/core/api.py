@@ -17,6 +17,7 @@ Example:
 from __future__ import annotations
 
 import dataclasses
+import threading
 
 from repro.core.mapping import MappingResult, cross_mapping, sequential_mapping
 from repro.core.partition import (
@@ -38,8 +39,29 @@ from repro.solver.warmstart import WarmStartContext
 #: Last MIP partition per (model, device, microbatch) — warm-start hints
 #: for subsequent related solves (scalability sweeps, fault re-plans).
 #: Hints cannot change results, so this is not a result cache and needs no
-#: invalidation beyond process lifetime.
+#: invalidation beyond process lifetime.  Access goes through the
+#: lock-guarded ``_get_partition_hint`` / ``_put_partition_hint`` seams:
+#: planner threads (the planner-as-a-service direction) may share this
+#: registry, and MOB007 requires every write to shared module state to be
+#: a documented synchronization seam.
 _PARTITION_HINTS: dict[tuple, WarmStartContext] = {}
+_PARTITION_HINTS_LOCK = threading.Lock()
+
+
+def _get_partition_hint(hint_key: tuple) -> WarmStartContext | None:
+    """Synchronization seam: read a warm-start hint (MOB007-sanctioned)."""
+    with _PARTITION_HINTS_LOCK:
+        return _PARTITION_HINTS.get(hint_key)
+
+
+def _put_partition_hint(hint_key: tuple, hint: WarmStartContext) -> None:
+    """Synchronization seam: publish a warm-start hint (MOB007-sanctioned).
+
+    Last-writer-wins is safe: any stored hint seeds the incumbent only and
+    cannot change the returned partition.
+    """
+    with _PARTITION_HINTS_LOCK:
+        _PARTITION_HINTS[hint_key] = hint
 
 __all__ = ["MobiusConfig", "MobiusPlanReport", "MobiusReport", "plan_mobius", "run_mobius"]
 
@@ -165,7 +187,7 @@ def _plan_mobius_uncached(
         # result identical with or without it — so it stays out of the
         # memoize key below.
         hint_key = (model.name, model.n_layers, topology.gpu_spec.name, microbatch_size)
-        hint = _PARTITION_HINTS.get(hint_key)
+        hint = _get_partition_hint(hint_key)
         if hint is not None:
             kwargs["warm_start"] = hint
     # The layer-to-stage split does not depend on the mapping/prefetch knobs
@@ -187,8 +209,11 @@ def _plan_mobius_uncached(
         lambda: partitioner(model, cost_model, n_gpus, n_microbatches, bandwidth, **kwargs),
     )
     if hint_key is not None:
-        _PARTITION_HINTS[hint_key] = WarmStartContext(
-            boundaries=partition_result.partition.boundaries, label="previous-solve"
+        _put_partition_hint(
+            hint_key,
+            WarmStartContext(
+                boundaries=partition_result.partition.boundaries, label="previous-solve"
+            ),
         )
 
     n_stages = partition_result.partition.n_stages

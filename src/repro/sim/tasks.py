@@ -41,6 +41,17 @@ __all__ = [
 _uid_counter = itertools.count()
 
 
+def _next_task_uid() -> int:
+    """Synchronization seam: allocate a task uid (MOB007-sanctioned).
+
+    ``next()`` on :func:`itertools.count` is atomic under the GIL (a single
+    C-level call), so concurrent graph builders get distinct uids.  Uids
+    order heap ties *within* one graph; across processes each worker's
+    counter restarts, which is fine — task graphs never cross processes.
+    """
+    return next(_uid_counter)
+
+
 class _State(enum.Enum):
     WAITING = "waiting"
     READY = "ready"
@@ -67,7 +78,7 @@ class Task:
     end_time: float | None = dataclasses.field(init=False, repr=False, default=None)
 
     def __post_init__(self) -> None:
-        self.uid = next(_uid_counter)
+        self.uid = _next_task_uid()
 
     def after(self, *tasks: "Task | None") -> "Task":
         """Add dependencies (``None`` entries are skipped); returns self."""

@@ -1,0 +1,292 @@
+"""Call-graph resolution and reachability over fixture programs."""
+
+import textwrap
+
+from repro.check.analysis.callgraph import build_call_graph
+from repro.check.analysis.program import Program
+
+
+def _graph(**files: str):
+    sources = {
+        path.replace("__", "/") + ".py": textwrap.dedent(text)
+        for path, text in files.items()
+    }
+    return build_call_graph(Program.from_sources(sources))
+
+
+class TestNameCalls:
+    def test_module_function_call(self):
+        graph = _graph(
+            src__repro__a="""
+            def outer():
+                inner()
+
+            def inner():
+                pass
+            """
+        )
+        assert "repro.a.inner" in graph.callees("repro.a.outer")
+
+    def test_imported_function_call(self):
+        graph = _graph(
+            src__repro__a="""
+            from repro.b import helper
+
+            def outer():
+                helper()
+            """,
+            src__repro__b="""
+            def helper():
+                pass
+            """,
+        )
+        assert "repro.b.helper" in graph.callees("repro.a.outer")
+
+    def test_constructor_links_init_and_post_init(self):
+        graph = _graph(
+            src__repro__a="""
+            class Plain:
+                def __init__(self):
+                    pass
+
+            class Data:
+                def __post_init__(self):
+                    pass
+
+            def build():
+                Plain()
+                Data()
+            """
+        )
+        callees = graph.callees("repro.a.build")
+        assert "repro.a.Plain.__init__" in callees
+        assert "repro.a.Data.__post_init__" in callees
+
+
+class TestAttributeCalls:
+    def test_self_method_call(self):
+        graph = _graph(
+            src__repro__a="""
+            class Engine:
+                def run(self):
+                    self._step()
+
+                def _step(self):
+                    pass
+            """
+        )
+        assert "repro.a.Engine._step" in graph.callees("repro.a.Engine.run")
+
+    def test_typed_instance_attribute_call(self):
+        graph = _graph(
+            src__repro__a="""
+            class Engine:
+                def __init__(self):
+                    self.network = FlowNetwork()
+
+                def run(self):
+                    self.network.reallocate()
+
+            class FlowNetwork:
+                def reallocate(self):
+                    pass
+            """
+        )
+        assert "repro.a.FlowNetwork.reallocate" in graph.callees(
+            "repro.a.Engine.run"
+        )
+
+    def test_module_alias_call(self):
+        graph = _graph(
+            src__repro__a="""
+            import repro.b as b
+
+            def outer():
+                b.helper()
+            """,
+            src__repro__b="""
+            def helper():
+                pass
+            """,
+        )
+        assert "repro.b.helper" in graph.callees("repro.a.outer")
+
+    def test_constructor_typed_local_call(self):
+        graph = _graph(
+            src__repro__a="""
+            from repro.b import Simulator
+
+            def drive():
+                sim = Simulator()
+                sim.run()
+            """,
+            src__repro__b="""
+            class Simulator:
+                def run(self):
+                    pass
+            """,
+        )
+        assert "repro.b.Simulator.run" in graph.callees("repro.a.drive")
+
+    def test_annotated_parameter_call(self):
+        graph = _graph(
+            src__repro__a="""
+            from repro.b import Cell
+
+            def run_cell(cell: Cell):
+                cell.run()
+            """,
+            src__repro__b="""
+            class Cell:
+                def run(self):
+                    pass
+            """,
+        )
+        assert "repro.b.Cell.run" in graph.callees("repro.a.run_cell")
+
+    def test_base_typed_call_fans_out_to_overrides(self):
+        graph = _graph(
+            src__repro__a="""
+            class Runner:
+                def execute(self):
+                    self._submit()
+
+                def _submit(self):
+                    pass
+
+            class FaultRunner(Runner):
+                def _submit(self):
+                    pass
+            """
+        )
+        callees = graph.callees("repro.a.Runner.execute")
+        assert "repro.a.Runner._submit" in callees
+        assert "repro.a.FaultRunner._submit" in callees
+
+    def test_fallback_stoplist_blocks_container_vocabulary(self):
+        graph = _graph(
+            src__repro__a="""
+            class Trace:
+                def append(self, item):
+                    pass
+
+            def hot(events):
+                events.append(1)
+            """
+        )
+        assert "repro.a.Trace.append" not in graph.callees("repro.a.hot")
+
+
+class TestFunctionValuedArguments:
+    def test_function_reference_argument_adds_edge(self):
+        graph = _graph(
+            src__repro__a="""
+            import functools
+
+            def outer(items):
+                sorted(items, key=rank)
+                functools.partial(finalize, 1)
+
+            def rank(item):
+                pass
+
+            def finalize(code, item):
+                pass
+            """
+        )
+        callees = graph.callees("repro.a.outer")
+        assert "repro.a.rank" in callees
+        assert "repro.a.finalize" in callees
+
+    def test_seam_registers_referenced_callback(self):
+        graph = _graph(
+            src__repro__a="""
+            class Engine:
+                def schedule_call(self, when, fn):
+                    pass
+
+            class User:
+                def __init__(self):
+                    self.engine = Engine()
+
+                def go(self):
+                    self.engine.schedule_call(1.0, on_fire)
+
+            def on_fire():
+                pass
+            """
+        )
+        assert "repro.a.on_fire" in graph.seam_callbacks
+        assert "repro.a.on_fire" in graph.callees("repro.a.User.go")
+
+    def test_seam_lambda_registers_the_enclosing_function(self):
+        graph = _graph(
+            src__repro__a="""
+            class Engine:
+                def schedule(self, ev):
+                    pass
+
+            class User:
+                def __init__(self):
+                    self.engine = Engine()
+
+                def go(self):
+                    self.engine.schedule(lambda: self.finish())
+
+                def finish(self):
+                    pass
+            """
+        )
+        assert "repro.a.User.go" in graph.seam_callbacks
+
+    def test_nested_def_reference_resolves_to_encloser(self):
+        graph = _graph(
+            src__repro__a="""
+            class Engine:
+                def submit(self, fn):
+                    pass
+
+            class User:
+                def __init__(self):
+                    self.engine = Engine()
+
+                def go(self):
+                    def finish():
+                        self.record()
+
+                    self.engine.submit(finish)
+
+                def record(self):
+                    pass
+            """
+        )
+        # `finish` folds into `go`; registering it at a seam marks `go`.
+        assert "repro.a.User.go" in graph.seam_callbacks
+        # And go's folded body reaches record().
+        assert "repro.a.User.record" in graph.callees("repro.a.User.go")
+
+
+class TestReachability:
+    def test_bfs_closure_and_chain(self):
+        graph = _graph(
+            src__repro__a="""
+            def entry():
+                middle()
+
+            def middle():
+                leaf()
+
+            def leaf():
+                pass
+
+            def unrelated():
+                pass
+            """
+        )
+        parents = graph.reachable(["repro.a.entry"])
+        assert set(parents) == {"repro.a.entry", "repro.a.middle", "repro.a.leaf"}
+        assert graph.chain(parents, "repro.a.leaf") == [
+            "repro.a.entry",
+            "repro.a.middle",
+            "repro.a.leaf",
+        ]

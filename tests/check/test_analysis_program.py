@@ -1,0 +1,207 @@
+"""Program model: symbol tables, imports, mutable globals, resolution."""
+
+import textwrap
+
+from repro.check.analysis.program import Program, module_name_for
+
+
+def _program(**files: str) -> Program:
+    sources = {
+        path.replace("__", "/") + ".py": textwrap.dedent(text)
+        for path, text in files.items()
+    }
+    return Program.from_sources(sources)
+
+
+class TestModuleNames:
+    def test_strips_src_and_init(self):
+        assert module_name_for("src/repro/sim/engine.py") == "repro.sim.engine"
+        assert module_name_for("src/repro/sim/__init__.py") == "repro.sim"
+
+
+class TestSymbolTables:
+    def test_functions_classes_and_methods_are_indexed(self):
+        program = _program(
+            src__repro__a="""
+            class Widget:
+                def spin(self):
+                    pass
+
+            def helper():
+                pass
+            """
+        )
+        assert "repro.a.helper" in program.functions
+        assert "repro.a.Widget.spin" in program.functions
+        assert "repro.a.Widget" in program.classes
+        assert [c.qualname for c in program.classes_by_name["Widget"]] == [
+            "repro.a.Widget"
+        ]
+        assert [m.qualname for m in program.methods_by_name["spin"]] == [
+            "repro.a.Widget.spin"
+        ]
+
+    def test_site_key_matches_clock_allowlist_format(self):
+        program = _program(
+            src__repro__a="""
+            class Widget:
+                def spin(self):
+                    pass
+
+            def helper():
+                pass
+            """
+        )
+        assert (
+            program.functions["repro.a.Widget.spin"].site
+            == "src/repro/a.py::Widget.spin"
+        )
+        assert program.functions["repro.a.helper"].site == "src/repro/a.py::helper"
+
+    def test_import_aliases(self):
+        program = _program(
+            src__repro__a="""
+            import numpy as np
+            from repro.b import helper as h
+            """,
+            src__repro__b="""
+            def helper():
+                pass
+            """,
+        )
+        imports = program.modules["repro.a"].imports
+        assert imports["np"] == "numpy"
+        assert imports["h"] == "repro.b.helper"
+
+    def test_syntax_error_modules_are_skipped(self):
+        program = Program.from_sources(
+            {
+                "src/repro/bad.py": "def broken(:\n",
+                "src/repro/good.py": "def fine():\n    pass\n",
+            }
+        )
+        assert "repro.bad" not in program.modules
+        assert "repro.good.fine" in program.functions
+
+
+class TestMutableGlobals:
+    def test_detects_containers_counters_and_program_classes(self):
+        program = _program(
+            src__repro__a="""
+            import itertools
+
+            class Registry:
+                pass
+
+            HINTS = {}
+            SEEN = set()
+            COUNTER = itertools.count()
+            SHARED = Registry()
+            LIMIT = 5
+            NAMES = ("a", "b")
+            FROZEN = frozenset({1})
+            """
+        )
+        globals_ = program.modules["repro.a"].mutable_globals
+        assert set(globals_) == {"HINTS", "SEEN", "COUNTER", "SHARED"}
+
+    def test_unknown_constructor_is_not_mutable(self):
+        program = _program(
+            src__repro__a="""
+            import re
+
+            PATTERN = re.compile("x")
+            """
+        )
+        assert program.modules["repro.a"].mutable_globals == {}
+
+
+class TestInstanceAttrTypes:
+    def test_self_assignments_record_constructor_types(self):
+        program = _program(
+            src__repro__a="""
+            class Engine:
+                def __init__(self):
+                    self.network = FlowNetwork()
+                    self.fallback = existing or FlowNetwork()
+                    self.count = 0
+
+            class FlowNetwork:
+                def start_flow(self):
+                    pass
+            """
+        )
+        attr_types = program.modules["repro.a"].classes["Engine"].attr_types
+        assert attr_types["network"] == "FlowNetwork"
+        assert attr_types["fallback"] == "FlowNetwork"
+        assert "count" not in attr_types
+
+    def test_private_class_names_count_as_constructors(self):
+        program = _program(
+            src__repro__a="""
+            class Holder:
+                def __init__(self):
+                    self.state = _SearchState()
+
+            class _SearchState:
+                def run(self):
+                    pass
+            """
+        )
+        attr_types = program.modules["repro.a"].classes["Holder"].attr_types
+        assert attr_types["state"] == "_SearchState"
+
+
+class TestResolution:
+    def test_resolve_class_through_imports(self):
+        program = _program(
+            src__repro__a="""
+            from repro.b import Widget
+
+            def use():
+                pass
+            """,
+            src__repro__b="""
+            class Widget:
+                def spin(self):
+                    pass
+            """,
+        )
+        module = program.modules["repro.a"]
+        cls = program.resolve_class(module, "Widget")
+        assert cls is not None and cls.qualname == "repro.b.Widget"
+
+    def test_resolve_method_includes_ancestors_and_overrides(self):
+        program = _program(
+            src__repro__a="""
+            class Base:
+                def emit(self):
+                    pass
+
+                def shared(self):
+                    pass
+
+            class Child(Base):
+                def emit(self):
+                    pass
+            """
+        )
+        base = program.classes["repro.a.Base"]
+        child = program.classes["repro.a.Child"]
+        # Through the base, a call may dispatch to the override too.
+        emitted = {m.qualname for m in program.resolve_method(base, "emit")}
+        assert emitted == {"repro.a.Base.emit", "repro.a.Child.emit"}
+        # Through the child, inherited methods resolve upward.
+        shared = {m.qualname for m in program.resolve_method(child, "shared")}
+        assert shared == {"repro.a.Base.shared"}
+
+
+class TestFromTree:
+    def test_non_utf8_files_are_skipped(self, tmp_path):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "good.py").write_text("def fine():\n    pass\n")
+        (pkg / "binary.py").write_bytes(b"\xff\xfe\x00bad")
+        program = Program.from_tree(tmp_path)
+        assert "repro.good.fine" in program.functions
+        assert "repro.binary" not in program.modules

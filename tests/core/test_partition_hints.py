@@ -1,0 +1,85 @@
+"""The warm-start hint registry's synchronization seam (MOB007 fix).
+
+The seam must be invisible: hints only seed the B&B incumbent, so a plan
+computed through a populated registry is byte-identical to a cold one.
+"""
+
+import threading
+
+from repro.core import api
+from repro.core.api import (
+    MobiusConfig,
+    _get_partition_hint,
+    _put_partition_hint,
+    plan_mobius,
+)
+from repro.hardware.topology import commodity_server
+from repro.models.spec import build_gpt_like
+from repro.perf.fingerprint import fingerprint
+from repro.solver.warmstart import WarmStartContext
+
+
+def _small_model():
+    return build_gpt_like(
+        "hint-test-1024x6",
+        n_blocks=6,
+        hidden_dim=1024,
+        n_heads=8,
+        default_microbatch_size=1,
+    )
+
+
+class TestSeam:
+    def test_round_trip(self):
+        key = ("seam-test", 6, "gpu", 1)
+        assert _get_partition_hint(key) is None
+        hint = WarmStartContext(boundaries=(2, 4), label="test")
+        _put_partition_hint(key, hint)
+        try:
+            assert _get_partition_hint(key) is hint
+        finally:
+            api._PARTITION_HINTS.pop(key, None)
+
+    def test_concurrent_writers_do_not_corrupt_the_registry(self):
+        keys = [("seam-race", i, "gpu", 1) for i in range(32)]
+        hint = WarmStartContext(boundaries=(1,), label="race")
+
+        def write(key):
+            for _ in range(50):
+                _put_partition_hint(key, hint)
+                assert _get_partition_hint(key) is hint
+
+        threads = [threading.Thread(target=write, args=(k,)) for k in keys]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        try:
+            for key in keys:
+                assert _get_partition_hint(key) is hint
+        finally:
+            for key in keys:
+                api._PARTITION_HINTS.pop(key, None)
+
+
+class TestPlanIdentity:
+    def test_warm_hint_cannot_change_the_plan(self):
+        """Regression for the seam refactor: warm == cold, fingerprint-exact."""
+        model = _small_model()
+        topology = commodity_server([2, 2])
+        config = MobiusConfig(partition_time_limit=0.5)
+        hint_key = (
+            model.name,
+            model.n_layers,
+            topology.gpu_spec.name,
+            model.default_microbatch_size,
+        )
+        api._PARTITION_HINTS.pop(hint_key, None)
+        try:
+            cold = plan_mobius(model, topology, config)
+            # plan_mobius published a hint for this key through the seam.
+            assert _get_partition_hint(hint_key) is not None
+            warm = plan_mobius(model, topology, config)
+            assert fingerprint(warm.plan) == fingerprint(cold.plan)
+        finally:
+            api._PARTITION_HINTS.pop(hint_key, None)
