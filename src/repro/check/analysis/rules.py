@@ -109,6 +109,10 @@ class AnalysisConfig:
         "repro.sim.engine.Simulator.run_batched",
         "repro.solver.branch_bound.BranchAndBoundSolver.solve",
         "repro.sim.resources.FlowNetwork._reallocate",
+        # The daemon's answer ladder: everything between a dequeued job
+        # and its PlanResponse must be transitively clock/RNG-free, or a
+        # served plan could differ from a locally computed one.
+        "repro.serve.daemon.PlanService._answer",
     )
     callback_seams: frozenset[str] = DEFAULT_CALLBACK_SEAMS
     #: MOB007 roots: the process-pool worker surface.
@@ -116,6 +120,11 @@ class AnalysisConfig:
         "repro.experiments.runner.run_systems_parallel",
         "repro.experiments.runner._run_cell",
         "repro.experiments.runner._worker_init",
+        # The serve daemon's dispatch thread and its solver child
+        # processes run concurrently with client threads: every module
+        # global they can write must be a documented seam.
+        "repro.serve.daemon.PlanService._dispatch_loop",
+        "repro.serve.supervisor._process_worker_main",
     )
     #: Module globals whose *touching* functions join the MOB007 frontier.
     race_registries: tuple[str, ...] = ("repro.core.api._PARTITION_HINTS",)
@@ -124,6 +133,8 @@ class AnalysisConfig:
         {
             "repro.core.api._get_partition_hint",
             "repro.core.api._put_partition_hint",
+            "repro.core.api.set_partition_hint_capacity",
+            "repro.core.api.set_partition_hint_store",
             "repro.sim.tasks._next_task_uid",
         }
     )

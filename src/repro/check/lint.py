@@ -121,6 +121,10 @@ class LintConfig:
         "src/repro/faults/recovery.py",
         "src/repro/faults/replan.py",
         "src/repro/faults/chaos.py",
+        # Serve requests/responses are content addresses: solve_key is the
+        # coalescing and crash-identity key, so the dataclasses behind it
+        # must be frozen fingerprint material.
+        "src/repro/serve/requests.py",
     )
     mutable_allowlist: frozenset[str] = frozenset(
         {
@@ -136,12 +140,20 @@ class LintConfig:
         "src/repro/faults/",
         # The MILP stack stops on node/pivot budgets, never the clock.
         "src/repro/solver/",
+        # The planning daemon answers from caches, budget-limited solves
+        # and scripted chaos — its responses are content-addressed, so no
+        # RNG or wall clock may leak into them.
+        "src/repro/serve/",
     )
     strict_clock_prefixes: tuple[str, ...] = (
         "src/repro/solver/",
         # The simulator's only time source is the virtual clock; its bench
         # reports wall seconds but the simbench gate never compares them.
         "src/repro/sim/",
+        # Serve deadlines are solver node budgets; even monotonic clocks
+        # are banned so a deadline can never become wall-clock control
+        # flow.  (time.sleep for restart pacing is waiting, not reading.)
+        "src/repro/serve/",
     )
     clock_allowlist: frozenset[str] = frozenset(
         {
@@ -158,6 +170,15 @@ class LintConfig:
             "src/repro/sim/bench.py::_run_corpus_rows",
             "src/repro/sim/bench.py::_run_chaos_rows",
             "src/repro/sim/bench.py::_run_large_rows",
+            # The servebench gate compares fingerprints and recovery
+            # outcomes; plans/sec wall times bracket whole phases and
+            # never steer what a phase does.
+            "src/repro/serve/bench.py::_run_throughput_rows",
+            # Reachable from the serve daemon's answer ladder (MOB004):
+            # the mapping search's clock reads feed search_seconds
+            # metadata only — the search itself is exhaustive over a
+            # fixed permutation space.
+            "src/repro/core/mapping.py::cross_mapping",
         }
     )
     label_modules: tuple[str, ...] = ("src/repro/core/pipeline.py",)

@@ -22,7 +22,14 @@ Subcommands:
 * ``simbench`` — benchmark the discrete-event simulator (:mod:`repro.sim`)
   over the check corpus and chaos scenarios: trace fingerprints plus the
   incremental allocator's work counters; ``--check-against`` gates CI on
-  the committed ``BENCH_sim.json`` (any fingerprint divergence fails).
+  the committed ``BENCH_sim.json`` (any fingerprint divergence fails);
+* ``serve``    — run the planning daemon (:mod:`repro.serve`) over a
+  scripted corpus session: admission control, request coalescing,
+  supervised workers and a durable sqlite warm-start/result store;
+* ``servebench`` — benchmark the daemon: plans/sec cold vs warm vs
+  coalesced plus the serve chaos scenarios (worker kill, poison
+  quarantine, deadline straggler, store corruption, overload burst);
+  ``--check-against`` gates CI on the committed ``BENCH_serve.json``.
 
 Examples:
     python -m repro plan --model 15B --topology 2+2
@@ -35,6 +42,8 @@ Examples:
     python -m repro chaos --json
     python -m repro solvebench --json BENCH_solver.json
     python -m repro simbench --check-against BENCH_sim.json
+    python -m repro serve --store .mobius_serve.sqlite --rounds 2
+    python -m repro servebench --check-against BENCH_serve.json
 """
 
 from __future__ import annotations
@@ -208,6 +217,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--check-against", default=None, metavar="PATH",
         help="committed BENCH_sim.json baseline; exit 1 on trace-"
         "fingerprint divergence or >25%% allocator-work regression",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the planning daemon over a scripted corpus session",
+    )
+    serve.add_argument(
+        "--store", default=".mobius_serve.sqlite", metavar="PATH",
+        help="durable sqlite store (default: %(default)s); 'none' disables",
+    )
+    serve.add_argument(
+        "--worker", default="inline", choices=("inline", "process"),
+        help="solver worker kind (process = supervised child process)",
+    )
+    serve.add_argument(
+        "--rounds", type=int, default=2,
+        help="serve the check corpus this many times (round 2+ hits caches)",
+    )
+    serve.add_argument(
+        "--deadline-nodes", type=int, default=None, metavar="N",
+        help="per-request deadline as a solver node budget",
+    )
+    serve.add_argument(
+        "--json", action="store_true", help="machine-readable stats for CI"
+    )
+
+    servebench = sub.add_parser(
+        "servebench",
+        help="benchmark the planning daemon (throughput + chaos recovery)",
+    )
+    servebench.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="PATH",
+        help="write the benchmark JSON to PATH (or stdout with no PATH)",
+    )
+    servebench.add_argument(
+        "--check-against", default=None, metavar="PATH",
+        help="committed BENCH_serve.json baseline; exit 1 on fingerprint "
+        "divergence, chaos regression, or >25%% throughput regression",
     )
     return parser
 
@@ -479,6 +526,96 @@ def _cmd_simbench(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.check.corpus import default_corpus
+    from repro.serve import Deadline, PlanRequest, PlanService, ServiceConfig
+
+    store_path = None if args.store == "none" else args.store
+    deadline = (
+        Deadline(max_nodes=args.deadline_nodes)
+        if args.deadline_nodes is not None
+        else None
+    )
+    responses = []
+    with PlanService(
+        ServiceConfig(store_path=store_path, worker=args.worker)
+    ) as service:
+        for round_index in range(max(1, args.rounds)):
+            for cell in default_corpus():
+                response = service.plan(
+                    PlanRequest(
+                        model=cell.model,
+                        topology=cell.topology,
+                        config=cell.config,
+                        deadline=deadline,
+                    )
+                )
+                responses.append((round_index, cell.name, response))
+                if not args.json:
+                    print(
+                        f"round {round_index} {cell.name:<18} "
+                        f"{response.status:<9} source={response.source:<9} "
+                        f"fp={response.plan_fingerprint[:12] if response.plan_fingerprint else '-'}"
+                    )
+        stats = service.stats()
+    if args.json:
+        print(_json_dumps(stats))
+    else:
+        print(
+            f"served {stats['completed']} solve(s), "
+            f"{stats['coalesced_joins']} coalesced join(s), "
+            f"{stats['deadline_misses']} deadline miss(es); "
+            f"store: {stats['store']}"
+        )
+    return 0 if all(r.ok for _, _, r in responses) else 1
+
+
+def _cmd_servebench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.bench import compare_benchmarks, run_bench, write_bench
+
+    document = run_bench()
+    if args.json == "-":
+        print(json.dumps(document, indent=1))
+    elif args.json is not None:
+        write_bench(args.json, document)
+        print(f"benchmark written to {args.json}")
+    else:
+        for row in document["throughput"]:
+            print(
+                f"throughput {row['name']:<14} plans={row['plans']:<4} "
+                f"wall={row['wall_seconds']:<8} plans/s={row['plans_per_second']}"
+            )
+        for row in document["plans"]:
+            flag = "ok" if row["consistent"] else "FAIL"
+            print(
+                f"plan {row['name']:<18} fp={row['fingerprint'][:12]} [{flag}]"
+            )
+        for row in document["recovery"]:
+            print(
+                f"recovery {row['name']:<24} "
+                f"[{'ok' if row['ok'] else 'FAIL'}]"
+            )
+    failures = [
+        f"recovery:{row['name']}: scenario failed"
+        for row in document["recovery"]
+        if not row["ok"]
+    ]
+    failures.extend(
+        f"plans:{row['name']}: serving regimes returned divergent fingerprints"
+        for row in document["plans"]
+        if not row["consistent"]
+    )
+    if args.check_against is not None:
+        with open(args.check_against) as f:
+            baseline = json.load(f)
+        failures.extend(compare_benchmarks(document, baseline))
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 _COMMANDS = {
     "plan": _cmd_plan,
     "compare": _cmd_compare,
@@ -489,6 +626,8 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "solvebench": _cmd_solvebench,
     "simbench": _cmd_simbench,
+    "serve": _cmd_serve,
+    "servebench": _cmd_servebench,
 }
 
 

@@ -41,29 +41,108 @@ from repro.solver.warmstart import WarmStartContext
 #: Hints cannot change results, so this is not a result cache and needs no
 #: invalidation beyond process lifetime.  Access goes through the
 #: lock-guarded ``_get_partition_hint`` / ``_put_partition_hint`` seams:
-#: planner threads (the planner-as-a-service direction) may share this
-#: registry, and MOB007 requires every write to shared module state to be
-#: a documented synchronization seam.
+#: planner threads (the ``repro.serve`` daemon) share this registry, and
+#: MOB007 requires every write to shared module state to be a documented
+#: synchronization seam.
+#:
+#: The registry is a bounded LRU (CPython dicts iterate in insertion
+#: order; a hit re-inserts its key at the tail, eviction drops the head),
+#: so a long-running planning service cannot leak hints without bound.
+#: Eviction is deterministic — it depends only on the access sequence —
+#: and invisible in results: hints seed the incumbent only.
 _PARTITION_HINTS: dict[tuple, WarmStartContext] = {}
 _PARTITION_HINTS_LOCK = threading.Lock()
+_PARTITION_HINT_CAPACITY = 64
+
+#: Optional durable hint sink/source (``repro.serve.store.DurableStore``
+#: duck-type: ``get_hint(key) -> WarmStartContext | None`` and
+#: ``put_hint(key, hint)``).  Installed by the serve daemon so a restarted
+#: process inherits N±1 solver bases from prior runs; ``None`` outside it.
+_HINT_STORE = None
+
+
+def set_partition_hint_store(store) -> object | None:
+    """Synchronization seam: install a durable hint store (or ``None``).
+
+    The store is consulted on registry misses and written through on every
+    publish; both directions are best-effort (a broken store degrades to
+    cold solves, never to failures).  Returns the previously installed
+    store so callers can restore it.
+    """
+    global _HINT_STORE
+    with _PARTITION_HINTS_LOCK:
+        previous = _HINT_STORE
+        _HINT_STORE = store
+    return previous
+
+
+def set_partition_hint_capacity(capacity: int) -> None:
+    """Synchronization seam: bound the hint registry (MOB007-sanctioned).
+
+    Shrinking evicts least-recently-used entries immediately; eviction can
+    only cost warm-start work, never change a plan.
+    """
+    if capacity < 1:
+        raise ValueError(f"hint capacity must be >= 1, got {capacity}")
+    global _PARTITION_HINT_CAPACITY
+    with _PARTITION_HINTS_LOCK:
+        _PARTITION_HINT_CAPACITY = capacity
+        while len(_PARTITION_HINTS) > _PARTITION_HINT_CAPACITY:
+            del _PARTITION_HINTS[next(iter(_PARTITION_HINTS))]
 
 
 def _get_partition_hint(hint_key: tuple) -> WarmStartContext | None:
-    """Synchronization seam: read a warm-start hint (MOB007-sanctioned)."""
+    """Synchronization seam: read a warm-start hint (MOB007-sanctioned).
+
+    A registry hit refreshes the key's LRU position; a miss falls through
+    to the durable store (when installed) and promotes the stored hint
+    into the registry.
+    """
     with _PARTITION_HINTS_LOCK:
-        return _PARTITION_HINTS.get(hint_key)
+        hint = _PARTITION_HINTS.pop(hint_key, None)
+        if hint is not None:
+            _PARTITION_HINTS[hint_key] = hint  # re-insert at the LRU tail
+            return hint
+        if _HINT_STORE is not None:
+            try:
+                hint = _HINT_STORE.get_hint(hint_key)
+            except Exception:
+                hint = None  # durable tier is best-effort
+            if hint is not None:
+                _PARTITION_HINTS[hint_key] = hint
+                while len(_PARTITION_HINTS) > _PARTITION_HINT_CAPACITY:
+                    del _PARTITION_HINTS[next(iter(_PARTITION_HINTS))]
+        return hint
 
 
 def _put_partition_hint(hint_key: tuple, hint: WarmStartContext) -> None:
     """Synchronization seam: publish a warm-start hint (MOB007-sanctioned).
 
     Last-writer-wins is safe: any stored hint seeds the incumbent only and
-    cannot change the returned partition.
+    cannot change the returned partition.  Publishing refreshes the key's
+    LRU position, evicts beyond the capacity bound, and writes through to
+    the durable store when one is installed.
     """
     with _PARTITION_HINTS_LOCK:
+        _PARTITION_HINTS.pop(hint_key, None)
         _PARTITION_HINTS[hint_key] = hint
+        while len(_PARTITION_HINTS) > _PARTITION_HINT_CAPACITY:
+            del _PARTITION_HINTS[next(iter(_PARTITION_HINTS))]
+        if _HINT_STORE is not None:
+            try:
+                _HINT_STORE.put_hint(hint_key, hint)
+            except Exception:
+                pass  # durable tier is best-effort
 
-__all__ = ["MobiusConfig", "MobiusPlanReport", "MobiusReport", "plan_mobius", "run_mobius"]
+__all__ = [
+    "MobiusConfig",
+    "MobiusPlanReport",
+    "MobiusReport",
+    "plan_mobius",
+    "run_mobius",
+    "set_partition_hint_capacity",
+    "set_partition_hint_store",
+]
 
 _PARTITIONERS = {
     "mip": mip_partition,
@@ -84,6 +163,12 @@ class MobiusConfig:
             ``"min-stage"`` (§4.3 ablation).
         mapping_method: ``"cross"`` (default) or ``"sequential"`` (§4.4).
         partition_time_limit: Search budget for the MIP partitioner.
+        partition_max_nodes: Deterministic node budget for the MIP
+            partition search (``None`` keeps the partitioner's default).
+            This is how ``repro.serve`` enforces per-request deadlines:
+            budgets are exact and machine-independent, so a
+            deadline-limited solve returns the same incumbent everywhere —
+            wall-clock never steers control flow.
         prefetch: Overlap stage uploads with computation (§3.1).
         use_priorities: Prefetch priority streams (§3.3).
         bandwidth: Average bandwidth ``B`` for the MIP; defaults to the
@@ -95,6 +180,7 @@ class MobiusConfig:
     partition_method: str = "mip"
     mapping_method: str = "cross"
     partition_time_limit: float = 10.0
+    partition_max_nodes: int | None = None
     prefetch: bool = True
     use_priorities: bool = True
     bandwidth: float | None = None
@@ -180,6 +266,8 @@ def _plan_mobius_uncached(
     hint_key = None
     if config.partition_method == "mip":
         kwargs["time_limit"] = config.partition_time_limit
+        if config.partition_max_nodes is not None:
+            kwargs["max_nodes"] = config.partition_max_nodes
         # Warm start from the last MIP solve of the same model on the same
         # device class (the scalability sweep re-solves for N, N+1, ...;
         # fault replanning re-solves for N-1).  The hint seeds the
@@ -205,6 +293,7 @@ def _plan_mobius_uncached(
             n_microbatches,
             bandwidth,
             kwargs.get("time_limit"),
+            kwargs.get("max_nodes"),
         ),
         lambda: partitioner(model, cost_model, n_gpus, n_microbatches, bandwidth, **kwargs),
     )

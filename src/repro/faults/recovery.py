@@ -55,15 +55,24 @@ __all__ = [
 
 @dataclasses.dataclass(frozen=True)
 class RetryPolicy:
-    """Exponential-backoff retry budget for failed transfers.
+    """Exponential-backoff retry budget.
 
     Attempt ``k`` (1-based) that fails waits ``base_delay * growth**(k-1)``
-    seconds before attempt ``k + 1`` is issued.
+    seconds (capped at ``max_delay`` when set) before attempt ``k + 1`` is
+    issued.  ``max_attempts == 1`` is a zero-retry budget: the first
+    failure is terminal.
+
+    Originally the transfer-retry budget of
+    :class:`FaultInjectingRunner`; the serve layer's
+    :class:`repro.serve.supervisor.Supervisor` reuses it to pace
+    solver-worker restarts, so the delay sequence is part of the public
+    contract: :meth:`delays` is the full deterministic schedule.
     """
 
     max_attempts: int = 4
     base_delay: float = 1e-3
     growth: float = 2.0
+    max_delay: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -72,10 +81,23 @@ class RetryPolicy:
             raise ValueError(f"base_delay must be >= 0, got {self.base_delay}")
         if self.growth < 1:
             raise ValueError(f"growth must be >= 1, got {self.growth}")
+        if self.max_delay is not None and self.max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {self.max_delay}")
 
     def backoff(self, attempt: int) -> float:
         """Delay before re-issuing after failed 1-based ``attempt``."""
-        return self.base_delay * self.growth ** (attempt - 1)
+        delay = self.base_delay * self.growth ** (attempt - 1)
+        if self.max_delay is not None:
+            delay = min(delay, self.max_delay)
+        return delay
+
+    def delays(self) -> tuple[float, ...]:
+        """Every backoff delay the budget allows, in issue order.
+
+        Length ``max_attempts - 1``: the final failed attempt is never
+        followed by a wait.
+        """
+        return tuple(self.backoff(k) for k in range(1, self.max_attempts))
 
 
 @dataclasses.dataclass(frozen=True)

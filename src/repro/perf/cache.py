@@ -84,11 +84,12 @@ class CacheStats:
 
     memory_hits: int = 0
     disk_hits: int = 0
+    backend_hits: int = 0
     misses: int = 0
 
     @property
     def hits(self) -> int:
-        return self.memory_hits + self.disk_hits
+        return self.memory_hits + self.disk_hits + self.backend_hits
 
     @property
     def lookups(self) -> int:
@@ -99,6 +100,7 @@ class CacheStats:
             "hits": self.hits,
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
+            "backend_hits": self.backend_hits,
             "misses": self.misses,
         }
 
@@ -115,6 +117,19 @@ class ResultCache:
         self.config = config or CacheConfig.from_env()
         self._memory: dict[tuple[str, str], object] = {}
         self.stats: dict[str, CacheStats] = {}
+        #: Optional durable third tier (``repro.serve.store.DurableStore``
+        #: duck-type: ``load(namespace, digest) -> (value, found)`` and
+        #: ``store(namespace, digest, value)``).  Consulted after the disk
+        #: tier and written through on every store; always best-effort —
+        #: a broken backend degrades to recomputation, never to failure.
+        self._backend = None
+
+    def attach_backend(self, backend) -> None:
+        """Attach a durable store tier (the serve daemon's sqlite store)."""
+        self._backend = backend
+
+    def detach_backend(self) -> None:
+        self._backend = None
 
     # ------------------------------------------------------------------
     # Core protocol
@@ -127,7 +142,7 @@ class ResultCache:
         input of ``compute`` — over-keying costs a miss, under-keying would
         return wrong results, so include everything.
         """
-        if not (self.config.memory or self.config.disk):
+        if not (self.config.memory or self.config.disk or self._backend):
             return compute()
         key = (namespace, fingerprint(key_obj))
         stats = self.stats.setdefault(namespace, CacheStats())
@@ -144,6 +159,14 @@ class ResultCache:
                     self._memory[key] = value
                 return value
 
+        if self._backend is not None:
+            value, found = self._backend_read(key)
+            if found:
+                stats.backend_hits += 1
+                if self.config.memory:
+                    self._memory[key] = value
+                return value
+
         stats.misses += 1
         value = compute()
         self.store(namespace, key_obj, value)
@@ -156,6 +179,11 @@ class ResultCache:
             self._memory[key] = value
         if self.config.disk:
             self._disk_write(key, value)
+        if self._backend is not None:
+            try:
+                self._backend.store(key[0], key[1], value)
+            except Exception:
+                pass  # durable tier is best-effort
 
     def lookup(self, namespace: str, key_obj) -> tuple[object, bool]:
         """Non-counting probe; returns ``(value, found)``."""
@@ -163,8 +191,18 @@ class ResultCache:
         if self.config.memory and key in self._memory:
             return self._memory[key], True
         if self.config.disk:
-            return self._disk_read(key)
+            value, found = self._disk_read(key)
+            if found:
+                return value, True
+        if self._backend is not None:
+            return self._backend_read(key)
         return None, False
+
+    def _backend_read(self, key: tuple[str, str]) -> tuple[object, bool]:
+        try:
+            return self._backend.load(key[0], key[1])
+        except Exception:
+            return None, False  # durable tier is best-effort
 
     # ------------------------------------------------------------------
     # Disk tier
@@ -183,9 +221,12 @@ class ResultCache:
             return None, False
         except Exception:
             # Corrupt or truncated entry (e.g. interrupted writer without
-            # atomic rename support): drop it and recompute.
+            # atomic rename support, or a torn page after a crash): treat
+            # it as a miss and quarantine the bytes under ``.corrupt`` —
+            # out of the lookup path, but preserved for diagnosis.  The
+            # caller recomputes; the recomputed value overwrites the entry.
             with contextlib.suppress(OSError):
-                path.unlink()
+                os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
             return None, False
 
     def _disk_write(self, key: tuple[str, str], value) -> None:

@@ -1,0 +1,97 @@
+"""Bounded admission control with per-tenant fairness.
+
+The daemon's queue is finite on purpose: under a burst, shedding load
+with a typed :class:`~repro.serve.requests.AdmissionRejected` is strictly
+better than unbounded queueing (latency grows without bound, memory with
+it).  Two limits apply, both counted in *pending tickets*:
+
+* ``max_pending`` — the global bound on non-coalesced solves in flight.
+  A ticket that coalesces onto an existing solve bypasses this bound: it
+  adds no solver work, only a response fan-out entry.
+* ``max_pending_per_tenant`` — the fairness bound.  Every ticket counts
+  here, coalesced or not, so one tenant replaying the same request cannot
+  starve others out of the queue.
+
+The controller is pure bookkeeping (no clocks, no randomness); rejection
+is deterministic in the submit/release sequence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+
+from repro.serve.requests import AdmissionRejected
+
+__all__ = ["AdmissionConfig", "AdmissionController"]
+
+
+@dataclasses.dataclass(frozen=True)
+class AdmissionConfig:
+    """Queue bounds of the planning service."""
+
+    max_pending: int = 64
+    max_pending_per_tenant: int = 16
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {self.max_pending}")
+        if self.max_pending_per_tenant < 1:
+            raise ValueError(
+                "max_pending_per_tenant must be >= 1, "
+                f"got {self.max_pending_per_tenant}"
+            )
+
+
+class AdmissionController:
+    """Thread-safe pending-ticket accounting for the daemon's front door."""
+
+    def __init__(self, config: AdmissionConfig | None = None) -> None:
+        self.config = config or AdmissionConfig()
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._per_tenant: dict[str, int] = {}
+        #: Rejections by reason (``queue-full`` / ``tenant-quota``).
+        self.rejections: dict[str, int] = {}
+
+    def admit(self, tenant: str, solve_key: str, *, coalesced: bool) -> None:
+        """Reserve a ticket or raise :class:`AdmissionRejected`.
+
+        Args:
+            coalesced: The ticket joins a solve already in flight; it is
+                exempt from the global bound (no new solver work) but
+                still charged to its tenant.
+        """
+        with self._lock:
+            tenant_pending = self._per_tenant.get(tenant, 0)
+            if tenant_pending >= self.config.max_pending_per_tenant:
+                self._reject_locked("tenant-quota", tenant, solve_key)
+            if not coalesced and self._pending >= self.config.max_pending:
+                self._reject_locked("queue-full", tenant, solve_key)
+            self._per_tenant[tenant] = tenant_pending + 1
+            if not coalesced:
+                self._pending += 1
+
+    def release(self, tenant: str, *, coalesced: bool) -> None:
+        """Return the ticket taken by a matching :meth:`admit`."""
+        with self._lock:
+            remaining = self._per_tenant.get(tenant, 0) - 1
+            if remaining > 0:
+                self._per_tenant[tenant] = remaining
+            else:
+                self._per_tenant.pop(tenant, None)
+            if not coalesced:
+                self._pending = max(0, self._pending - 1)
+
+    def _reject_locked(self, reason: str, tenant: str, solve_key: str) -> None:
+        self.rejections[reason] = self.rejections.get(reason, 0) + 1
+        raise AdmissionRejected(reason, tenant, solve_key)
+
+    def snapshot(self) -> dict:
+        """JSON-ready occupancy and rejection counters."""
+        with self._lock:
+            return {
+                "pending": self._pending,
+                "per_tenant": dict(sorted(self._per_tenant.items())),
+                "rejections": dict(sorted(self.rejections.items())),
+            }

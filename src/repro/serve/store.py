@@ -1,0 +1,275 @@
+"""Crash-safe content-addressed store (sqlite WAL) for the serve daemon.
+
+One sqlite file holds every durable artifact a planning daemon
+accumulates, keyed by ``(namespace, digest)``:
+
+* ``cache/<ns>`` — write-through mirror of :class:`repro.perf.cache.
+  ResultCache` entries (``plan``, ``partition``, ...), attached via
+  ``ResultCache.attach_backend``;
+* ``hint`` — the ``_PARTITION_HINTS`` warm-start registry, installed via
+  :func:`repro.core.api.set_partition_hint_store` so a restarted daemon
+  (and every fresh worker process) inherits N±1 solver bases;
+* ``lkg`` — last-known-good plans served when a deadline is missed.
+
+Durability model (the store must survive anything the chaos harness
+throws at the daemon):
+
+* **atomic writes** — sqlite WAL journaling; a write either commits or
+  leaves the previous state intact, and concurrent worker processes are
+  serialized by sqlite's own locking (``busy_timeout``);
+* **checksum-verified reads** — every payload carries its SHA-256; a
+  mismatch (torn page, bit rot, a writer killed mid-commit on a broken
+  filesystem) quarantines the entry into the ``quarantine`` table and
+  reads as a miss, so callers recompute instead of crashing or — worse —
+  planning from silently wrong bytes;
+* **whole-file recovery** — a database sqlite itself rejects is renamed
+  to ``<name>.corrupt.<k>`` (preserved for diagnosis) and replaced by a
+  fresh one: the daemon restarts cold rather than not at all.
+
+Every failure path degrades to a cache miss; no store error ever
+propagates to a planning request.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import os
+import pickle
+import sqlite3
+import threading
+from pathlib import Path
+
+from repro.perf.fingerprint import fingerprint
+
+__all__ = ["DurableStore"]
+
+_SCHEMA = (
+    """
+    CREATE TABLE IF NOT EXISTS entries (
+        namespace TEXT NOT NULL,
+        digest TEXT NOT NULL,
+        payload BLOB NOT NULL,
+        checksum TEXT NOT NULL,
+        PRIMARY KEY (namespace, digest)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS quarantine (
+        namespace TEXT NOT NULL,
+        digest TEXT NOT NULL,
+        payload BLOB NOT NULL,
+        checksum TEXT NOT NULL,
+        reason TEXT NOT NULL,
+        PRIMARY KEY (namespace, digest)
+    )
+    """,
+)
+
+
+class DurableStore:
+    """Content-addressed sqlite store shared by daemon and workers.
+
+    Thread-safe (one connection guarded by a lock) and multi-process-safe
+    (sqlite WAL).  All read/write errors are absorbed: reads degrade to
+    misses, writes to no-ops, and an unreadable database file is
+    quarantined and recreated.
+    """
+
+    def __init__(self, path: str | Path, *, busy_timeout: float = 30.0) -> None:
+        self.path = Path(path)
+        self.busy_timeout = busy_timeout
+        self._lock = threading.Lock()
+        self._conn: sqlite3.Connection | None = None
+        #: Entries quarantined by this instance (checksum/unpickle failures).
+        self.quarantined_entries = 0
+        #: Whole-file recoveries performed by this instance.
+        self.recovered_files = 0
+        with self._lock:
+            self._open_locked()
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+
+    def _open_locked(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._conn = self._connect()
+        except sqlite3.Error:
+            # The file exists but sqlite cannot use it: quarantine and
+            # start fresh.  A second failure means the *directory* is
+            # unusable — surface that one.
+            self._quarantine_file_locked()
+            self._conn = self._connect()
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(
+            str(self.path), timeout=self.busy_timeout, check_same_thread=False
+        )
+        try:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute(f"PRAGMA busy_timeout={int(self.busy_timeout * 1000)}")
+            for statement in _SCHEMA:
+                conn.execute(statement)
+            conn.commit()
+        except sqlite3.Error:
+            with contextlib.suppress(sqlite3.Error):
+                conn.close()
+            raise
+        return conn
+
+    def _quarantine_file_locked(self) -> None:
+        """Move an unusable database aside as ``<name>.corrupt.<k>``."""
+        if self._conn is not None:
+            with contextlib.suppress(sqlite3.Error):
+                self._conn.close()
+            self._conn = None
+        k = 1
+        while (target := self.path.with_name(f"{self.path.name}.corrupt.{k}")).exists():
+            k += 1
+        with contextlib.suppress(OSError):
+            os.replace(self.path, target)
+        for sibling in (f"{self.path.name}-wal", f"{self.path.name}-shm"):
+            with contextlib.suppress(OSError):
+                os.remove(self.path.with_name(sibling))
+        self.recovered_files += 1
+
+    def _recover_locked(self) -> None:
+        """Last-resort reset after a mid-operation database error."""
+        self._quarantine_file_locked()
+        try:
+            self._conn = self._connect()
+        except sqlite3.Error:
+            self._conn = None  # directory unusable: store stays inert
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                with contextlib.suppress(sqlite3.Error):
+                    self._conn.close()
+                self._conn = None
+
+    def __enter__(self) -> "DurableStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Core keyed-bytes protocol
+    # ------------------------------------------------------------------
+
+    def put(self, namespace: str, digest: str, value) -> None:
+        """Atomically persist ``value``; best-effort, never raises."""
+        try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return
+        checksum = hashlib.sha256(payload).hexdigest()
+        with self._lock:
+            if self._conn is None:
+                return
+            try:
+                with self._conn:  # one transaction: commit or nothing
+                    self._conn.execute(
+                        "INSERT OR REPLACE INTO entries VALUES (?, ?, ?, ?)",
+                        (namespace, digest, payload, checksum),
+                    )
+            except sqlite3.Error:
+                self._recover_locked()
+
+    def get(self, namespace: str, digest: str) -> tuple[object, bool]:
+        """Checksum-verified read; corrupt entries quarantine and miss."""
+        with self._lock:
+            if self._conn is None:
+                return None, False
+            try:
+                row = self._conn.execute(
+                    "SELECT payload, checksum FROM entries "
+                    "WHERE namespace = ? AND digest = ?",
+                    (namespace, digest),
+                ).fetchone()
+            except sqlite3.Error:
+                self._recover_locked()
+                return None, False
+            if row is None:
+                return None, False
+            payload, checksum = row
+            if hashlib.sha256(payload).hexdigest() != checksum:
+                self._quarantine_entry_locked(
+                    namespace, digest, payload, checksum, "checksum-mismatch"
+                )
+                return None, False
+        try:
+            return pickle.loads(payload), True
+        except Exception:
+            with self._lock:
+                self._quarantine_entry_locked(
+                    namespace, digest, payload, checksum, "unpickle-failed"
+                )
+            return None, False
+
+    def _quarantine_entry_locked(
+        self, namespace: str, digest: str, payload: bytes, checksum: str, reason: str
+    ) -> None:
+        self.quarantined_entries += 1
+        if self._conn is None:
+            return
+        try:
+            with self._conn:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO quarantine VALUES (?, ?, ?, ?, ?)",
+                    (namespace, digest, payload, checksum, reason),
+                )
+                self._conn.execute(
+                    "DELETE FROM entries WHERE namespace = ? AND digest = ?",
+                    (namespace, digest),
+                )
+        except sqlite3.Error:
+            self._recover_locked()
+
+    # ------------------------------------------------------------------
+    # ResultCache backend protocol (perf.cache.ResultCache.attach_backend)
+    # ------------------------------------------------------------------
+
+    def load(self, namespace: str, digest: str) -> tuple[object, bool]:
+        return self.get(f"cache/{namespace}", digest)
+
+    def store(self, namespace: str, digest: str, value) -> None:
+        self.put(f"cache/{namespace}", digest, value)
+
+    # ------------------------------------------------------------------
+    # Warm-start hint protocol (core.api.set_partition_hint_store)
+    # ------------------------------------------------------------------
+
+    def get_hint(self, hint_key: tuple):
+        value, found = self.get("hint", fingerprint(hint_key))
+        return value if found else None
+
+    def put_hint(self, hint_key: tuple, hint) -> None:
+        self.put("hint", fingerprint(hint_key), hint)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        """Per-namespace entry counts (plus ``quarantine`` rows), sorted."""
+        with self._lock:
+            if self._conn is None:
+                return {}
+            try:
+                rows = self._conn.execute(
+                    "SELECT namespace, COUNT(*) FROM entries GROUP BY namespace"
+                ).fetchall()
+                quarantined = self._conn.execute(
+                    "SELECT COUNT(*) FROM quarantine"
+                ).fetchone()[0]
+            except sqlite3.Error:
+                self._recover_locked()
+                return {}
+        counts = {namespace: count for namespace, count in sorted(rows)}
+        if quarantined:
+            counts["quarantine"] = quarantined
+        return counts

@@ -310,6 +310,98 @@ class TestMob002StrictClock:
         assert not report.findings
 
 
+class TestMob002ServeClockDiscipline:
+    """The serve layer is strict-clock scoped: deadlines are node budgets,
+    and the only sanctioned wall-clock site is the servebench phase
+    bracketing (reporting-only by contract)."""
+
+    SERVE_MODULE = "src/repro/serve/some_module.py"
+
+    def test_serve_prefix_is_strict_scoped(self):
+        assert "src/repro/serve/" in DEFAULT_CONFIG.strict_clock_prefixes
+        assert "src/repro/serve/" in DEFAULT_CONFIG.hot_path_prefixes
+
+    def test_perf_counter_flagged_in_serve(self):
+        report = _lint(
+            """
+            import time
+
+            def deadline_left(t0):
+                return time.perf_counter() - t0
+            """,
+            self.SERVE_MODULE,
+        )
+        assert "MOB002" in _codes(report)
+
+    def test_wall_clock_flagged_in_serve(self):
+        report = _lint(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            self.SERVE_MODULE,
+        )
+        assert "MOB002" in _codes(report)
+
+    def test_servebench_reporting_site_allowlisted(self):
+        report = _lint(
+            """
+            import time
+
+            def _run_throughput_rows(workdir):
+                started = time.perf_counter()
+                return time.perf_counter() - started
+            """,
+            "src/repro/serve/bench.py",
+        )
+        assert not report.findings
+
+    def test_other_function_in_serve_bench_flagged(self):
+        report = _lint(
+            """
+            import time
+
+            def run_bench():
+                return time.perf_counter()
+            """,
+            "src/repro/serve/bench.py",
+        )
+        assert "MOB002" in _codes(report)
+
+    def test_serve_requests_is_fingerprint_scoped(self):
+        # PlanRequest/PlanResponse/Deadline are content-addressed payloads:
+        # mutable dataclasses there would break solve-key stability.
+        assert "src/repro/serve/requests.py" in DEFAULT_CONFIG.fingerprint_modules
+        report = _lint(
+            """
+            import dataclasses
+
+            @dataclasses.dataclass
+            class PlanRequest:
+                tenant: str = "default"
+            """,
+            "src/repro/serve/requests.py",
+        )
+        assert _codes(report) == ["MOB001"]
+
+    def test_real_serve_modules_are_clean(self):
+        root = Path(__file__).resolve().parents[2]
+        for rel in (
+            "src/repro/serve/requests.py",
+            "src/repro/serve/admission.py",
+            "src/repro/serve/supervisor.py",
+            "src/repro/serve/daemon.py",
+            "src/repro/serve/store.py",
+            "src/repro/serve/chaos.py",
+            "src/repro/serve/bench.py",
+        ):
+            source = (root / rel).read_text()
+            report = lint_source(source, rel)
+            assert report.ok, f"{rel}:\n{report.render()}"
+
+
 class TestMob003TaskLabels:
     def test_helper_constructor_passes(self):
         report = _lint(

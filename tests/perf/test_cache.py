@@ -54,6 +54,36 @@ class TestResultCache:
         entry.write_bytes(b"not a pickle")
         assert ResultCache(config).memoize("ns", ("key",), lambda: "fresh") == "fresh"
 
+    def test_corrupt_entry_quarantined_not_deleted(self, tmp_path):
+        """The bad bytes move to ``.corrupt`` — out of the path, diagnosable."""
+        config = CacheConfig(memory=False, disk=True, directory=str(tmp_path))
+        cache = ResultCache(config)
+        cache.memoize("ns", ("key",), lambda: "good")
+        [entry] = list(tmp_path.rglob("*.pkl"))
+        entry.write_bytes(b"not a pickle")
+        reader = ResultCache(config)
+        assert reader.lookup("ns", ("key",)) == (None, False)
+        [corpse] = list(tmp_path.rglob("*.pkl.corrupt"))
+        assert corpse.read_bytes() == b"not a pickle"
+        # The quarantined file no longer shadows the slot: a recompute
+        # writes a fresh entry that reads back cleanly.
+        assert reader.memoize("ns", ("key",), lambda: "fresh") == "fresh"
+        assert ResultCache(config).lookup("ns", ("key",)) == ("fresh", True)
+
+    def test_truncated_entry_recomputed(self, tmp_path):
+        """A torn write (crash mid-flush) reads as a miss, not an error."""
+        config = CacheConfig(memory=False, disk=True, directory=str(tmp_path))
+        cache = ResultCache(config)
+        cache.memoize("ns", ("key",), lambda: {"payload": list(range(256))})
+        [entry] = list(tmp_path.rglob("*.pkl"))
+        entry.write_bytes(entry.read_bytes()[: entry.stat().st_size // 2])
+        calls = []
+        value = ResultCache(config).memoize(
+            "ns", ("key",), lambda: calls.append(1) or "recomputed"
+        )
+        assert value == "recomputed" and calls == [1]
+        assert list(tmp_path.rglob("*.pkl.corrupt"))
+
     def test_clear_disk_drops_persisted_entries(self, tmp_path):
         config = CacheConfig(memory=False, disk=True, directory=str(tmp_path))
         cache = ResultCache(config)
@@ -141,6 +171,82 @@ class TestPlanAndRunCaching:
         first.extras["marker"] = True
         assert "marker" not in second.extras
         assert first.trace is second.trace  # the heavy payload is shared
+
+
+class _FakeBackend:
+    """DurableStore duck-type: load/store over a plain dict."""
+
+    def __init__(self) -> None:
+        self.data: dict = {}
+        self.stores = 0
+
+    def load(self, namespace, digest):
+        key = (namespace, digest)
+        if key in self.data:
+            return self.data[key], True
+        return None, False
+
+    def store(self, namespace, digest, value):
+        self.data[(namespace, digest)] = value
+        self.stores += 1
+
+
+class _BrokenBackend:
+    def load(self, namespace, digest):
+        raise RuntimeError("durable tier down")
+
+    def store(self, namespace, digest, value):
+        raise RuntimeError("durable tier down")
+
+
+class TestDurableBackendTier:
+    """The serve daemon's sqlite tier behind attach_backend/detach_backend."""
+
+    def test_backend_hit_counted_and_promoted(self):
+        backend = _FakeBackend()
+        with cache_overridden(memory=True, disk=False) as cache:
+            cache.attach_backend(backend)
+            cache.store("ns", ("key",), "durable-value")
+            cache.clear_memory()  # simulate a restarted process
+            calls = []
+            value = cache.memoize(
+                "ns", ("key",), lambda: calls.append(1) or "recomputed"
+            )
+            assert value == "durable-value" and not calls
+            assert cache.stats["ns"].backend_hits == 1
+            # Promoted into memory: the next read is a memory hit.
+            cache.memoize("ns", ("key",), lambda: pytest.fail("should hit memory"))
+            assert cache.stats["ns"].memory_hits == 1
+
+    def test_store_writes_through(self):
+        backend = _FakeBackend()
+        with cache_overridden(memory=True, disk=False) as cache:
+            cache.attach_backend(backend)
+            cache.memoize("ns", ("key",), lambda: "computed")
+            assert backend.stores == 1
+            assert backend.load("ns", next(iter(backend.data))[1]) == (
+                "computed",
+                True,
+            )
+
+    def test_broken_backend_degrades_to_recompute(self):
+        with cache_overridden(memory=False, disk=False) as cache:
+            cache.attach_backend(_BrokenBackend())
+            calls = []
+            value = cache.memoize(
+                "ns", ("key",), lambda: calls.append(1) or "computed"
+            )
+            assert value == "computed" and calls == [1]
+            assert cache.lookup("ns", ("key",)) == (None, False)  # no raise
+
+    def test_detach_restores_two_tier_behavior(self):
+        backend = _FakeBackend()
+        with cache_overridden(memory=True, disk=False) as cache:
+            cache.attach_backend(backend)
+            cache.store("ns", ("key",), "durable-value")
+            cache.detach_backend()
+            cache.clear_memory()
+            assert cache.lookup("ns", ("key",)) == (None, False)
 
 
 class TestGlobalConfiguration:

@@ -63,6 +63,7 @@ class TestSensitivity:
             "partition_method": "max-stage",
             "mapping_method": "sequential",
             "partition_time_limit": 1.25,
+            "partition_max_nodes": 500,
             "prefetch": False,
             "use_priorities": False,
             "bandwidth": 9.9e9,

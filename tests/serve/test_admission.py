@@ -1,0 +1,94 @@
+"""Admission control: bounded queue, tenant fairness, coalesce exemption."""
+
+import pytest
+
+from repro.serve.admission import AdmissionConfig, AdmissionController
+from repro.serve.requests import AdmissionRejected
+
+
+def _controller(max_pending=3, max_pending_per_tenant=2) -> AdmissionController:
+    return AdmissionController(
+        AdmissionConfig(
+            max_pending=max_pending,
+            max_pending_per_tenant=max_pending_per_tenant,
+        )
+    )
+
+
+class TestConfig:
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            AdmissionConfig(max_pending=0)
+        with pytest.raises(ValueError, match="max_pending_per_tenant"):
+            AdmissionConfig(max_pending_per_tenant=0)
+
+
+class TestGlobalBound:
+    def test_queue_full_sheds_load(self):
+        ctrl = _controller(max_pending=2, max_pending_per_tenant=10)
+        ctrl.admit("a", "k1", coalesced=False)
+        ctrl.admit("a", "k2", coalesced=False)
+        with pytest.raises(AdmissionRejected) as exc:
+            ctrl.admit("b", "k3", coalesced=False)
+        assert exc.value.reason == "queue-full"
+        assert exc.value.tenant == "b"
+        assert ctrl.rejections == {"queue-full": 1}
+
+    def test_release_reopens_the_queue(self):
+        ctrl = _controller(max_pending=1, max_pending_per_tenant=10)
+        ctrl.admit("a", "k1", coalesced=False)
+        ctrl.release("a", coalesced=False)
+        ctrl.admit("a", "k2", coalesced=False)  # does not raise
+        assert ctrl.snapshot()["pending"] == 1
+
+    def test_coalesced_exempt_from_global_bound(self):
+        # Joining an in-flight solve adds no solver work, so a full queue
+        # must not reject it.
+        ctrl = _controller(max_pending=1, max_pending_per_tenant=10)
+        ctrl.admit("a", "k1", coalesced=False)
+        ctrl.admit("b", "k1", coalesced=True)
+        assert ctrl.snapshot()["pending"] == 1
+        assert ctrl.snapshot()["per_tenant"] == {"a": 1, "b": 1}
+
+
+class TestTenantFairness:
+    def test_tenant_quota_binds_before_global(self):
+        ctrl = _controller(max_pending=10, max_pending_per_tenant=2)
+        ctrl.admit("greedy", "k1", coalesced=False)
+        ctrl.admit("greedy", "k2", coalesced=False)
+        with pytest.raises(AdmissionRejected) as exc:
+            ctrl.admit("greedy", "k3", coalesced=False)
+        assert exc.value.reason == "tenant-quota"
+        # Other tenants still get in.
+        ctrl.admit("polite", "k4", coalesced=False)
+
+    def test_coalesced_still_charged_to_tenant(self):
+        # The fairness bound counts every ticket: one tenant replaying the
+        # same request coalesces, but cannot hold unbounded fan-out slots.
+        ctrl = _controller(max_pending=10, max_pending_per_tenant=2)
+        ctrl.admit("a", "k1", coalesced=False)
+        ctrl.admit("a", "k1", coalesced=True)
+        with pytest.raises(AdmissionRejected) as exc:
+            ctrl.admit("a", "k1", coalesced=True)
+        assert exc.value.reason == "tenant-quota"
+
+    def test_release_clears_tenant_slot(self):
+        ctrl = _controller(max_pending=10, max_pending_per_tenant=1)
+        ctrl.admit("a", "k1", coalesced=False)
+        ctrl.release("a", coalesced=False)
+        assert ctrl.snapshot()["per_tenant"] == {}
+        ctrl.admit("a", "k2", coalesced=False)
+
+
+class TestSnapshot:
+    def test_counters_accumulate_by_reason(self):
+        ctrl = _controller(max_pending=1, max_pending_per_tenant=1)
+        ctrl.admit("a", "k1", coalesced=False)
+        for _ in range(2):
+            with pytest.raises(AdmissionRejected):
+                ctrl.admit("a", "k2", coalesced=False)  # tenant-quota
+        with pytest.raises(AdmissionRejected):
+            ctrl.admit("b", "k3", coalesced=False)  # queue-full
+        snap = ctrl.snapshot()
+        assert snap["rejections"] == {"queue-full": 1, "tenant-quota": 2}
+        assert snap["pending"] == 1

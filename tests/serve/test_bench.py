@@ -1,0 +1,79 @@
+"""compare_benchmarks gate logic on synthetic documents (no bench run)."""
+
+from repro.serve.bench import BENCH_SCHEMA, compare_benchmarks
+
+
+def _document(**overrides) -> dict:
+    document = {
+        "schema": BENCH_SCHEMA,
+        "throughput": [
+            {"name": "cold", "plans": 4, "wall_seconds": 0.04,
+             "plans_per_second": 100.0},
+            {"name": "warm", "plans": 4, "wall_seconds": 0.004,
+             "plans_per_second": 1000.0},
+        ],
+        "plans": [
+            {"name": "gpt-a/topo_2_2", "fingerprint": "aaaa1111", "consistent": True},
+            {"name": "gpt-b/topo_2_2", "fingerprint": "bbbb2222", "consistent": True},
+        ],
+        "recovery": [
+            {"name": "worker-crash-midsolve", "ok": True},
+            {"name": "overload-burst", "ok": True},
+        ],
+    }
+    document.update(overrides)
+    return document
+
+
+def _mutated(section, index, **changes) -> dict:
+    document = _document()
+    document[section] = [dict(row) for row in document[section]]
+    document[section][index].update(changes)
+    return document
+
+
+class TestGatePasses:
+    def test_identical_documents(self):
+        assert compare_benchmarks(_document(), _document()) == []
+
+    def test_faster_is_fine(self):
+        current = _mutated("throughput", 0, plans_per_second=500.0)
+        assert compare_benchmarks(current, _document()) == []
+
+    def test_small_slowdown_within_tolerance(self):
+        current = _mutated("throughput", 0, plans_per_second=85.0)  # > 100/1.25
+        assert compare_benchmarks(current, _document()) == []
+
+
+class TestGateFails:
+    def test_fingerprint_divergence(self):
+        current = _mutated("plans", 0, fingerprint="cccc3333")
+        failures = compare_benchmarks(current, _document())
+        assert any("fingerprint diverged" in f for f in failures)
+
+    def test_inconsistent_regimes(self):
+        current = _mutated("plans", 1, consistent=False)
+        failures = compare_benchmarks(current, _document())
+        assert any("divergent fingerprints" in f for f in failures)
+
+    def test_recovery_regression(self):
+        current = _mutated("recovery", 0, ok=False)
+        failures = compare_benchmarks(current, _document())
+        assert failures == [
+            "recovery:worker-crash-midsolve: chaos scenario no longer passes"
+        ]
+
+    def test_throughput_regression_beyond_ratio(self):
+        current = _mutated("throughput", 0, plans_per_second=79.0)  # < 100/1.25
+        failures = compare_benchmarks(current, _document())
+        assert any("plans/sec regressed" in f for f in failures)
+
+    def test_missing_rows_fail_both_ways(self):
+        dropped = _document()
+        dropped["plans"] = dropped["plans"][:1]
+        dropped["recovery"] = dropped["recovery"][:1]
+        dropped["throughput"] = dropped["throughput"][:1]
+        missing_current = compare_benchmarks(dropped, _document())
+        assert any("missing from current run" in f for f in missing_current)
+        missing_baseline = compare_benchmarks(_document(), dropped)
+        assert any("missing from baseline" in f for f in missing_baseline)

@@ -1,0 +1,11 @@
+"""The chaos harness itself is tier-1: every scenario must hold."""
+
+from repro.serve.chaos import SCENARIOS, run_chaos
+
+
+def test_every_scenario_passes(tmp_path):
+    rows = run_chaos(workdir=str(tmp_path))
+    assert len(rows) == len(SCENARIOS)
+    assert len({row["name"] for row in rows}) == len(rows)  # names are unique
+    failures = [row for row in rows if not row["ok"]]
+    assert not failures, failures

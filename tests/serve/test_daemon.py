@@ -1,0 +1,189 @@
+"""PlanService end-to-end: coalescing, caching, the degrade ladder, shutdown."""
+
+import pytest
+
+from repro.core.api import MobiusConfig, plan_mobius
+from repro.faults.recovery import RetryPolicy
+from repro.perf.cache import cache_overridden, get_cache
+from repro.serve.daemon import PlanService, ServiceConfig
+from repro.serve.requests import AdmissionRejected, Deadline, PlanRequest
+from repro.serve.supervisor import SupervisorConfig
+
+CONFIG = MobiusConfig(partition_time_limit=1.0)
+
+
+def _request(tiny_model, topo22, **kwargs) -> PlanRequest:
+    return PlanRequest(model=tiny_model, topology=topo22, config=CONFIG, **kwargs)
+
+
+def _service(**cfg) -> PlanService:
+    return PlanService(ServiceConfig(**cfg), sleeper=lambda _s: None)
+
+
+class TestHappyPath:
+    def test_solver_then_cache(self, tiny_model, topo22):
+        with cache_overridden(), _service() as service:
+            first = service.plan(_request(tiny_model, topo22))
+            second = service.plan(_request(tiny_model, topo22))
+        assert first.ok and first.status == "ok" and first.source == "solver"
+        assert second.ok and second.source == "cache"
+        assert first.plan_fingerprint == second.plan_fingerprint
+        assert service.completed == 2
+
+    def test_stats_shape(self, tiny_model, topo22):
+        with cache_overridden(), _service() as service:
+            service.plan(_request(tiny_model, topo22))
+            stats = service.stats()
+        assert stats["completed"] == 1
+        assert stats["supervisor"] == {"crashes": 0, "restarts": 0}
+        assert stats["store"] == {}  # memory-only service
+
+    def test_unknown_worker_kind_rejected(self):
+        with pytest.raises(ValueError, match="worker kind"):
+            PlanService(ServiceConfig(worker="accelerated"))
+
+
+class TestCoalescing:
+    def test_identical_requests_share_one_solve(self, tiny_model, topo22):
+        with cache_overridden(), _service(autostart=False) as service:
+            tickets = [
+                service.submit(_request(tiny_model, topo22, tenant=f"t{i}"))
+                for i in range(3)
+            ]
+            assert [t.coalesced for t in tickets] == [False, True, True]
+            service.start()
+            responses = [service.result(t) for t in tickets]
+        assert service.completed == 1
+        assert service.coalesced_joins == 2
+        assert {r.plan_fingerprint for r in responses} == {
+            responses[0].plan_fingerprint
+        }
+        assert all(r.coalesced == 3 for r in responses)
+        # Each tenant gets its own response envelope back.
+        assert [r.tenant for r in responses] == ["t0", "t1", "t2"]
+
+
+class TestDeadlineLadder:
+    def test_cold_miss_serves_truncated_incumbent(self, tiny_model, topo22):
+        tight = _request(tiny_model, topo22, deadline=Deadline(max_nodes=1))
+        with cache_overridden(), _service() as service:
+            resp = service.plan(tight)
+        assert resp.status == "degraded" and resp.ok
+        assert resp.source == "solver"
+        assert resp.degraded and not resp.stale and not resp.optimal
+        assert "budget-truncated incumbent" in resp.reason
+        assert service.deadline_misses == 1
+
+    def test_warm_miss_serves_last_known_good(self, tiny_model, topo22):
+        full = _request(tiny_model, topo22)
+        tight = _request(tiny_model, topo22, deadline=Deadline(max_nodes=1))
+        with cache_overridden(), _service() as service:
+            baseline = service.plan(full)
+            resp = service.plan(tight)
+        assert baseline.status == "ok" and baseline.optimal
+        assert resp.status == "degraded" and resp.source == "stale"
+        assert resp.stale and resp.optimal  # full-quality plan, just stale
+        assert resp.plan_fingerprint == baseline.plan_fingerprint
+
+
+class TestDeadWorkerDegrade:
+    def _crashing_service(self) -> PlanService:
+        service = _service(
+            supervisor=SupervisorConfig(
+                restart_policy=RetryPolicy(max_attempts=1, base_delay=1e-3),
+                quarantine_after=5,
+            )
+        )
+        service.supervisor.sabotage_hook = lambda key, attempt: "crash"
+        return service
+
+    def test_heuristic_fallback_without_lkg(self, tiny_model, topo22):
+        with cache_overridden(), self._crashing_service() as service:
+            resp = service.plan(_request(tiny_model, topo22))
+        assert resp.status == "degraded" and resp.ok
+        assert resp.source == "heuristic"
+        assert "max-stage heuristic" in resp.reason
+        assert service.degraded_fallbacks == 1
+
+    def test_stale_fallback_with_lkg(self, tiny_model, topo22):
+        with cache_overridden(), self._crashing_service() as service:
+            service.supervisor.sabotage_hook = None
+            baseline = service.plan(_request(tiny_model, topo22))
+            service.supervisor.sabotage_hook = lambda key, attempt: "crash"
+            # A deadline changes the solve key, so this misses the cache
+            # and hits the (now dead) worker — but the LKG registry has a
+            # full-quality plan for the same (model, topology, config).
+            resp = service.plan(
+                _request(tiny_model, topo22, deadline=Deadline(max_nodes=64))
+            )
+        assert resp.status == "degraded" and resp.source == "stale"
+        assert resp.plan_fingerprint == baseline.plan_fingerprint
+
+
+class TestShutdownAndQuarantine:
+    def test_submit_after_close_is_shed(self, tiny_model, topo22):
+        with cache_overridden():
+            service = _service()
+            service.close()
+            with pytest.raises(AdmissionRejected) as exc:
+                service.submit(_request(tiny_model, topo22))
+        assert exc.value.reason == "shutdown"
+        assert service.rejections == {"shutdown": 1}
+
+    def test_quarantined_key_shed_at_the_front_door(self, tiny_model, topo22):
+        with cache_overridden(), _service(
+            supervisor=SupervisorConfig(
+                restart_policy=RetryPolicy(max_attempts=5, base_delay=1e-3),
+                quarantine_after=2,
+            )
+        ) as service:
+            service.supervisor.sabotage_hook = lambda key, attempt: "crash"
+            first = service.plan(_request(tiny_model, topo22))
+            assert first.status == "rejected" and not first.ok
+            with pytest.raises(AdmissionRejected) as exc:
+                service.submit(_request(tiny_model, topo22))
+            assert exc.value.reason == "quarantined"
+
+
+class TestDurability:
+    def test_restarted_service_resumes_from_the_store(
+        self, tiny_model, topo22, tmp_path
+    ):
+        store = str(tmp_path / "serve.sqlite")
+        with cache_overridden():
+            with _service(store_path=store) as service:
+                cold = service.plan(_request(tiny_model, topo22))
+        assert cold.source == "solver"
+        # "Restart": a fresh cache (new process, in effect) + the same
+        # store. The plan comes back from the durable tier, byte-identical.
+        with cache_overridden():
+            with _service(store_path=store) as service:
+                warm = service.plan(_request(tiny_model, topo22))
+        assert warm.ok and warm.source == "cache"
+        assert warm.plan_fingerprint == cold.plan_fingerprint
+
+    def test_lkg_survives_restart(self, tiny_model, topo22, tmp_path):
+        store = str(tmp_path / "serve.sqlite")
+        with cache_overridden():
+            with _service(store_path=store) as service:
+                baseline = service.plan(_request(tiny_model, topo22))
+        with cache_overridden():
+            with _service(store_path=store) as service:
+                # Same-config tight request misses memory LKG but finds the
+                # durable copy written before the "restart".
+                tight = _request(tiny_model, topo22, deadline=Deadline(max_nodes=1))
+                resp = service.plan(tight)
+        assert resp.source == "stale"
+        assert resp.plan_fingerprint == baseline.plan_fingerprint
+
+
+class TestMemoCoupling:
+    def test_service_plans_warm_direct_plan_mobius(self, tiny_model, topo22):
+        request = _request(tiny_model, topo22)
+        with cache_overridden(), _service() as service:
+            served = service.plan(request)
+            hits_before = get_cache().stats["plan"].memory_hits
+            report = plan_mobius(tiny_model, topo22, request.effective_config())
+            assert get_cache().stats["plan"].memory_hits == hits_before + 1
+        assert served.plan_fingerprint is not None
+        assert report is not None
