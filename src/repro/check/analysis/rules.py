@@ -125,9 +125,16 @@ class AnalysisConfig:
         # global they can write must be a documented seam.
         "repro.serve.daemon.PlanService._dispatch_loop",
         "repro.serve.supervisor._process_worker_main",
+        # The portfolio's per-backend racing children: they share the
+        # parent's module namespace at spawn time, so their writes are
+        # held to the same seam discipline.
+        "repro.solver.portfolio._portfolio_worker_main",
     )
     #: Module globals whose *touching* functions join the MOB007 frontier.
-    race_registries: tuple[str, ...] = ("repro.core.api._PARTITION_HINTS",)
+    race_registries: tuple[str, ...] = (
+        "repro.core.api._PARTITION_HINTS",
+        "repro.solver.portfolio._POOL",
+    )
     #: Documented synchronization seams: writes inside these are sanctioned.
     sync_seams: frozenset[str] = frozenset(
         {
@@ -136,6 +143,8 @@ class AnalysisConfig:
             "repro.core.api.set_partition_hint_capacity",
             "repro.core.api.set_partition_hint_store",
             "repro.sim.tasks._next_task_uid",
+            "repro.solver.portfolio._acquire_pool",
+            "repro.solver.portfolio.shutdown_portfolio_pool",
         }
     )
     clock_allowlist: frozenset[str] = _LINT_DEFAULTS.clock_allowlist

@@ -167,6 +167,10 @@ class LintConfig:
             # work counters only.
             "src/repro/solver/bench.py::_run_mip_rows",
             "src/repro/solver/bench.py::_run_partition_rows",
+            # Portfolio race walls are reporting-only: the race itself is
+            # decided by reply arrival order and backend rank inside
+            # repro/solver/portfolio.py, which reads no clocks at all.
+            "src/repro/solver/bench.py::_run_portfolio_rows",
             "src/repro/sim/bench.py::_run_corpus_rows",
             "src/repro/sim/bench.py::_run_chaos_rows",
             "src/repro/sim/bench.py::_run_large_rows",
@@ -174,6 +178,10 @@ class LintConfig:
             # outcomes; plans/sec wall times bracket whole phases and
             # never steer what a phase does.
             "src/repro/serve/bench.py::_run_throughput_rows",
+            # Worker-scaling plans/sec: same contract — the gate compares
+            # fingerprints always and the speedup ratio only against the
+            # host's own CPU count, never across machines.
+            "src/repro/serve/bench.py::_run_scaling_rows",
             # Reachable from the serve daemon's answer ladder (MOB004):
             # the mapping search's clock reads feed search_seconds
             # metadata only — the search itself is exhaustive over a

@@ -92,6 +92,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--time-limit", type=float, default=5.0, help="MIP search budget (s)"
         )
+        p.add_argument(
+            "--solver-mode", default="solo", choices=("solo", "portfolio"),
+            help="solo B&B, or race it against the HiGHS backend "
+            "(bit-identical result, lower latency)",
+        )
 
     plan = sub.add_parser("plan", help="run the Mobius planner and print the plan")
     add_common(plan)
@@ -232,6 +237,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="solver worker kind (process = supervised child process)",
     )
     serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="dispatch/worker parallelism: N dispatch threads over N "
+        "supervised workers (default: %(default)s)",
+    )
+    serve.add_argument(
         "--rounds", type=int, default=2,
         help="serve the check corpus this many times (round 2+ hits caches)",
     )
@@ -256,6 +266,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="committed BENCH_serve.json baseline; exit 1 on fingerprint "
         "divergence, chaos regression, or >25%% throughput regression",
     )
+    servebench.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="top of the worker-scaling ladder (the bench always measures "
+        "1 and 2 too; default: REPRO_JOBS capped at 4)",
+    )
     return parser
 
 
@@ -268,7 +283,9 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         model,
         topology,
         MobiusConfig(
-            microbatch_size=args.microbatch, partition_time_limit=args.time_limit
+            microbatch_size=args.microbatch,
+            partition_time_limit=args.time_limit,
+            solver_mode=args.solver_mode,
         ),
     )
     print(report.plan.describe())
@@ -469,6 +486,15 @@ def _cmd_solvebench(args: argparse.Namespace) -> int:
                 f"partition {row['name']:<18} nodes={row['nodes']:<6} "
                 f"warm={row['warm_nodes']:<6} [{flag}]"
             )
+        for row in document["portfolio"]:
+            flag = "ok" if row["parity"] else "FAIL"
+            print(
+                f"portfolio {row['name']:<18} winner={row['winner']:<6} "
+                f"bnb={row['bnb_wall_seconds']}s "
+                f"highs={row['highs_wall_seconds']}s "
+                f"race={row['race_wall_seconds']}s [{flag}]"
+            )
+        print(f"portfolio wins: {document['portfolio_wins']}")
     failures = [
         f"{section}:{row['name']}: "
         + ("parity failed" if not row.get("parity", True) else "warm != cold")
@@ -476,6 +502,11 @@ def _cmd_solvebench(args: argparse.Namespace) -> int:
         for row in document[section]
         if not (row.get("parity", True) and row.get("warm_identical", True))
     ]
+    failures.extend(
+        f"portfolio:{row['name']}: raced result diverged from solo B&B"
+        for row in document["portfolio"]
+        if not row.get("parity", True)
+    )
     if args.check_against is not None:
         with open(args.check_against) as f:
             baseline = json.load(f)
@@ -538,7 +569,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     responses = []
     with PlanService(
-        ServiceConfig(store_path=store_path, worker=args.worker)
+        ServiceConfig(
+            store_path=store_path, worker=args.worker, workers=args.workers
+        )
     ) as service:
         for round_index in range(max(1, args.rounds)):
             for cell in default_corpus():
@@ -575,7 +608,7 @@ def _cmd_servebench(args: argparse.Namespace) -> int:
 
     from repro.serve.bench import compare_benchmarks, run_bench, write_bench
 
-    document = run_bench()
+    document = run_bench(workers=args.workers)
     if args.json == "-":
         print(json.dumps(document, indent=1))
     elif args.json is not None:
@@ -592,6 +625,17 @@ def _cmd_servebench(args: argparse.Namespace) -> int:
             print(
                 f"plan {row['name']:<18} fp={row['fingerprint'][:12]} [{flag}]"
             )
+        scaling = document["scaling"]
+        for row in scaling["rows"]:
+            print(
+                f"scaling workers={row['workers']:<2} plans={row['plans']:<4} "
+                f"wall={row['wall_seconds']:<8} plans/s={row['plans_per_second']}"
+            )
+        print(
+            f"scaling cpus={scaling['cpus']} "
+            f"speedup(top vs 1)={scaling['speedup_top_vs_1']} "
+            f"[{'ok' if scaling['consistent'] else 'FAIL'}]"
+        )
         for row in document["recovery"]:
             print(
                 f"recovery {row['name']:<24} "
@@ -607,6 +651,8 @@ def _cmd_servebench(args: argparse.Namespace) -> int:
         for row in document["plans"]
         if not row["consistent"]
     )
+    if not document["scaling"]["consistent"]:
+        failures.append("scaling: fingerprints diverged across worker counts")
     if args.check_against is not None:
         with open(args.check_against) as f:
             baseline = json.load(f)

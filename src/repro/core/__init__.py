@@ -22,6 +22,7 @@ from repro.core.mapping import (
 )
 from repro.core.partition import (
     PartitionResult,
+    PartitionSearchCancelled,
     PlanInfeasibleError,
     max_stage_partition,
     min_stage_partition,
@@ -48,6 +49,7 @@ __all__ = [
     "MobiusRun",
     "Partition",
     "PartitionResult",
+    "PartitionSearchCancelled",
     "PipelineTimings",
     "PlanInfeasibleError",
     "build_mobius_tasks",

@@ -173,6 +173,14 @@ class MobiusConfig:
         use_priorities: Prefetch priority streams (§3.3).
         bandwidth: Average bandwidth ``B`` for the MIP; defaults to the
             topology's PCIe link bandwidth.
+        solver_mode: ``"solo"`` (default) solves the MIP partition with
+            the branch-and-bound alone; ``"portfolio"`` races it against
+            the HiGHS backend (:func:`repro.solver.portfolio.
+            race_partition`) and returns the first eligible result.  Both
+            modes return bit-identical plans — portfolio only changes
+            latency — so this knob is *excluded* from the plan and
+            partition memoize keys: a solo cache entry satisfies a
+            portfolio request and vice versa.
     """
 
     microbatch_size: int | None = None
@@ -184,6 +192,10 @@ class MobiusConfig:
     prefetch: bool = True
     use_priorities: bool = True
     bandwidth: float | None = None
+    solver_mode: str = "solo"
+
+
+_SOLVER_MODES = ("solo", "portfolio")
 
 
 @dataclasses.dataclass
@@ -236,10 +248,23 @@ def plan_mobius(
     is enabled — returns the stored report without re-solving.  Treat the
     returned report as immutable.
     """
+    if config.solver_mode not in _SOLVER_MODES:
+        raise ValueError(
+            f"unknown solver_mode {config.solver_mode!r}; "
+            f"expected one of {list(_SOLVER_MODES)}"
+        )
     cache = get_cache()
+    # solver_mode is latency-only (portfolio results are bit-identical to
+    # solo), so the memoize key is normalized to the solo spelling: both
+    # modes share one cache entry.
+    key_config = (
+        config
+        if config.solver_mode == "solo"
+        else dataclasses.replace(config, solver_mode="solo")
+    )
     return cache.memoize(
         "plan",
-        ("plan_mobius", model, topology, config),
+        ("plan_mobius", model, topology, key_config),
         lambda: _plan_mobius_uncached(model, topology, config),
     )
 
@@ -268,6 +293,13 @@ def _plan_mobius_uncached(
         kwargs["time_limit"] = config.partition_time_limit
         if config.partition_max_nodes is not None:
             kwargs["max_nodes"] = config.partition_max_nodes
+        if config.solver_mode == "portfolio":
+            # Bit-identical to mip_partition (same signature, same result
+            # contract), just raced across backends — which is why the
+            # "partition" memoize key below stays mode-free.
+            from repro.solver.portfolio import race_partition
+
+            partitioner = race_partition
         # Warm start from the last MIP solve of the same model on the same
         # device class (the scalability sweep re-solves for N, N+1, ...;
         # fault replanning re-solves for N-1).  The hint seeds the

@@ -34,11 +34,23 @@ from repro.models.spec import LayerKind, ModelSpec
 
 __all__ = [
     "PartitionResult",
+    "PartitionSearchCancelled",
     "PlanInfeasibleError",
     "mip_partition",
     "max_stage_partition",
     "min_stage_partition",
 ]
+
+
+class PartitionSearchCancelled(RuntimeError):
+    """A caller-installed ``poll`` callback cancelled the search.
+
+    Only the solver racing portfolio (:mod:`repro.solver.portfolio`)
+    installs polls: the losing backend of a race is cancelled once the
+    winner's result is in hand.  A cancelled search produces no result at
+    all — cancellation can therefore discard work but never change what a
+    completed search returns.
+    """
 
 
 class PlanInfeasibleError(ValueError):
@@ -67,6 +79,11 @@ class PartitionResult:
         method: ``"mip"``, ``"max-stage"`` or ``"min-stage"``.
         warm_started: Whether a caller-provided warm-start hint seeded the
             incumbent (it tightens pruning but never changes the result).
+        solver_backend: Which portfolio backend produced the result —
+            ``"bnb"`` (the boundary branch-and-bound, also every solo
+            solve) or ``"highs"`` (the literal-MIP backend of
+            :mod:`repro.solver.portfolio`).  Metadata only: eligible
+            backends return bit-identical partitions by construction.
     """
 
     partition: Partition
@@ -76,6 +93,7 @@ class PartitionResult:
     optimal: bool
     method: str
     warm_started: bool = False
+    solver_backend: str = "bnb"
 
 
 class _SearchContext:
@@ -437,6 +455,7 @@ def mip_partition(
     time_limit: float = 10.0,
     max_nodes: int = 20_000,
     warm_start: object = None,
+    poll: object = None,
 ) -> PartitionResult:
     """The MIP partition algorithm (§3.2).
 
@@ -463,6 +482,11 @@ def mip_partition(
             boundary tuple among step-time ties) and explores tied
             subtrees, so the returned partition is the same canonical
             optimum with or without the hint.
+        poll: Optional zero-argument callable checked every 64 DFS nodes;
+            returning true abandons the search with
+            :class:`PartitionSearchCancelled`.  The racing portfolio uses
+            it to cancel the losing backend — a cancelled search returns
+            nothing, so cancellation can never alter a returned result.
 
     Returns:
         The best partition found; ``optimal`` reports whether the search
@@ -470,6 +494,7 @@ def mip_partition(
 
     Raises:
         PlanInfeasibleError: If no memory-feasible partition exists.
+        PartitionSearchCancelled: If ``poll`` requested cancellation.
     """
     if gpu_memory is None:
         gpu_memory = cost_model.usable_gpu_bytes()
@@ -520,6 +545,10 @@ def mip_partition(
         if time.perf_counter() - started > time_limit:
             exhausted = False
             return
+        if poll is not None and nodes % 64 == 0 and poll():
+            raise PartitionSearchCancelled(
+                f"partition search of {model.name} cancelled at node {nodes}"
+            )
         nodes += 1
         start = cuts[-1]
         # Tied subtrees (bound within 1e-12 of the incumbent) stay open so

@@ -37,6 +37,7 @@ __all__ = [
     "PlanInfeasibleError",
     "SystemResult",
     "default_jobs",
+    "resolve_jobs",
     "run_system",
     "run_systems_parallel",
     "SYSTEMS",
@@ -254,6 +255,25 @@ def default_jobs() -> int:
             raise ValueError(f"REPRO_JOBS must be a positive integer, got {env!r}")
         return requested
     return os.cpu_count() or 1
+
+
+def resolve_jobs(requested: int | None = None, *, ceiling: int | None = None) -> int:
+    """Effective worker count for a pool honoring ``REPRO_JOBS``.
+
+    An explicit ``requested`` wins verbatim (the operator asked for it);
+    otherwise :func:`default_jobs` decides, optionally capped at
+    ``ceiling`` (a pool whose useful parallelism is bounded — e.g. the
+    solver portfolio races exactly two backends — should not claim more
+    of the container than it can use).
+    """
+    if requested is not None:
+        if requested < 1:
+            raise ValueError(f"jobs must be >= 1, got {requested}")
+        return requested
+    jobs = default_jobs()
+    if ceiling is not None:
+        jobs = min(jobs, ceiling)
+    return jobs
 
 
 def run_systems_parallel(

@@ -11,7 +11,13 @@ time-to-recover:
   configured budget (not the realized solve time) is the deterministic
   model of re-planning latency.  The re-solve warm-starts from the
   pre-fault partition (see :mod:`repro.solver.warmstart`), which shrinks
-  the realized search well below the budget.
+  the realized search well below the budget.  With
+  ``config.solver_mode == "portfolio"`` the re-solve flows through the
+  racing portfolio (:mod:`repro.solver.portfolio`) for lower realized
+  latency — the *charged* time-to-recover is unchanged, because it is a
+  function of the budget and ``solver_nodes``, never of wall-clock
+  (MOB002): a faster backend changes when the answer arrives, not what
+  recovery costs in the deterministic model.
 * ``migration_seconds`` — restoring the dropped GPU's stage state from the
   DRAM checkpoint.  Mobius keeps parameters in DRAM by design, so only the
   dead GPU's working set (the FP16 parameters of its stages) must be
@@ -140,6 +146,12 @@ class ReplanResult:
         """Whether the re-plan's partition solve was seeded by a previous
         solution (see ``repro.solver.warmstart.WarmStartContext``)."""
         return getattr(self.plan_report.partition_result, "warm_started", False)
+
+    @property
+    def solver_backend(self) -> str:
+        """Which portfolio backend answered the re-plan (``"bnb"`` unless
+        ``config.solver_mode == "portfolio"`` let HiGHS win the race)."""
+        return getattr(self.plan_report.partition_result, "solver_backend", "bnb")
 
 
 def replan_after_dropout(

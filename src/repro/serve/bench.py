@@ -11,20 +11,27 @@ corpus (:mod:`repro.check.corpus`) and emits ``BENCH_serve.json``:
 * **plans** — each corpus cell's plan fingerprint, identical across all
   four regimes (``consistent``): caching, durability and coalescing must
   be invisible in results;
+* **scaling** — plans/sec through pools of N=1/2/4 process workers over
+  a cold, non-coalescing workload (corpus cells × perturbed bandwidths),
+  with the fingerprint-identity bit (``consistent``) across counts;
 * **recovery** — the chaos scenario rows from
   :mod:`repro.serve.chaos` (worker kill, poison quarantine, deadline
   straggler, store corruption, overload burst).
 
 Fingerprints and recovery outcomes are deterministic; wall times are
 hardware-dependent.  The CI gate (:func:`compare_benchmarks`) fails on a
-fingerprint divergence, a chaos scenario regression, or a throughput
-drop beyond ``THROUGHPUT_REGRESSION_RATIO`` against the committed
-baseline.
+fingerprint divergence (including across worker counts), a chaos
+scenario regression, a throughput drop beyond
+``THROUGHPUT_REGRESSION_RATIO`` against the committed baseline, or — on
+hosts with enough cores to scale at all — a worker-pool speedup below
+``SCALING_SPEEDUP_FLOOR``.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import os
 import shutil
 import tempfile
 import time
@@ -33,6 +40,7 @@ from typing import Any
 
 from repro.check.corpus import default_corpus
 from repro.perf.cache import cache_overridden, get_cache
+from repro.serve.admission import AdmissionConfig
 from repro.serve.chaos import run_chaos
 from repro.serve.daemon import PlanService, ServiceConfig
 from repro.serve.requests import PlanRequest
@@ -63,6 +71,22 @@ _RESTART_PASSES = 20
 #: Coalesced bursts per timed window (each on a fresh service + store so
 #: every burst's solves stay cold and shared).
 _COALESCE_BURSTS = 3
+
+#: Worker-scaling gate: plans/sec at ``--workers 4`` must reach this
+#: multiple of the ``--workers 1`` rate — enforced only on hosts with at
+#: least ``_SCALING_MIN_CPUS`` cores, because a 1-core container cannot
+#: physically scale process workers (the rows are still recorded there).
+SCALING_SPEEDUP_FLOOR = 1.8
+_SCALING_MIN_CPUS = 4
+
+#: Bandwidth perturbations generating the scaling workload: each corpus
+#: cell is re-planned under these distinct bandwidths, so every request
+#: in the timed window is an independent cold solve (nothing coalesces,
+#: nothing cache-hits) — exactly the workload worker pools parallelize.
+_SCALING_BANDWIDTH_FACTORS = (0.8, 0.9, 1.1, 1.2, 1.3)
+
+#: Timed repeats per worker count (best wall reported, as above).
+_SCALING_REPEATS = 2
 
 
 def _corpus_requests() -> list[tuple[str, PlanRequest]]:
@@ -195,17 +219,127 @@ def _run_throughput_rows(workdir: Path) -> tuple[list[dict], list[dict]]:
     return rows, plans
 
 
-def run_bench() -> dict[str, Any]:
-    """Run the full serve benchmark; returns the JSON document."""
+def _scaling_requests() -> list[tuple[str, PlanRequest]]:
+    """The worker-scaling workload: corpus cells × perturbed bandwidths."""
+    requests = []
+    for cell in default_corpus():
+        base_bandwidth = cell.config.bandwidth or cell.topology.pcie_bandwidth
+        for factor in _SCALING_BANDWIDTH_FACTORS:
+            requests.append(
+                (
+                    f"{cell.name}@bw{factor}",
+                    PlanRequest(
+                        model=cell.model,
+                        topology=cell.topology,
+                        config=dataclasses.replace(
+                            cell.config, bandwidth=base_bandwidth * factor
+                        ),
+                    ),
+                )
+            )
+    return requests
+
+
+def _run_scaling_rows(
+    workdir: Path, worker_counts: tuple[int, ...]
+) -> dict[str, Any]:
+    """Plans/sec through N process workers; another reporting-only clock site.
+
+    Each timed window submits every scaling request up front and then
+    collects responses, so N dispatch threads genuinely overlap N child
+    solver processes.  The pool is prewarmed *outside* the window with
+    the plain corpus requests — those spawn the worker processes and pay
+    the interpreter/numpy import cost, and their keys are disjoint from
+    the perturbed workload, which therefore stays cold.  Fingerprints
+    must be identical at every worker count: parallel dispatch is a
+    latency feature, invisible in results.
+    """
+    requests = _scaling_requests()
+    prewarm = _corpus_requests()
+    fingerprints: dict[str, list[str]] = {name: [] for name, _ in requests}
+    rows = []
+    for workers in worker_counts:
+        walls = []
+        for repeat in range(_SCALING_REPEATS):
+            config = ServiceConfig(
+                store_path=str(workdir / f"scale-{workers}-{repeat}.sqlite"),
+                worker="process",
+                workers=workers,
+                admission=AdmissionConfig(
+                    max_pending=4 * len(requests),
+                    max_pending_per_tenant=4 * len(requests),
+                ),
+                autostart=False,
+            )
+            with cache_overridden():
+                with PlanService(config, sleeper=_no_sleep) as service:
+                    warm_tickets = [
+                        service.submit(request) for _name, request in prewarm
+                    ]
+                    service.start()
+                    for ticket in warm_tickets:
+                        service.result(ticket, timeout=300.0)
+                    started = time.perf_counter()
+                    tickets = [
+                        (name, service.submit(request))
+                        for name, request in requests
+                    ]
+                    for name, ticket in tickets:
+                        fingerprints[name].append(
+                            service.result(ticket, timeout=300.0).plan_fingerprint
+                        )
+                    walls.append(time.perf_counter() - started)
+        wall = min(walls)
+        rows.append(
+            {
+                "workers": workers,
+                "plans": len(requests),
+                "wall_seconds": round(wall, 4),
+                "plans_per_second": (
+                    round(len(requests) / wall, 2) if wall > 0 else None
+                ),
+            }
+        )
+    rates = {row["workers"]: row["plans_per_second"] for row in rows}
+    top = max(worker_counts)
+    speedup = None
+    if rates.get(1) and rates.get(top) and top > 1:
+        speedup = round(rates[top] / rates[1], 2)
+    return {
+        "cpus": os.cpu_count() or 1,
+        "rows": rows,
+        "top_workers": top,
+        "speedup_top_vs_1": speedup,
+        "consistent": all(
+            len(set(seen)) == 1 for seen in fingerprints.values()
+        ),
+    }
+
+
+def run_bench(workers: int | None = None) -> dict[str, Any]:
+    """Run the full serve benchmark; returns the JSON document.
+
+    Args:
+        workers: Top of the worker-scaling ladder (the bench always
+            measures 1 and 2 as well).  ``None`` consults ``REPRO_JOBS``
+            / :func:`repro.experiments.runner.resolve_jobs`, capped at 4,
+            so an unconfigured run never oversubscribes its container.
+    """
+    from repro.experiments.runner import resolve_jobs
+
+    top_workers = resolve_jobs(workers, ceiling=4)
+    worker_counts = tuple(sorted({1, 2, top_workers}))
     workdir = Path(tempfile.mkdtemp(prefix="repro-servebench-"))
     try:
         throughput, plans = _run_throughput_rows(workdir)
+        scaling = _run_scaling_rows(workdir, worker_counts)
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
     return {
         "schema": BENCH_SCHEMA,
         "throughput": throughput,
         "plans": plans,
+        "scaling": scaling,
         "recovery": run_chaos(),
     }
 
@@ -228,7 +362,13 @@ def compare_benchmarks(
       four serving regimes disagree with each other (``consistent``);
     * a chaos recovery scenario no longer passes;
     * a throughput regime's plans/sec dropped below
-      ``1 / THROUGHPUT_REGRESSION_RATIO`` of the baseline.
+      ``1 / THROUGHPUT_REGRESSION_RATIO`` of the baseline;
+    * the worker-scaling rows returned divergent fingerprints across
+      worker counts (gated everywhere), or the top-vs-1 speedup fell
+      below ``SCALING_SPEEDUP_FLOOR`` — gated only when the *current*
+      host has >= 4 CPUs, because process workers cannot scale on fewer
+      cores no matter what the code does; wall-clock facts are compared
+      against the hardware that produced them, never across machines.
 
     Rows present only on one side are failures too — the corpus and the
     scenario list are part of the contract.
@@ -286,4 +426,23 @@ def compare_benchmarks(
                 f"{base_rate} -> {cur_rate} "
                 f"(>{THROUGHPUT_REGRESSION_RATIO:.2f}x)"
             )
+
+    cur_scaling = current.get("scaling")
+    if cur_scaling is None:
+        if baseline.get("scaling") is not None:
+            failures.append("scaling: section missing from current run")
+    else:
+        if not cur_scaling.get("consistent", False):
+            failures.append(
+                "scaling: fingerprints diverged across worker counts"
+            )
+        cpus = cur_scaling.get("cpus") or 1
+        speedup = cur_scaling.get("speedup_top_vs_1")
+        top = cur_scaling.get("top_workers") or 1
+        if cpus >= _SCALING_MIN_CPUS and top >= _SCALING_MIN_CPUS:
+            if speedup is None or speedup < SCALING_SPEEDUP_FLOOR:
+                failures.append(
+                    f"scaling: {top}-worker speedup {speedup} below the "
+                    f"{SCALING_SPEEDUP_FLOOR}x floor on a {cpus}-cpu host"
+                )
     return failures

@@ -1,9 +1,11 @@
 """The planning service: admission → coalesce → supervise → degrade.
 
 :class:`PlanService` is the long-running daemon behind ``repro serve``
-and the in-process client the tests and the chaos harness drive.  One
-dispatch thread drains a FIFO of *jobs*; each job answers one or more
-coalesced tickets.  The request path:
+and the in-process client the tests and the chaos harness drive.  N
+dispatch threads (``ServiceConfig.workers``) drain one FIFO of *jobs*,
+each thread leasing one supervised worker, so independent solves run
+concurrently; each job answers one or more coalesced tickets.  The
+request path:
 
 1. **admission** — :class:`~repro.serve.admission.AdmissionController`
    bounds pending work globally and per tenant; overflow is shed with a
@@ -69,6 +71,12 @@ class ServiceConfig:
         worker: ``"inline"`` (solves on the dispatch thread; tests,
             single-process serving) or ``"process"`` (supervised child
             process; crash isolation).
+        workers: Dispatch parallelism — N dispatch threads drain the
+            queue concurrently, each leasing one of N supervised workers,
+            so independent solves overlap.  Coalescing is unchanged: a
+            key already in flight on *any* worker collects tickets
+            instead of solving again, so responses are fingerprint-
+            identical at every worker count.
         start_method: Multiprocessing start method for process workers.
             ``"spawn"`` is the safe default — forking a threaded daemon
             could inherit locks mid-acquisition.
@@ -80,10 +88,15 @@ class ServiceConfig:
 
     store_path: str | None = None
     worker: str = "inline"
+    workers: int = 1
     start_method: str = "spawn"
     admission: AdmissionConfig = AdmissionConfig()
     supervisor: SupervisorConfig = SupervisorConfig()
     autostart: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
 
 
 @dataclasses.dataclass
@@ -126,7 +139,10 @@ class PlanService:
                 "expected 'inline' or 'process'"
             )
         self.supervisor = Supervisor(
-            factory, self.config.supervisor, sleeper=sleeper
+            factory,
+            self.config.supervisor,
+            sleeper=sleeper,
+            pool_size=self.config.workers,
         )
 
         self.store: DurableStore | None = None
@@ -146,7 +162,7 @@ class PlanService:
         self._queue: queue.Queue = queue.Queue()
         self._inflight: dict[str, _Job] = {}
         self._lkg: dict[str, object] = {}
-        self._thread: threading.Thread | None = None
+        self._threads: list[threading.Thread] = []
         self._closed = False
 
         self.completed = 0
@@ -163,12 +179,16 @@ class PlanService:
     # ------------------------------------------------------------------
 
     def start(self) -> None:
-        """Start the dispatch thread (idempotent)."""
-        if self._thread is None:
-            self._thread = threading.Thread(
-                target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
-            )
-            self._thread.start()
+        """Start the dispatch threads (idempotent)."""
+        if not self._threads:
+            for index in range(self.config.workers):
+                thread = threading.Thread(
+                    target=self._dispatch_loop,
+                    name=f"repro-serve-dispatch-{index}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
 
     def submit(self, request: PlanRequest) -> Ticket:
         """Enqueue (or coalesce) a request; returns the claim ticket.
@@ -216,6 +236,7 @@ class PlanService:
     def stats(self) -> dict:
         """JSON-ready service counters (reporting only)."""
         return {
+            "workers": self.config.workers,
             "completed": self.completed,
             "coalesced_joins": self.coalesced_joins,
             "deadline_misses": self.deadline_misses,
@@ -231,15 +252,16 @@ class PlanService:
         }
 
     def close(self) -> None:
-        """Drain queued jobs, stop the dispatch thread, detach the store."""
+        """Drain queued jobs, stop the dispatch threads, detach the store."""
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-        self._queue.put(_STOP)
-        if self._thread is not None:
-            self._thread.join(timeout=60.0)
-            self._thread = None
+        for _ in range(max(1, len(self._threads))):
+            self._queue.put(_STOP)  # one stop pill per dispatch thread
+        for thread in self._threads:
+            thread.join(timeout=60.0)
+        self._threads = []
         self.supervisor.close()
         if self.store is not None:
             get_cache().detach_backend()
@@ -280,7 +302,7 @@ class PlanService:
             with self._lock:
                 self._inflight.pop(job.solve_key, None)
                 tickets = tuple(job.tickets)
-            self.completed += 1
+                self.completed += 1
             fanout = len(tickets)
             for ticket in tickets:
                 self.admission.release(
@@ -335,7 +357,8 @@ class PlanService:
         if optimal:
             self._publish_lkg(request, report)
         if not optimal and request.deadline is not None:
-            self.deadline_misses += 1
+            with self._lock:
+                self.deadline_misses += 1
             lkg = self._lookup_lkg(request)
             if lkg is not None:
                 return PlanResponse(
@@ -373,7 +396,8 @@ class PlanService:
 
     def _degrade(self, request: PlanRequest, *, reason: str) -> PlanResponse:
         """Dead-worker ladder: stale full-quality plan, else heuristic."""
-        self.degraded_fallbacks += 1
+        with self._lock:
+            self.degraded_fallbacks += 1
         lkg = self._lookup_lkg(request)
         if lkg is not None:
             return PlanResponse(
@@ -419,19 +443,25 @@ class PlanService:
 
     def _publish_lkg(self, request: PlanRequest, report) -> None:
         key = request.quality_key()
-        if key in self._lkg:
-            return
-        self._lkg[key] = report
+        with self._lock:
+            if key in self._lkg:
+                return
+            self._lkg[key] = report
+        # The durable write stays outside the lock (sqlite I/O must not
+        # stall the other dispatch threads); first-writer-wins above makes
+        # a duplicate store write impossible.
         if self.store is not None:
             self.store.put("lkg", key, report)
 
     def _lookup_lkg(self, request: PlanRequest):
         key = request.quality_key()
-        report = self._lkg.get(key)
+        with self._lock:
+            report = self._lkg.get(key)
         if report is None and self.store is not None:
             report, found = self.store.get("lkg", key)
             if found:
-                self._lkg[key] = report
+                with self._lock:
+                    self._lkg.setdefault(key, report)
             else:
                 report = None
         return report

@@ -17,6 +17,12 @@ throws at the daemon):
 * **atomic writes** — sqlite WAL journaling; a write either commits or
   leaves the previous state intact, and concurrent worker processes are
   serialized by sqlite's own locking (``busy_timeout``);
+* **bounded busy retries** — ``SQLITE_BUSY``/``SQLITE_LOCKED`` from a
+  concurrent writer (fleet warm-start sharing: N workers and the daemon
+  share one WAL file) is *contention, not corruption*: the operation is
+  retried ``busy_retries`` times with a paced sleep and then degrades to
+  a miss/no-op, leaving the healthy database file untouched — only
+  genuine database errors trigger whole-file recovery;
 * **checksum-verified reads** — every payload carries its SHA-256; a
   mismatch (torn page, bit rot, a writer killed mid-commit on a broken
   filesystem) quarantines the entry into the ``quarantine`` table and
@@ -38,11 +44,30 @@ import os
 import pickle
 import sqlite3
 import threading
+import time
 from pathlib import Path
 
 from repro.perf.fingerprint import fingerprint
 
 __all__ = ["DurableStore"]
+
+#: Pause between SQLITE_BUSY retries (seconds).  Pacing only — wall time
+#: never steers what a store operation returns, just when it re-tries.
+_BUSY_RETRY_DELAY = 0.05
+
+
+def _is_busy_error(err: sqlite3.Error) -> bool:
+    """Lock contention (retryable) vs a genuine database error.
+
+    sqlite3 maps both SQLITE_BUSY and SQLITE_LOCKED onto
+    ``OperationalError``; the message is the only portable discriminator
+    on Pythons without ``sqlite_errorcode``.
+    """
+    code = getattr(err, "sqlite_errorcode", None)
+    if code is not None:
+        return code in (5, 6)  # SQLITE_BUSY, SQLITE_LOCKED
+    message = str(err).lower()
+    return "database is locked" in message or "database table is locked" in message
 
 _SCHEMA = (
     """
@@ -76,15 +101,28 @@ class DurableStore:
     quarantined and recreated.
     """
 
-    def __init__(self, path: str | Path, *, busy_timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        busy_timeout: float = 30.0,
+        busy_retries: int = 3,
+        sleeper=time.sleep,
+    ) -> None:
+        if busy_retries < 0:
+            raise ValueError(f"busy_retries must be >= 0, got {busy_retries}")
         self.path = Path(path)
         self.busy_timeout = busy_timeout
+        self.busy_retries = busy_retries
+        self._sleep = sleeper  # injectable so contention tests never wait
         self._lock = threading.Lock()
         self._conn: sqlite3.Connection | None = None
         #: Entries quarantined by this instance (checksum/unpickle failures).
         self.quarantined_entries = 0
         #: Whole-file recoveries performed by this instance.
         self.recovered_files = 0
+        #: SQLITE_BUSY/SQLITE_LOCKED collisions absorbed by retry.
+        self.busy_events = 0
         with self._lock:
             self._open_locked()
 
@@ -160,40 +198,59 @@ class DurableStore:
     # Core keyed-bytes protocol
     # ------------------------------------------------------------------
 
+    def _run_locked(self, operation) -> tuple[object, bool]:
+        """Run one sqlite operation with busy retries; ``(result, ok)``.
+
+        Busy/locked errors (another writer holds the WAL) are retried up
+        to ``busy_retries`` times and then degrade to ``ok=False`` with
+        the database file left intact; any other sqlite error triggers
+        whole-file recovery.  Caller must hold ``self._lock``.
+        """
+        if self._conn is None:
+            return None, False
+        for attempt in range(self.busy_retries + 1):
+            try:
+                return operation(self._conn), True
+            except sqlite3.Error as err:
+                if not _is_busy_error(err):
+                    self._recover_locked()
+                    return None, False
+                self.busy_events += 1
+                if attempt < self.busy_retries:
+                    self._sleep(_BUSY_RETRY_DELAY * (attempt + 1))
+        return None, False  # contention outlasted the budget: miss, not recovery
+
     def put(self, namespace: str, digest: str, value) -> None:
         """Atomically persist ``value``; best-effort, never raises."""
         try:
             payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception:
             return
+
+        def operation(conn: sqlite3.Connection) -> None:
+            with conn:  # one transaction: commit or nothing
+                conn.execute(
+                    "INSERT OR REPLACE INTO entries VALUES (?, ?, ?, ?)",
+                    (namespace, digest, payload, checksum),
+                )
+
         checksum = hashlib.sha256(payload).hexdigest()
         with self._lock:
-            if self._conn is None:
-                return
-            try:
-                with self._conn:  # one transaction: commit or nothing
-                    self._conn.execute(
-                        "INSERT OR REPLACE INTO entries VALUES (?, ?, ?, ?)",
-                        (namespace, digest, payload, checksum),
-                    )
-            except sqlite3.Error:
-                self._recover_locked()
+            self._run_locked(operation)
 
     def get(self, namespace: str, digest: str) -> tuple[object, bool]:
         """Checksum-verified read; corrupt entries quarantine and miss."""
+
+        def operation(conn: sqlite3.Connection):
+            return conn.execute(
+                "SELECT payload, checksum FROM entries "
+                "WHERE namespace = ? AND digest = ?",
+                (namespace, digest),
+            ).fetchone()
+
         with self._lock:
-            if self._conn is None:
-                return None, False
-            try:
-                row = self._conn.execute(
-                    "SELECT payload, checksum FROM entries "
-                    "WHERE namespace = ? AND digest = ?",
-                    (namespace, digest),
-                ).fetchone()
-            except sqlite3.Error:
-                self._recover_locked()
-                return None, False
-            if row is None:
+            row, ok = self._run_locked(operation)
+            if not ok or row is None:
                 return None, False
             payload, checksum = row
             if hashlib.sha256(payload).hexdigest() != checksum:
@@ -214,20 +271,19 @@ class DurableStore:
         self, namespace: str, digest: str, payload: bytes, checksum: str, reason: str
     ) -> None:
         self.quarantined_entries += 1
-        if self._conn is None:
-            return
-        try:
-            with self._conn:
-                self._conn.execute(
+
+        def operation(conn: sqlite3.Connection) -> None:
+            with conn:
+                conn.execute(
                     "INSERT OR REPLACE INTO quarantine VALUES (?, ?, ?, ?, ?)",
                     (namespace, digest, payload, checksum, reason),
                 )
-                self._conn.execute(
+                conn.execute(
                     "DELETE FROM entries WHERE namespace = ? AND digest = ?",
                     (namespace, digest),
                 )
-        except sqlite3.Error:
-            self._recover_locked()
+
+        self._run_locked(operation)
 
     # ------------------------------------------------------------------
     # ResultCache backend protocol (perf.cache.ResultCache.attach_backend)
@@ -256,19 +312,21 @@ class DurableStore:
 
     def counts(self) -> dict[str, int]:
         """Per-namespace entry counts (plus ``quarantine`` rows), sorted."""
+
+        def operation(conn: sqlite3.Connection):
+            rows = conn.execute(
+                "SELECT namespace, COUNT(*) FROM entries GROUP BY namespace"
+            ).fetchall()
+            quarantined = conn.execute(
+                "SELECT COUNT(*) FROM quarantine"
+            ).fetchone()[0]
+            return rows, quarantined
+
         with self._lock:
-            if self._conn is None:
+            result, ok = self._run_locked(operation)
+            if not ok:
                 return {}
-            try:
-                rows = self._conn.execute(
-                    "SELECT namespace, COUNT(*) FROM entries GROUP BY namespace"
-                ).fetchall()
-                quarantined = self._conn.execute(
-                    "SELECT COUNT(*) FROM quarantine"
-                ).fetchone()[0]
-            except sqlite3.Error:
-                self._recover_locked()
-                return {}
+            rows, quarantined = result
         counts = {namespace: count for namespace, count in sorted(rows)}
         if quarantined:
             counts["quarantine"] = quarantined

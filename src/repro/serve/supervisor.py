@@ -37,6 +37,7 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import os
+import threading
 import time
 
 from repro.core.api import MobiusConfig, MobiusPlanReport, plan_mobius
@@ -259,7 +260,19 @@ class ProcessWorker:
 
 
 class Supervisor:
-    """Runs solves on a worker, restarting and quarantining per the config."""
+    """Runs solves on a pool of workers, restarting and quarantining.
+
+    The pool owns up to ``pool_size`` worker leases: a solve checks a
+    worker out (blocking while all leases are taken, which only happens
+    when more threads than ``pool_size`` call in), solves, and checks it
+    back in — crashed workers are discarded on check-in and replaced
+    lazily by the next checkout.  Crash counts, quarantine, and the
+    public counters are shared across the whole pool under one lock, so
+    the poison ladder behaves identically at any pool size: a key that
+    crashes workers ``quarantine_after`` times is poison no matter which
+    workers it killed.  ``pool_size=1`` preserves the original
+    single-worker supervisor exactly.
+    """
 
     def __init__(
         self,
@@ -267,11 +280,19 @@ class Supervisor:
         config: SupervisorConfig | None = None,
         *,
         sleeper=time.sleep,
+        pool_size: int = 1,
     ) -> None:
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
         self.worker_factory = worker_factory
         self.config = config or SupervisorConfig()
+        self.pool_size = pool_size
         self._sleep = sleeper  # injectable so tests never actually wait
-        self._worker = None
+        self._lock = threading.Lock()
+        self._workers_free = threading.Condition(self._lock)
+        self._idle: list = []
+        self._leased = 0
+        self._pool_closed = False
         #: Cumulative worker crashes per solve key (poison detection).
         self._crash_counts: dict[str, int] = {}
         self._quarantined: dict[str, int] = {}
@@ -281,20 +302,43 @@ class Supervisor:
         self.restarts = 0
 
     def is_quarantined(self, solve_key: str) -> bool:
-        return solve_key in self._quarantined
+        with self._lock:
+            return solve_key in self._quarantined
 
-    def _ensure_worker(self):
-        if self._worker is None or not getattr(self._worker, "alive", True):
-            self._worker = self.worker_factory()
-        return self._worker
+    def _checkout_worker(self):
+        """Lease a worker, blocking while all ``pool_size`` are leased."""
+        with self._workers_free:
+            while self._leased >= self.pool_size and not self._pool_closed:
+                self._workers_free.wait()
+            if self._pool_closed:
+                raise WorkerUnavailable("(pool-closed)", 0)
+            self._leased += 1
+            while self._idle:
+                worker = self._idle.pop()
+                if getattr(worker, "alive", True):
+                    return worker
+                self._close_quietly(worker)
+        # Construction happens outside the lock: a slow ProcessWorker
+        # spawn must not stall the other dispatch threads' checkouts.
+        return self.worker_factory()
 
-    def _discard_worker(self) -> None:
-        if self._worker is not None:
-            try:
-                self._worker.close()
-            except Exception:
-                pass
-            self._worker = None
+    def _checkin_worker(self, worker, *, discard: bool) -> None:
+        if discard:
+            self._close_quietly(worker)
+        with self._workers_free:
+            self._leased -= 1
+            if not discard and not self._pool_closed and getattr(worker, "alive", True):
+                self._idle.append(worker)
+            elif not discard:
+                self._close_quietly(worker)
+            self._workers_free.notify()
+
+    @staticmethod
+    def _close_quietly(worker) -> None:
+        try:
+            worker.close()
+        except Exception:
+            pass
 
     def solve(
         self,
@@ -311,13 +355,14 @@ class Supervisor:
             WorkerSolveError: The solve itself failed (not retried —
                 planning is deterministic).
         """
-        if solve_key in self._quarantined:
-            raise RequestQuarantined(solve_key, self._quarantined[solve_key])
+        with self._lock:
+            if solve_key in self._quarantined:
+                raise RequestQuarantined(solve_key, self._quarantined[solve_key])
         policy = self.config.restart_policy
         attempts = 0
         restarts = 0
         for attempt in range(1, policy.max_attempts + 1):
-            worker = self._ensure_worker()
+            worker = self._checkout_worker()
             sabotage = (
                 self.sabotage_hook(solve_key, attempt)
                 if self.sabotage_hook is not None
@@ -327,21 +372,33 @@ class Supervisor:
             try:
                 report = worker.solve(model, topology, config, sabotage=sabotage)
             except WorkerCrashed:
-                self.crashes += 1
-                self._discard_worker()
-                crashed = self._crash_counts.get(solve_key, 0) + 1
-                self._crash_counts[solve_key] = crashed
-                if crashed >= self.config.quarantine_after:
-                    self._quarantined[solve_key] = crashed
-                    raise RequestQuarantined(solve_key, crashed) from None
+                self._checkin_worker(worker, discard=True)
+                with self._lock:
+                    self.crashes += 1
+                    crashed = self._crash_counts.get(solve_key, 0) + 1
+                    self._crash_counts[solve_key] = crashed
+                    if crashed >= self.config.quarantine_after:
+                        self._quarantined[solve_key] = crashed
+                        raise RequestQuarantined(solve_key, crashed) from None
                 if attempt < policy.max_attempts:
                     self._sleep(policy.backoff(attempt))
-                    self.restarts += 1
+                    with self._lock:
+                        self.restarts += 1
                     restarts += 1
                 continue
-            self._crash_counts.pop(solve_key, None)
+            except BaseException:
+                self._checkin_worker(worker, discard=False)
+                raise
+            self._checkin_worker(worker, discard=False)
+            with self._lock:
+                self._crash_counts.pop(solve_key, None)
             return SolveOutcome(report=report, attempts=attempts, restarts=restarts)
         raise WorkerUnavailable(solve_key, attempts)
 
     def close(self) -> None:
-        self._discard_worker()
+        with self._workers_free:
+            self._pool_closed = True
+            idle, self._idle = self._idle, []
+            self._workers_free.notify_all()
+        for worker in idle:
+            self._close_quietly(worker)

@@ -1,0 +1,494 @@
+"""Racing solver portfolio: branch-and-bound vs HiGHS, first valid win.
+
+The production partition search (:func:`repro.core.partition.
+mip_partition`) and the literal Eqs. 3-11 boolean MIP solved by HiGHS
+(:mod:`repro.core.mip_formulation` over :mod:`repro.solver.
+scipy_backend`) provably agree — the solvebench parity gate pins it — so
+planning latency is ``min(backend latencies)`` if both run at once.
+:func:`race_partition` does exactly that:
+
+* two persistent child processes (one per backend, spawned lazily and
+  reused across races) each solve the same :class:`RaceTask`;
+* the first *eligible* result wins and is returned immediately;
+* the loser is cancelled through a shared :class:`multiprocessing.Event`
+  polled inside its search (a cancelled search returns nothing, so
+  cancellation can discard work but never change a returned plan);
+* when several backends finish in the same wait round, the fixed
+  ``BACKEND_RANK`` order breaks the tie deterministically.
+
+**Bit-identity.**  The ``bnb`` backend *is* the solo solve.  The
+``highs`` backend solves the literal MIP per stage count, then feeds the
+best boundaries as a warm-start hint into the same ``mip_partition``
+verification pass — and a hint provably cannot change an exhausted
+search's result (canonical tie-break, tied subtrees explored).  A
+``highs`` result is therefore eligible only when its verification pass
+ran to completion (``optimal=True``); budget-truncated searches answer
+from ``bnb`` alone.  Deadline-truncated solves (``max_nodes`` below the
+default budget) never race at all — their contract is "the solo
+incumbent at that budget", which only the solo search defines.
+
+**Fallbacks.**  Racing degrades to the plain solo solve — never to an
+error — whenever the environment cannot support it: a single-job
+container (``REPRO_JOBS`` / :func:`repro.experiments.runner.
+default_jobs`), a daemonic worker process that may not spawn children,
+a custom cost model the child could not reconstruct, or a pool that
+fails to start.
+
+This module reads no clocks: the winner is decided by arrival order and
+rank, and per-backend wall times are measured only by ``repro
+solvebench``'s allowlisted reporting sites.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import multiprocessing
+import threading
+from multiprocessing import connection
+
+from repro.core.mip_formulation import solve_partition_mip
+from repro.core.partition import (
+    PartitionResult,
+    PartitionSearchCancelled,
+    mip_partition,
+)
+from repro.models.costmodel import CostModel
+
+__all__ = [
+    "BACKEND_RANK",
+    "DEFAULT_MAX_NODES",
+    "InlineRaceExecutor",
+    "RaceTask",
+    "race_partition",
+    "shutdown_portfolio_pool",
+]
+
+#: Fixed backend rank: index 0 wins every same-round tie.  ``bnb`` first —
+#: it is the solo solve, so ties resolve to the reference computation.
+BACKEND_RANK: tuple[str, ...] = ("bnb", "highs")
+
+#: ``mip_partition``'s default deterministic node budget.  Solves truncated
+#: below it (serve deadlines) are answered by the solo search only.
+DEFAULT_MAX_NODES = 20_000
+
+
+@dataclasses.dataclass(frozen=True)
+class RaceTask:
+    """A picklable partition solve, self-contained for a child process.
+
+    The cost model is shipped as its constructor arguments rather than as
+    an object: rebuilding ``CostModel(gpu_spec, microbatch_size, ...)`` in
+    the child guarantees both backends price layers identically to the
+    parent's solo path.
+    """
+
+    model: object
+    gpu_spec: object
+    microbatch_size: int
+    recompute: bool
+    precision: object
+    n_gpus: int
+    n_microbatches: int
+    bandwidth: float
+    gpu_memory: int
+    time_limit: float
+    max_nodes: int
+    warm_boundaries: tuple[int, ...] | None
+
+
+def _task_cost_model(task: RaceTask) -> CostModel:
+    return CostModel(
+        task.gpu_spec,
+        task.microbatch_size,
+        recompute=task.recompute,
+        precision=task.precision,
+    )
+
+
+def _solve_bnb(task: RaceTask, poll=None) -> PartitionResult:
+    """The solo boundary branch-and-bound, verbatim (rank-0 backend)."""
+    return mip_partition(
+        task.model,
+        _task_cost_model(task),
+        task.n_gpus,
+        task.n_microbatches,
+        task.bandwidth,
+        gpu_memory=task.gpu_memory,
+        time_limit=task.time_limit,
+        max_nodes=task.max_nodes,
+        warm_start=task.warm_boundaries,
+        poll=poll,
+    )
+
+
+def _solve_highs(task: RaceTask, poll=None) -> PartitionResult:
+    """Literal-MIP backend: HiGHS boundaries hint a verification pass.
+
+    The per-stage-count MIPs only produce a *hint*; the returned result
+    always comes from ``mip_partition``, whose exhausted searches are
+    hint-invariant — that is the whole bit-identity argument.  ``poll``
+    is checked between stage counts and inside the verification search.
+    """
+    cost_model = _task_cost_model(task)
+    best: tuple[float, tuple[int, ...]] | None = None
+    for n_stages in range(max(1, task.n_gpus), task.model.n_layers + 1):
+        if poll is not None and poll():
+            raise PartitionSearchCancelled(
+                f"highs backend cancelled before S={n_stages}"
+            )
+        outcome = solve_partition_mip(
+            task.model,
+            cost_model,
+            task.n_gpus,
+            task.n_microbatches,
+            task.bandwidth,
+            gpu_memory=task.gpu_memory,
+            stage_counts=[n_stages],
+            backend="scipy",
+            time_limit_per_stage=task.time_limit,
+        )
+        if outcome.partition is None:
+            continue
+        candidate = (outcome.step_seconds, tuple(outcome.partition.boundaries))
+        if best is None or candidate < best:
+            best = candidate
+    hint = best[1] if best is not None else task.warm_boundaries
+    result = mip_partition(
+        task.model,
+        cost_model,
+        task.n_gpus,
+        task.n_microbatches,
+        task.bandwidth,
+        gpu_memory=task.gpu_memory,
+        time_limit=task.time_limit,
+        max_nodes=task.max_nodes,
+        warm_start=hint,
+        poll=poll,
+    )
+    result.solver_backend = "highs"
+    return result
+
+
+_BACKENDS = {"bnb": _solve_bnb, "highs": _solve_highs}
+
+
+def _eligible(backend: str, result: PartitionResult) -> bool:
+    """May this backend's result be returned as the race winner?
+
+    ``bnb`` always — it *is* the solo computation.  ``highs`` only when
+    its verification pass exhausted the tree: an exhausted search returns
+    the canonical optimum regardless of hints, so it matches what the
+    solo search returns whenever the solo search exhausts too (every
+    full-budget production solve; the solvebench portfolio-parity gate
+    pins this on the corpus).
+    """
+    if backend == "bnb":
+        return True
+    return bool(result.optimal)
+
+
+# ----------------------------------------------------------------------
+# The persistent process pool (one child per backend)
+# ----------------------------------------------------------------------
+
+
+def _portfolio_worker_main(conn, backend: str, cancel) -> None:
+    """Child loop: solve races until EOF, honoring the cancel event."""
+    solver = _BACKENDS[backend]
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            return
+        if message[0] == "exit":
+            return
+        _, race_id, task = message
+        try:
+            result = solver(task, poll=cancel.is_set)
+        except PartitionSearchCancelled:
+            reply = (race_id, "cancelled", None)
+        except Exception as err:
+            reply = (race_id, "error", f"{type(err).__name__}: {err}")
+        else:
+            reply = (race_id, "ok", result)
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return  # parent shut the pool down mid-solve
+
+
+class _BackendWorker:
+    """Parent-side handle of one persistent backend child."""
+
+    def __init__(self, backend: str, context) -> None:
+        self.backend = backend
+        self.rank = BACKEND_RANK.index(backend)
+        self.cancel = context.Event()
+        self.conn, child_conn = context.Pipe()
+        self.process = context.Process(
+            target=_portfolio_worker_main,
+            args=(child_conn, backend, self.cancel),
+            name=f"repro-portfolio-{backend}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()  # parent keeps one end only: EOF means death
+        #: Race id this worker was abandoned on (its reply is still owed).
+        self.pending_race: int | None = None
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def drain(self) -> bool:
+        """Consume the reply of an abandoned race; False if the child died.
+
+        The cancel event makes abandoned solves return quickly, so the
+        blocking receive here is bounded by one backend's remaining work.
+        """
+        while self.pending_race is not None:
+            try:
+                reply = self.conn.recv()
+            except (EOFError, OSError):
+                return False
+            if reply[0] == self.pending_race:
+                self.pending_race = None
+        self.cancel.clear()
+        return True
+
+    def close(self) -> None:
+        try:
+            self.conn.send(("exit",))
+        except (BrokenPipeError, OSError):
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join()
+
+
+#: The persistent racing pool, one worker per backend.  Written only
+#: through the MOB007-registered seams below; a full race additionally
+#: holds ``_RACE_LOCK`` so concurrent callers serialize on the pool
+#: (distinct solves rarely collide — the serve layer coalesces by key).
+_POOL: dict[str, _BackendWorker] = {}
+_POOL_LOCK = threading.Lock()
+_RACE_LOCK = threading.Lock()
+_NEXT_RACE = itertools.count(1)
+
+
+def _acquire_pool():
+    """Synchronization seam: (workers, race id), spawning/respawning lazily.
+
+    Returns ``None`` when the pool cannot be built (spawn failure) — the
+    caller falls back to the inline solo solve.
+    """
+    with _POOL_LOCK:
+        try:
+            context = multiprocessing.get_context("spawn")
+            workers = []
+            for backend in BACKEND_RANK:
+                worker = _POOL.get(backend)
+                if worker is None or not worker.alive:
+                    if worker is not None:
+                        worker.close()
+                    worker = _BackendWorker(backend, context)
+                    _POOL[backend] = worker
+                workers.append(worker)
+        except Exception:
+            return None
+        return workers, next(_NEXT_RACE)
+
+
+def shutdown_portfolio_pool() -> None:
+    """Synchronization seam: terminate and forget the racing children."""
+    with _POOL_LOCK:
+        for worker in _POOL.values():
+            worker.close()
+        _POOL.clear()
+
+
+def _race_over_pool(task: RaceTask) -> PartitionResult | None:
+    """Run one race on the persistent pool; ``None`` means 'fall back solo'."""
+    with _RACE_LOCK:
+        acquired = _acquire_pool()
+        if acquired is None:
+            return None
+        workers, race_id = acquired
+        racing: dict[object, _BackendWorker] = {}
+        for worker in workers:
+            if not worker.drain():
+                worker.close()
+                continue
+            try:
+                worker.conn.send(("solve", race_id, task))
+            except (BrokenPipeError, OSError):
+                worker.close()
+                continue
+            racing[worker.conn] = worker
+        if not racing:
+            return None
+        winner: PartitionResult | None = None
+        while racing and winner is None:
+            ready = connection.wait(list(racing))
+            replies = []
+            for conn in ready:
+                worker = racing.pop(conn)
+                try:
+                    reply = worker.conn.recv()
+                except (EOFError, OSError):
+                    worker.close()
+                    continue
+                reply_race, kind, payload = reply
+                if reply_race != race_id:
+                    racing[conn] = worker  # stale reply; the real one is owed
+                    continue
+                replies.append((worker, kind, payload))
+            # Same-round ties break by fixed backend rank, deterministically.
+            for worker, kind, payload in sorted(replies, key=lambda r: r[0].rank):
+                if kind == "ok" and _eligible(worker.backend, payload):
+                    winner = payload
+                    break
+        for worker in racing.values():
+            worker.cancel.set()
+            worker.pending_race = race_id
+        return winner
+
+
+# ----------------------------------------------------------------------
+# Inline (process-free) racing — the deterministic test seam
+# ----------------------------------------------------------------------
+
+
+class InlineRaceExecutor:
+    """Run a race inline with a scripted finish order (no processes).
+
+    ``order`` lists arrival rounds: a string is a backend finishing alone
+    in its round; a tuple is several backends finishing simultaneously
+    (rank breaks the tie).  ``InlineRaceExecutor(("highs", "bnb"))``
+    forces the "HiGHS finishes first" ordering; ``(("bnb", "highs"),)``
+    forces a photo finish.  The decision logic consuming these rounds is
+    the same one the process pool uses.
+    """
+
+    def __init__(self, order=(("bnb", "highs"),)) -> None:
+        self.rounds: list[tuple[str, ...]] = [
+            (entry,) if isinstance(entry, str) else tuple(entry)
+            for entry in order
+        ]
+        seen = [b for r in self.rounds for b in r]
+        if sorted(seen) != sorted(set(seen)) or not set(seen) <= set(BACKEND_RANK):
+            raise ValueError(f"invalid race order {order!r}")
+
+    def race(self, task: RaceTask):
+        for round_backends in self.rounds:
+            replies = []
+            for backend in round_backends:
+                try:
+                    result = _BACKENDS[backend](task)
+                except Exception as err:
+                    replies.append((backend, "error", f"{err}"))
+                else:
+                    replies.append((backend, "ok", result))
+            yield replies
+
+
+def _race_inline(task: RaceTask, executor) -> PartitionResult | None:
+    for replies in executor.race(task):
+        ranked = sorted(replies, key=lambda r: BACKEND_RANK.index(r[0]))
+        for backend, kind, payload in ranked:
+            if kind == "ok" and _eligible(backend, payload):
+                return payload
+    return None
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+
+def _racing_available(jobs: int | None) -> bool:
+    if multiprocessing.current_process().daemon:
+        # Daemonic children (the serve layer's process workers) may not
+        # spawn grandchildren; they solve solo, and that is also why the
+        # race lives here rather than inside every worker.
+        return False
+    if jobs is None:
+        # Lazy import: runner -> core.api -> (lazily) this module.
+        from repro.experiments.runner import resolve_jobs
+
+        # Ceiling 2: a race uses exactly len(BACKEND_RANK) processes, so
+        # never claim more of the container than that.
+        jobs = resolve_jobs(ceiling=len(BACKEND_RANK))
+    return jobs >= 2
+
+
+def race_partition(
+    model,
+    cost_model: CostModel,
+    n_gpus: int,
+    n_microbatches: int,
+    bandwidth: float,
+    *,
+    gpu_memory: int | None = None,
+    time_limit: float = 10.0,
+    max_nodes: int = DEFAULT_MAX_NODES,
+    warm_start: object = None,
+    jobs: int | None = None,
+    executor=None,
+) -> PartitionResult:
+    """Race the portfolio backends; bit-identical to the solo solve.
+
+    Drop-in replacement for :func:`repro.core.partition.mip_partition`
+    (same arguments, same result contract, same exceptions), plus:
+
+    Args:
+        jobs: Parallelism available to the race; ``None`` consults
+            ``REPRO_JOBS`` / :func:`repro.experiments.runner.default_jobs`
+            so nested pools never oversubscribe a container.  Below 2 the
+            solve runs solo inline.
+        executor: Test/bench seam — an :class:`InlineRaceExecutor` races
+            in-process with a scripted finish order instead of spawning
+            the persistent pool.
+    """
+    if gpu_memory is None:
+        gpu_memory = cost_model.usable_gpu_bytes()
+    if max_nodes < DEFAULT_MAX_NODES or type(cost_model) is not CostModel:
+        # Deadline-truncated solves answer from the solo incumbent by
+        # contract; exotic cost models cannot be rebuilt in a child.
+        return mip_partition(
+            model, cost_model, n_gpus, n_microbatches, bandwidth,
+            gpu_memory=gpu_memory, time_limit=time_limit,
+            max_nodes=max_nodes, warm_start=warm_start,
+        )
+    boundaries = getattr(warm_start, "boundaries", warm_start)
+    task = RaceTask(
+        model=model,
+        gpu_spec=cost_model.gpu_spec,
+        microbatch_size=cost_model.microbatch_size,
+        recompute=cost_model.recompute,
+        precision=cost_model.precision,
+        n_gpus=n_gpus,
+        n_microbatches=n_microbatches,
+        bandwidth=bandwidth,
+        gpu_memory=gpu_memory,
+        time_limit=time_limit,
+        max_nodes=max_nodes,
+        warm_boundaries=(
+            tuple(int(b) for b in boundaries) if boundaries is not None else None
+        ),
+    )
+    if executor is not None:
+        winner = _race_inline(task, executor)
+    elif _racing_available(jobs):
+        winner = _race_over_pool(task)
+    else:
+        winner = None
+    if winner is None:
+        return _solve_bnb(task)
+    return winner

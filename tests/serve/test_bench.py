@@ -20,8 +20,28 @@ def _document(**overrides) -> dict:
             {"name": "worker-crash-midsolve", "ok": True},
             {"name": "overload-burst", "ok": True},
         ],
+        "scaling": {
+            "cpus": 8,
+            "rows": [
+                {"workers": 1, "plans": 20, "wall_seconds": 4.0,
+                 "plans_per_second": 5.0},
+                {"workers": 2, "plans": 20, "wall_seconds": 2.2,
+                 "plans_per_second": 9.1},
+                {"workers": 4, "plans": 20, "wall_seconds": 1.6,
+                 "plans_per_second": 12.5},
+            ],
+            "top_workers": 4,
+            "speedup_top_vs_1": 2.5,
+            "consistent": True,
+        },
     }
     document.update(overrides)
+    return document
+
+
+def _scaled(**changes) -> dict:
+    document = _document()
+    document["scaling"] = dict(document["scaling"], **changes)
     return document
 
 
@@ -67,6 +87,46 @@ class TestGateFails:
         current = _mutated("throughput", 0, plans_per_second=79.0)  # < 100/1.25
         failures = compare_benchmarks(current, _document())
         assert any("plans/sec regressed" in f for f in failures)
+
+    def test_scaling_fingerprint_divergence_fails_on_any_host(self):
+        # Identity across worker counts is gated even on 1-cpu hosts.
+        current = _scaled(consistent=False, cpus=1, top_workers=4)
+        failures = compare_benchmarks(current, _document())
+        assert any(
+            "fingerprints diverged across worker counts" in f for f in failures
+        )
+
+    def test_scaling_speedup_below_floor_fails_on_big_hosts(self):
+        current = _scaled(speedup_top_vs_1=1.4)
+        failures = compare_benchmarks(current, _document())
+        assert any("below the" in f and "floor" in f for f in failures)
+        missing = _scaled(speedup_top_vs_1=None)
+        assert any(
+            "below the" in f for f in compare_benchmarks(missing, _document())
+        )
+
+    def test_scaling_speedup_not_gated_on_small_hosts(self):
+        # A 1-cpu runner cannot scale; the floor only applies when the
+        # host has >= 4 cpus AND the ladder actually reached 4 workers.
+        small_host = _scaled(speedup_top_vs_1=1.0, cpus=1)
+        assert compare_benchmarks(small_host, _document()) == []
+        short_ladder = _scaled(speedup_top_vs_1=1.0, top_workers=2)
+        assert compare_benchmarks(short_ladder, _document()) == []
+
+    def test_scaling_speedup_at_floor_passes(self):
+        assert compare_benchmarks(
+            _scaled(speedup_top_vs_1=1.8), _document()
+        ) == []
+
+    def test_scaling_section_missing_from_current_fails(self):
+        current = _document()
+        del current["scaling"]
+        failures = compare_benchmarks(current, _document())
+        assert any("scaling: section missing" in f for f in failures)
+        # ... but a pre-scaling baseline doesn't demand the section.
+        baseline = _document()
+        del baseline["scaling"]
+        assert compare_benchmarks(current, baseline) == []
 
     def test_missing_rows_fail_both_ways(self):
         dropped = _document()

@@ -129,3 +129,144 @@ class TestProtocols:
             assert store.get_hint(key) is None
             store.put_hint(key, {"boundaries": (1, 4, 8)})
             assert store.get_hint(key) == {"boundaries": (1, 4, 8)}
+
+
+class _FlakyConnection:
+    """Proxy that raises SQLITE_BUSY for the first ``failures`` executes."""
+
+    def __init__(self, conn, failures, message="database is locked"):
+        self._conn = conn
+        self.failures = failures
+        self.message = message
+
+    def __getattr__(self, name):
+        return getattr(self._conn, name)
+
+    def __enter__(self):
+        return self._conn.__enter__()
+
+    def __exit__(self, *exc_info):
+        return self._conn.__exit__(*exc_info)
+
+    def execute(self, *args, **kwargs):
+        if self.failures > 0:
+            self.failures -= 1
+            raise sqlite3.OperationalError(self.message)
+        return self._conn.execute(*args, **kwargs)
+
+
+class TestBusyRetries:
+    """SQLITE_BUSY is contention, not corruption: retry, then miss."""
+
+    def _flaky_store(self, tmp_path, failures, **kwargs):
+        sleeps = []
+        store = DurableStore(
+            tmp_path / "s.db", sleeper=sleeps.append, **kwargs
+        )
+        store._conn = _FlakyConnection(store._conn, failures)
+        return store, sleeps
+
+    def test_transient_contention_is_absorbed(self, tmp_path):
+        store, sleeps = self._flaky_store(tmp_path, failures=2)
+        store.put("ns", "k", {"v": 1})
+        assert store.get("ns", "k") == ({"v": 1}, True)
+        assert store.busy_events == 2
+        assert store.recovered_files == 0  # the file was never touched
+        assert len(sleeps) == 2
+        assert sleeps == sorted(sleeps)  # paced: delays grow per attempt
+        store.close()
+
+    def test_contention_outlasting_the_budget_degrades_to_a_miss(
+        self, tmp_path
+    ):
+        store, _ = self._flaky_store(tmp_path, failures=99, busy_retries=3)
+        store.put("ns", "k", "value")  # all 4 attempts busy: no-op, no raise
+        assert store.busy_events == 4
+        assert store.recovered_files == 0
+        # The store stays usable once the contention clears.
+        store._conn.failures = 0
+        store.put("ns", "k", "value")
+        assert store.get("ns", "k") == ("value", True)
+        store.close()
+
+    def test_sqlite_locked_variant_is_also_retryable(self, tmp_path):
+        store = DurableStore(tmp_path / "s.db", sleeper=lambda _s: None)
+        store._conn = _FlakyConnection(
+            store._conn, 1, message="database table is locked"
+        )
+        store.put("ns", "k", 7)
+        assert store.busy_events == 1
+        assert store.recovered_files == 0
+        assert store.get("ns", "k") == (7, True)
+        store.close()
+
+    def test_genuine_database_error_still_recovers_the_file(self, tmp_path):
+        store = DurableStore(tmp_path / "s.db", sleeper=lambda _s: None)
+        store.put("ns", "k", 1)
+
+        class _Corrupt:
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc_info):
+                return False
+
+            def execute(self, *args, **kwargs):
+                raise sqlite3.DatabaseError("database disk image is malformed")
+
+            def close(self):
+                pass
+
+        store._conn = _Corrupt()
+        store.put("ns", "k2", 2)
+        assert store.busy_events == 0
+        assert store.recovered_files == 1  # recovery, not retry
+        # Recovery swapped in a fresh database: old entries are gone,
+        # new writes land.
+        store.put("ns", "k3", 3)
+        assert store.get("ns", "k3") == (3, True)
+        assert store.get("ns", "k") == (None, False)
+        store.close()
+
+    def test_negative_retry_budget_rejected(self, tmp_path):
+        import pytest
+
+        with pytest.raises(ValueError, match="busy_retries"):
+            DurableStore(tmp_path / "s.db", busy_retries=-1)
+
+
+class TestTwoWriterContention:
+    def test_two_threads_one_file_no_recovery(self, tmp_path):
+        """Two writers hammering one WAL file: every entry lands, the
+        busy-retry path absorbs any collision, and neither store ever
+        escalates to whole-file recovery."""
+        import threading
+
+        path = tmp_path / "shared.db"
+        stores = [DurableStore(path, busy_timeout=5.0) for _ in range(2)]
+        errors = []
+
+        def hammer(store, who):
+            try:
+                for i in range(50):
+                    store.put("ns", f"{who}-{i}", (who, i))
+            except Exception as err:  # pragma: no cover - the assertion
+                errors.append(err)
+
+        threads = [
+            threading.Thread(target=hammer, args=(store, who))
+            for who, store in enumerate(stores)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert errors == []
+        assert all(store.recovered_files == 0 for store in stores)
+        reader = stores[0]
+        for who in range(2):
+            for i in range(50):
+                assert reader.get("ns", f"{who}-{i}") == ((who, i), True)
+        assert reader.counts()["ns"] == 100
+        for store in stores:
+            store.close()

@@ -1,0 +1,203 @@
+"""Racing portfolio: bit-identity, tie-breaks, eligibility, fallbacks.
+
+The inline executor scripts every interesting finish order without
+processes; one smoke test exercises the real two-child pool.
+"""
+
+import pytest
+
+from repro.check.corpus import default_corpus
+from repro.core.partition import PartitionSearchCancelled, mip_partition
+from repro.models.costmodel import CostModel
+from repro.solver import portfolio
+from repro.solver.portfolio import (
+    DEFAULT_MAX_NODES,
+    InlineRaceExecutor,
+    RaceTask,
+    _eligible,
+    race_partition,
+    shutdown_portfolio_pool,
+)
+
+
+def _cell_args(index=0):
+    cell = default_corpus()[index]
+    microbatch = cell.config.microbatch_size or cell.model.default_microbatch_size
+    cost_model = CostModel(cell.topology.gpu_spec, microbatch)
+    n_gpus = cell.topology.n_gpus
+    return (
+        cell.model,
+        cost_model,
+        n_gpus,
+        cell.config.n_microbatches or n_gpus,
+        cell.config.bandwidth or cell.topology.pcie_bandwidth,
+    )
+
+
+@pytest.fixture(scope="module")
+def cell_args():
+    return _cell_args()
+
+
+@pytest.fixture(scope="module")
+def solo(cell_args):
+    return mip_partition(*cell_args)
+
+
+class _BoomExecutor:
+    """An executor that must never be consulted (guard-path sentinel)."""
+
+    def race(self, task):
+        raise AssertionError("race_partition consulted the executor")
+
+
+class TestInlineOrderings:
+    @pytest.mark.parametrize(
+        "order,expected_backend",
+        [
+            (("bnb", "highs"), "bnb"),      # solo search finishes first
+            (("highs", "bnb"), "highs"),    # HiGHS finishes first
+            ((("bnb", "highs"),), "bnb"),   # photo finish: rank breaks it
+            ((("highs", "bnb"),), "bnb"),   # ...regardless of reply order
+        ],
+        ids=["bnb-first", "highs-first", "tie", "tie-reversed"],
+    )
+    def test_every_ordering_is_bit_identical(
+        self, cell_args, solo, order, expected_backend
+    ):
+        raced = race_partition(
+            *cell_args, executor=InlineRaceExecutor(order)
+        )
+        assert raced.partition.boundaries == solo.partition.boundaries
+        assert raced.timings.step_seconds == solo.timings.step_seconds
+        assert raced.solver_backend == expected_backend
+
+    def test_warm_start_hint_does_not_change_the_winner(self, cell_args, solo):
+        raced = race_partition(
+            *cell_args,
+            warm_start=solo.partition,
+            executor=InlineRaceExecutor(("highs", "bnb")),
+        )
+        assert raced.partition.boundaries == solo.partition.boundaries
+        assert raced.solver_backend == "highs"
+
+    def test_invalid_orders_are_rejected(self):
+        with pytest.raises(ValueError):
+            InlineRaceExecutor(("bnb", "bnb"))
+        with pytest.raises(ValueError):
+            InlineRaceExecutor(("bnb", "cplex"))
+
+
+class TestEligibility:
+    def test_bnb_is_always_eligible(self, solo):
+        assert _eligible("bnb", solo)
+
+        class _Truncated:
+            optimal = False
+
+        assert _eligible("bnb", _Truncated())
+
+    def test_highs_requires_a_verified_search(self, solo):
+        class _Unverified:
+            optimal = False
+
+        class _Verified:
+            optimal = True
+
+        assert not _eligible("highs", _Unverified())
+        assert _eligible("highs", _Verified())
+
+    def test_unverified_highs_loses_even_when_first(
+        self, cell_args, solo, monkeypatch
+    ):
+        def fake_highs(task, poll=None):
+            result = portfolio._solve_bnb(task)
+            result.optimal = False
+            result.solver_backend = "highs"
+            return result
+
+        monkeypatch.setitem(portfolio._BACKENDS, "highs", fake_highs)
+        raced = race_partition(
+            *cell_args, executor=InlineRaceExecutor(("highs", "bnb"))
+        )
+        assert raced.solver_backend == "bnb"
+        assert raced.partition.boundaries == solo.partition.boundaries
+
+    def test_all_backends_failing_still_answers_solo(
+        self, cell_args, solo, monkeypatch
+    ):
+        def boom(task, poll=None):
+            raise RuntimeError("backend crashed")
+
+        monkeypatch.setitem(portfolio._BACKENDS, "bnb", boom)
+        monkeypatch.setitem(portfolio._BACKENDS, "highs", boom)
+        raced = race_partition(*cell_args, executor=InlineRaceExecutor())
+        assert raced.partition.boundaries == solo.partition.boundaries
+        assert raced.solver_backend == "bnb"
+
+
+class TestFallsBackToSolo:
+    def test_truncated_budgets_never_race(self, cell_args, solo):
+        raced = race_partition(
+            *cell_args, max_nodes=DEFAULT_MAX_NODES - 1, executor=_BoomExecutor()
+        )
+        assert raced.partition.boundaries == solo.partition.boundaries
+
+    def test_cost_model_subclasses_never_race(self, cell_args, solo):
+        class TracingCostModel(CostModel):
+            pass
+
+        model, cost_model, n_gpus, n_microbatches, bandwidth = cell_args
+        custom = TracingCostModel(
+            cost_model.gpu_spec, cost_model.microbatch_size
+        )
+        raced = race_partition(
+            model, custom, n_gpus, n_microbatches, bandwidth,
+            executor=_BoomExecutor(),
+        )
+        assert raced.partition.boundaries == solo.partition.boundaries
+
+    def test_single_job_container_solves_solo_without_a_pool(
+        self, cell_args, solo
+    ):
+        raced = race_partition(*cell_args, jobs=1)
+        assert raced.partition.boundaries == solo.partition.boundaries
+        assert raced.solver_backend == "bnb"
+        assert portfolio._POOL == {}
+
+
+class TestRealPool:
+    def test_pool_race_is_bit_identical_and_shuts_down(self, cell_args, solo):
+        try:
+            raced = race_partition(*cell_args, jobs=2)
+        finally:
+            shutdown_portfolio_pool()
+        assert raced.partition.boundaries == solo.partition.boundaries
+        assert raced.timings.step_seconds == solo.timings.step_seconds
+        assert raced.solver_backend in ("bnb", "highs")
+        assert portfolio._POOL == {}
+
+
+class TestCancellation:
+    def test_poll_cancels_the_solo_search(self, cell_args):
+        with pytest.raises(PartitionSearchCancelled):
+            mip_partition(*cell_args, poll=lambda: True)
+
+    def test_poll_cancels_the_highs_backend(self, cell_args):
+        model, cost_model, n_gpus, n_microbatches, bandwidth = cell_args
+        task = RaceTask(
+            model=model,
+            gpu_spec=cost_model.gpu_spec,
+            microbatch_size=cost_model.microbatch_size,
+            recompute=cost_model.recompute,
+            precision=cost_model.precision,
+            n_gpus=n_gpus,
+            n_microbatches=n_microbatches,
+            bandwidth=bandwidth,
+            gpu_memory=cost_model.usable_gpu_bytes(),
+            time_limit=10.0,
+            max_nodes=DEFAULT_MAX_NODES,
+            warm_boundaries=None,
+        )
+        with pytest.raises(PartitionSearchCancelled):
+            portfolio._solve_highs(task, poll=lambda: True)
