@@ -133,7 +133,8 @@ class AnalysisConfig:
     #: Module globals whose *touching* functions join the MOB007 frontier.
     race_registries: tuple[str, ...] = (
         "repro.core.api._PARTITION_HINTS",
-        "repro.solver.portfolio._POOL",
+        "repro.solver.portfolio._PAIRS",
+        "repro.solver.portfolio._IDLE_PAIRS",
     )
     #: Documented synchronization seams: writes inside these are sanctioned.
     sync_seams: frozenset[str] = frozenset(
@@ -143,7 +144,9 @@ class AnalysisConfig:
             "repro.core.api.set_partition_hint_capacity",
             "repro.core.api.set_partition_hint_store",
             "repro.sim.tasks._next_task_uid",
-            "repro.solver.portfolio._acquire_pool",
+            "repro.solver.portfolio._acquire_pair",
+            "repro.solver.portfolio._release_pair",
+            "repro.solver.portfolio._discard_pair",
             "repro.solver.portfolio.shutdown_portfolio_pool",
         }
     )

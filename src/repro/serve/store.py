@@ -198,26 +198,39 @@ class DurableStore:
     # Core keyed-bytes protocol
     # ------------------------------------------------------------------
 
-    def _run_locked(self, operation) -> tuple[object, bool]:
+    def _attempt_locked(self, operation) -> tuple[object, str]:
+        """One attempt under the lock: ``(result, 'ok'|'busy'|'failed')``."""
+        if self._conn is None:
+            return None, "failed"
+        try:
+            return operation(self._conn), "ok"
+        except sqlite3.Error as err:
+            if not _is_busy_error(err):
+                self._recover_locked()
+                return None, "failed"
+            self.busy_events += 1
+            return None, "busy"
+
+    def _run(self, operation) -> tuple[object, bool]:
         """Run one sqlite operation with busy retries; ``(result, ok)``.
 
         Busy/locked errors (another writer holds the WAL) are retried up
         to ``busy_retries`` times and then degrade to ``ok=False`` with
         the database file left intact; any other sqlite error triggers
-        whole-file recovery.  Caller must hold ``self._lock``.
+        whole-file recovery.  The instance lock is held only around each
+        sqlite call — the paced sleep between retries runs unlocked, so
+        one contended operation never stalls the other dispatch threads'
+        reads and writes for the whole retry budget.
         """
-        if self._conn is None:
-            return None, False
         for attempt in range(self.busy_retries + 1):
-            try:
-                return operation(self._conn), True
-            except sqlite3.Error as err:
-                if not _is_busy_error(err):
-                    self._recover_locked()
-                    return None, False
-                self.busy_events += 1
-                if attempt < self.busy_retries:
-                    self._sleep(_BUSY_RETRY_DELAY * (attempt + 1))
+            with self._lock:
+                result, status = self._attempt_locked(operation)
+            if status == "ok":
+                return result, True
+            if status == "failed":
+                return None, False
+            if attempt < self.busy_retries:
+                self._sleep(_BUSY_RETRY_DELAY * (attempt + 1))
         return None, False  # contention outlasted the budget: miss, not recovery
 
     def put(self, namespace: str, digest: str, value) -> None:
@@ -235,8 +248,7 @@ class DurableStore:
                 )
 
         checksum = hashlib.sha256(payload).hexdigest()
-        with self._lock:
-            self._run_locked(operation)
+        self._run(operation)
 
     def get(self, namespace: str, digest: str) -> tuple[object, bool]:
         """Checksum-verified read; corrupt entries quarantine and miss."""
@@ -248,26 +260,24 @@ class DurableStore:
                 (namespace, digest),
             ).fetchone()
 
-        with self._lock:
-            row, ok = self._run_locked(operation)
-            if not ok or row is None:
-                return None, False
-            payload, checksum = row
-            if hashlib.sha256(payload).hexdigest() != checksum:
-                self._quarantine_entry_locked(
-                    namespace, digest, payload, checksum, "checksum-mismatch"
-                )
-                return None, False
+        row, ok = self._run(operation)
+        if not ok or row is None:
+            return None, False
+        payload, checksum = row
+        if hashlib.sha256(payload).hexdigest() != checksum:
+            self._quarantine_entry(
+                namespace, digest, payload, checksum, "checksum-mismatch"
+            )
+            return None, False
         try:
             return pickle.loads(payload), True
         except Exception:
-            with self._lock:
-                self._quarantine_entry_locked(
-                    namespace, digest, payload, checksum, "unpickle-failed"
-                )
+            self._quarantine_entry(
+                namespace, digest, payload, checksum, "unpickle-failed"
+            )
             return None, False
 
-    def _quarantine_entry_locked(
+    def _quarantine_entry(
         self, namespace: str, digest: str, payload: bytes, checksum: str, reason: str
     ) -> None:
         self.quarantined_entries += 1
@@ -283,7 +293,7 @@ class DurableStore:
                     (namespace, digest),
                 )
 
-        self._run_locked(operation)
+        self._run(operation)
 
     # ------------------------------------------------------------------
     # ResultCache backend protocol (perf.cache.ResultCache.attach_backend)
@@ -322,11 +332,10 @@ class DurableStore:
             ).fetchone()[0]
             return rows, quarantined
 
-        with self._lock:
-            result, ok = self._run_locked(operation)
-            if not ok:
-                return {}
-            rows, quarantined = result
+        result, ok = self._run(operation)
+        if not ok:
+            return {}
+        rows, quarantined = result
         counts = {namespace: count for namespace, count in sorted(rows)}
         if quarantined:
             counts["quarantine"] = quarantined

@@ -320,7 +320,16 @@ class Supervisor:
                 self._close_quietly(worker)
         # Construction happens outside the lock: a slow ProcessWorker
         # spawn must not stall the other dispatch threads' checkouts.
-        return self.worker_factory()
+        try:
+            return self.worker_factory()
+        except BaseException:
+            # The lease is already counted; hand it back or a factory
+            # failure (fd/memory pressure) permanently shrinks the pool
+            # until every dispatch thread blocks in wait() forever.
+            with self._workers_free:
+                self._leased -= 1
+                self._workers_free.notify()
+            raise
 
     def _checkin_worker(self, worker, *, discard: bool) -> None:
         if discard:

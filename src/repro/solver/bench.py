@@ -270,6 +270,7 @@ def _run_portfolio_rows() -> list[dict[str, Any]]:
                     "winner": raced.solver_backend,
                     "raced": jobs >= 2,
                     "highs_verified": highs.optimal,
+                    "highs_certified": highs.shadow_optimal,
                     "bnb_wall_seconds": round(bnb_wall, 4),
                     "highs_wall_seconds": round(highs_wall, 4),
                     "race_wall_seconds": round(race_wall, 4),
@@ -336,7 +337,10 @@ def compare_benchmarks(
     * a portfolio race returned anything but the solo B&B boundaries —
       gated unconditionally (not merely as a regression): bit-identity is
       the portfolio's contract, so one diverging row fails the gate even
-      on a fresh baseline.
+      on a fresh baseline;
+    * a corpus cell whose HiGHS verification exhausted but lost its
+      shadow certificate (``highs_certified``) — uncertified wins are
+      ineligible, so such a cell silently stops racing.
 
     Instances present only on one side are reported as failures too — the
     corpus is part of the contract.  Wall times and race winners are
@@ -380,5 +384,11 @@ def compare_benchmarks(
             failures.append(
                 f"portfolio:{name}: raced result diverged from solo B&B "
                 f"(winner={row.get('winner')}, boundaries={row.get('boundaries')})"
+            )
+        if row.get("highs_verified", True) and not row.get("highs_certified", True):
+            failures.append(
+                f"portfolio:{name}: highs verification exhausted without the "
+                "shadow certificate (hint-dependent exhaustion: highs can "
+                "never win this cell)"
             )
     return failures

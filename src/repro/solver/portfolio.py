@@ -7,8 +7,9 @@ scipy_backend`) provably agree — the solvebench parity gate pins it — so
 planning latency is ``min(backend latencies)`` if both run at once.
 :func:`race_partition` does exactly that:
 
-* two persistent child processes (one per backend, spawned lazily and
-  reused across races) each solve the same :class:`RaceTask`;
+* a leased *pair* of persistent child processes (one per backend,
+  spawned lazily, reused across races, one pair per concurrent race up
+  to the container's job budget) each solve the same :class:`RaceTask`;
 * the first *eligible* result wins and is returned immediately;
 * the loser is cancelled through a shared :class:`multiprocessing.Event`
   polled inside its search (a cancelled search returns nothing, so
@@ -20,19 +21,27 @@ planning latency is ``min(backend latencies)`` if both run at once.
 ``highs`` backend solves the literal MIP per stage count, then feeds the
 best boundaries as a warm-start hint into the same ``mip_partition``
 verification pass — and a hint provably cannot change an exhausted
-search's result (canonical tie-break, tied subtrees explored).  A
-``highs`` result is therefore eligible only when its verification pass
-ran to completion (``optimal=True``); budget-truncated searches answer
-from ``bnb`` alone.  Deadline-truncated solves (``max_nodes`` below the
-default budget) never race at all — their contract is "the solo
-incumbent at that budget", which only the solo search defines.
+search's result (canonical tie-break, tied subtrees explored).
+Exhaustion of the *hinted* pass is not enough, though: a hint tightens
+pruning, so the hinted search can exhaust within ``max_nodes`` on a
+model where the solo search would have hit the budget and returned a
+(different) non-optimal incumbent.  A ``highs`` result is therefore
+eligible only when its verification pass ran to completion
+(``optimal=True``) **and** carries the search's shadow certificate
+(``shadow_optimal=True``: the solo-seeded search provably also exhausts
+within the budget — see ``mip_partition``'s ``shadow_warm_start``).
+Uncertified or budget-truncated searches answer from ``bnb`` alone.
+Deadline-truncated solves (``max_nodes`` below the default budget)
+never race at all — their contract is "the solo incumbent at that
+budget", which only the solo search defines.
 
 **Fallbacks.**  Racing degrades to the plain solo solve — never to an
 error — whenever the environment cannot support it: a single-job
 container (``REPRO_JOBS`` / :func:`repro.experiments.runner.
 default_jobs`), a daemonic worker process that may not spawn children,
-a custom cost model the child could not reconstruct, or a pool that
-fails to start.
+a custom cost model the child could not reconstruct, a pool that fails
+to start, or every pair already leased to another race (the solo solve
+runs on the caller's own thread, preserving thread parallelism).
 
 This module reads no clocks: the winner is decided by arrival order and
 rank, and per-backend wall times are measured only by ``repro
@@ -164,6 +173,10 @@ def _solve_highs(task: RaceTask, poll=None) -> PartitionResult:
         time_limit=task.time_limit,
         max_nodes=task.max_nodes,
         warm_start=hint,
+        # The solo search is seeded with the caller's hint, not ours:
+        # shadow_optimal certifies it would have exhausted too, which is
+        # what makes this result returnable as the solo answer.
+        shadow_warm_start=task.warm_boundaries,
         poll=poll,
     )
     result.solver_backend = "highs"
@@ -177,19 +190,22 @@ def _eligible(backend: str, result: PartitionResult) -> bool:
     """May this backend's result be returned as the race winner?
 
     ``bnb`` always — it *is* the solo computation.  ``highs`` only when
-    its verification pass exhausted the tree: an exhausted search returns
-    the canonical optimum regardless of hints, so it matches what the
-    solo search returns whenever the solo search exhausts too (every
-    full-budget production solve; the solvebench portfolio-parity gate
-    pins this on the corpus).
+    its verification pass exhausted the tree *and* certified that the
+    solo-seeded search would have exhausted too (``shadow_optimal``):
+    exhausted searches return the canonical optimum regardless of hints,
+    but exhaustion of the hinted pass alone proves nothing about the
+    solo search, whose budget-truncated incumbent is the contract for
+    models where it does not exhaust.  Absent or false certificates
+    answer from ``bnb``.
     """
     if backend == "bnb":
         return True
-    return bool(result.optimal)
+    return bool(result.optimal) and bool(getattr(result, "shadow_optimal", False))
 
 
 # ----------------------------------------------------------------------
-# The persistent process pool (one child per backend)
+# The persistent process pool (pairs of backend children, one pair per
+# concurrent race)
 # ----------------------------------------------------------------------
 
 
@@ -272,63 +288,132 @@ class _BackendWorker:
             self.process.join()
 
 
-#: The persistent racing pool, one worker per backend.  Written only
-#: through the MOB007-registered seams below; a full race additionally
-#: holds ``_RACE_LOCK`` so concurrent callers serialize on the pool
-#: (distinct solves rarely collide — the serve layer coalesces by key).
-_POOL: dict[str, _BackendWorker] = {}
+class _RacePair:
+    """One worker per backend, leased to exactly one race at a time.
+
+    A race owns its pair for the whole race, so distinct races never
+    share a pipe or a cancel event and can run concurrently — the old
+    single global pool serialized every racing caller behind one lock.
+    """
+
+    def __init__(self) -> None:
+        context = multiprocessing.get_context("spawn")
+        self.workers = [_BackendWorker(b, context) for b in BACKEND_RANK]
+
+    def refresh(self) -> list[_BackendWorker]:
+        """Drain stale replies, respawn dead workers; the live roster.
+
+        Raises on spawn failure — the caller discards the whole pair.
+        """
+        context = multiprocessing.get_context("spawn")
+        roster = []
+        for index, worker in enumerate(self.workers):
+            if not worker.alive or not worker.drain():
+                worker.close()
+                worker = _BackendWorker(worker.backend, context)
+                self.workers[index] = worker
+            roster.append(worker)
+        return roster
+
+    def close(self) -> None:
+        for worker in self.workers:
+            worker.close()
+
+
+#: Every live pair (leased or idle) and the idle subset.  Written only
+#: through the MOB007-registered seams below; the race itself runs
+#: lock-free on its leased pair, so concurrent races proceed in parallel.
+_PAIRS: list[_RacePair] = []
+_IDLE_PAIRS: list[_RacePair] = []
 _POOL_LOCK = threading.Lock()
-_RACE_LOCK = threading.Lock()
 _NEXT_RACE = itertools.count(1)
 
 
-def _acquire_pool():
-    """Synchronization seam: (workers, race id), spawning/respawning lazily.
+def _max_pairs() -> int:
+    """Pair cap: each pair is ``len(BACKEND_RANK)`` processes, and the
+    whole pool must fit the container's job budget."""
+    # Lazy import: runner -> core.api -> (lazily) this module.
+    from repro.experiments.runner import default_jobs
 
-    Returns ``None`` when the pool cannot be built (spawn failure) — the
-    caller falls back to the inline solo solve.
+    return max(1, default_jobs() // len(BACKEND_RANK))
+
+
+def _acquire_pair():
+    """Synchronization seam: lease ``(pair, race id)``; ``None`` at capacity.
+
+    Prefers an idle pair; spawns a new one while under the cap.  ``None``
+    (capacity reached, or spawn failure) sends the caller to the inline
+    solo solve — which still runs on the *caller's* thread, so saturated
+    racing degrades to plain thread parallelism, not to a queue.
     """
     with _POOL_LOCK:
+        if _IDLE_PAIRS:
+            return _IDLE_PAIRS.pop(), next(_NEXT_RACE)
+        if len(_PAIRS) >= _max_pairs():
+            return None
         try:
-            context = multiprocessing.get_context("spawn")
-            workers = []
-            for backend in BACKEND_RANK:
-                worker = _POOL.get(backend)
-                if worker is None or not worker.alive:
-                    if worker is not None:
-                        worker.close()
-                    worker = _BackendWorker(backend, context)
-                    _POOL[backend] = worker
-                workers.append(worker)
+            pair = _RacePair()
         except Exception:
             return None
-        return workers, next(_NEXT_RACE)
+        _PAIRS.append(pair)
+        return pair, next(_NEXT_RACE)
+
+
+def _release_pair(pair: _RacePair) -> None:
+    """Synchronization seam: return a leased pair to the idle list.
+
+    A pair that ``shutdown_portfolio_pool`` already forgot (shutdown ran
+    mid-race) is closed here instead, once its race is over.
+    """
+    with _POOL_LOCK:
+        if pair in _PAIRS:
+            _IDLE_PAIRS.append(pair)
+            return
+    pair.close()
+
+
+def _discard_pair(pair: _RacePair) -> None:
+    """Synchronization seam: drop and close a pair that broke mid-race."""
+    with _POOL_LOCK:
+        if pair in _PAIRS:
+            _PAIRS.remove(pair)
+    pair.close()
 
 
 def shutdown_portfolio_pool() -> None:
-    """Synchronization seam: terminate and forget the racing children."""
+    """Synchronization seam: terminate and forget the racing children.
+
+    Pairs leased to in-flight races are forgotten here and closed by
+    their race's ``_release_pair``; closing (which joins children) always
+    happens outside the pool lock.
+    """
     with _POOL_LOCK:
-        for worker in _POOL.values():
-            worker.close()
-        _POOL.clear()
+        idle = list(_IDLE_PAIRS)
+        _IDLE_PAIRS.clear()
+        _PAIRS.clear()
+    for pair in idle:
+        pair.close()
 
 
 def _race_over_pool(task: RaceTask) -> PartitionResult | None:
-    """Run one race on the persistent pool; ``None`` means 'fall back solo'."""
-    with _RACE_LOCK:
-        acquired = _acquire_pool()
-        if acquired is None:
+    """Run one race on a leased pair; ``None`` means 'fall back solo'."""
+    leased = _acquire_pair()
+    if leased is None:
+        return None
+    pair, race_id = leased
+    try:
+        try:
+            workers = pair.refresh()
+        except Exception:
+            _discard_pair(pair)
+            pair = None
             return None
-        workers, race_id = acquired
         racing: dict[object, _BackendWorker] = {}
         for worker in workers:
-            if not worker.drain():
-                worker.close()
-                continue
             try:
                 worker.conn.send(("solve", race_id, task))
             except (BrokenPipeError, OSError):
-                worker.close()
+                worker.close()  # refresh respawns it for the next lease
                 continue
             racing[worker.conn] = worker
         if not racing:
@@ -358,6 +443,9 @@ def _race_over_pool(task: RaceTask) -> PartitionResult | None:
             worker.cancel.set()
             worker.pending_race = race_id
         return winner
+    finally:
+        if pair is not None:
+            _release_pair(pair)
 
 
 # ----------------------------------------------------------------------

@@ -102,6 +102,33 @@ class TestQuarantine:
         assert outcome.report is not None
 
 
+class TestWorkerLeases:
+    def test_factory_failure_returns_the_lease(self):
+        calls = {"n": 0}
+
+        def flaky_factory():
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise OSError("spawn failed under fd pressure")
+            return InlineWorker()
+
+        sup = Supervisor(
+            flaky_factory, SupervisorConfig(), sleeper=lambda _s: None, pool_size=1
+        )
+        for _ in range(2):
+            with pytest.raises(OSError):
+                sup._checkout_worker()
+            # The failed checkout handed its lease back; a leak here would
+            # leave pool_size=1 permanently consumed and the next checkout
+            # blocking in wait() forever.
+            assert sup._leased == 0
+        worker = sup._checkout_worker()
+        assert isinstance(worker, InlineWorker)
+        assert sup._leased == 1
+        sup._checkin_worker(worker, discard=False)
+        assert sup._leased == 0
+
+
 class TestSolveErrors:
     def test_solver_exceptions_are_not_retried(self, tiny_model, topo22):
         class FailingWorker:

@@ -42,6 +42,7 @@ def _doc(**overrides):
                 "winner": "bnb",
                 "raced": True,
                 "highs_verified": True,
+                "highs_certified": True,
                 "bnb_wall_seconds": 0.1,
                 "highs_wall_seconds": 0.2,
                 "race_wall_seconds": 0.1,
@@ -114,6 +115,20 @@ class TestCompareBenchmarks:
             "diverged from solo B&B" in f
             for f in compare_benchmarks(bad, baseline)
         )
+
+    def test_portfolio_decertification_fails(self):
+        # A cell whose highs verification exhausts but loses the shadow
+        # certificate silently stops racing: the gate must say so.
+        bad = _doc()
+        bad["portfolio"][0]["highs_certified"] = False
+        failures = compare_benchmarks(bad, _doc())
+        assert any("shadow certificate" in f for f in failures)
+        # Truncated verification (unverified) is hardware-budget-dependent
+        # and is not gated.
+        truncated = _doc()
+        truncated["portfolio"][0]["highs_verified"] = False
+        truncated["portfolio"][0]["highs_certified"] = False
+        assert compare_benchmarks(truncated, _doc()) == []
 
     def test_portfolio_row_missing_from_current_fails(self):
         shrunk = _doc(portfolio=[], portfolio_wins={})

@@ -97,15 +97,29 @@ class TestEligibility:
 
         assert _eligible("bnb", _Truncated())
 
-    def test_highs_requires_a_verified_search(self, solo):
+    def test_highs_requires_a_verified_and_certified_search(self, solo):
         class _Unverified:
             optimal = False
+            shadow_optimal = True
+
+        class _Uncertified:
+            # Exhausted *with* the hint, but the solo-seeded search is
+            # not proven to exhaust: hint-dependent, must not win.
+            optimal = True
+            shadow_optimal = False
 
         class _Verified:
             optimal = True
+            shadow_optimal = True
 
         assert not _eligible("highs", _Unverified())
+        assert not _eligible("highs", _Uncertified())
         assert _eligible("highs", _Verified())
+        # A result predating the certificate field is never eligible.
+        class _Legacy:
+            optimal = True
+
+        assert not _eligible("highs", _Legacy())
 
     def test_unverified_highs_loses_even_when_first(
         self, cell_args, solo, monkeypatch
@@ -113,6 +127,22 @@ class TestEligibility:
         def fake_highs(task, poll=None):
             result = portfolio._solve_bnb(task)
             result.optimal = False
+            result.solver_backend = "highs"
+            return result
+
+        monkeypatch.setitem(portfolio._BACKENDS, "highs", fake_highs)
+        raced = race_partition(
+            *cell_args, executor=InlineRaceExecutor(("highs", "bnb"))
+        )
+        assert raced.solver_backend == "bnb"
+        assert raced.partition.boundaries == solo.partition.boundaries
+
+    def test_uncertified_highs_loses_even_when_first(
+        self, cell_args, solo, monkeypatch
+    ):
+        def fake_highs(task, poll=None):
+            result = portfolio._solve_bnb(task)
+            result.shadow_optimal = False
             result.solver_backend = "highs"
             return result
 
@@ -163,7 +193,7 @@ class TestFallsBackToSolo:
         raced = race_partition(*cell_args, jobs=1)
         assert raced.partition.boundaries == solo.partition.boundaries
         assert raced.solver_backend == "bnb"
-        assert portfolio._POOL == {}
+        assert portfolio._PAIRS == [] and portfolio._IDLE_PAIRS == []
 
 
 class TestRealPool:
@@ -175,7 +205,112 @@ class TestRealPool:
         assert raced.partition.boundaries == solo.partition.boundaries
         assert raced.timings.step_seconds == solo.timings.step_seconds
         assert raced.solver_backend in ("bnb", "highs")
-        assert portfolio._POOL == {}
+        assert portfolio._PAIRS == [] and portfolio._IDLE_PAIRS == []
+
+
+class _FakePair:
+    """Stands in for _RacePair so lease bookkeeping tests spawn nothing."""
+
+    def __init__(self) -> None:
+        self.closed = False
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class TestPairLeasing:
+    """Concurrent races lease distinct pairs instead of serializing."""
+
+    @pytest.fixture(autouse=True)
+    def fake_pairs(self, monkeypatch):
+        monkeypatch.setattr(portfolio, "_RacePair", _FakePair)
+        monkeypatch.setattr(portfolio, "_max_pairs", lambda: 2)
+        yield
+        shutdown_portfolio_pool()
+
+    def test_concurrent_leases_get_distinct_pairs_up_to_the_cap(self):
+        first = portfolio._acquire_pair()
+        second = portfolio._acquire_pair()
+        assert first is not None and second is not None
+        assert first[0] is not second[0]          # no shared pipes/events
+        assert first[1] != second[1]              # distinct race ids
+        assert portfolio._acquire_pair() is None  # at capacity: solo fallback
+        portfolio._release_pair(first[0])
+        third = portfolio._acquire_pair()
+        assert third is not None and third[0] is first[0]  # idle pair reused
+        portfolio._release_pair(second[0])
+        portfolio._release_pair(third[0])
+        shutdown_portfolio_pool()
+        assert first[0].closed and second[0].closed
+        assert portfolio._PAIRS == [] and portfolio._IDLE_PAIRS == []
+
+    def test_shutdown_mid_race_closes_the_pair_at_release(self):
+        leased = portfolio._acquire_pair()
+        assert leased is not None
+        shutdown_portfolio_pool()
+        assert not leased[0].closed               # race still owns it
+        portfolio._release_pair(leased[0])
+        assert leased[0].closed                   # closed once the race ends
+        assert portfolio._PAIRS == [] and portfolio._IDLE_PAIRS == []
+
+
+class TestShadowCertificate:
+    """A hint can let the search exhaust where the cold solo search would
+    hit the node budget and return its (hint-independent) incumbent; the
+    shadow certificate must refuse exactly those hint-dependent wins."""
+
+    def test_hint_dependent_exhaustion_is_uncertified(self, monkeypatch):
+        from repro.core import partition as P
+
+        args = _cell_args(3)  # gpt-b/topo_2_2
+        optimum = mip_partition(*args)
+        assert optimum.optimal
+
+        def weak_warm_start(ctx):
+            # The *worst* feasible balanced split: a deliberately bad
+            # incumbent makes the cold search do maximal work, so a good
+            # hint visibly prunes and opens the solo-truncation window.
+            worst, worst_time = None, float("-inf")
+            for n_stages in range(max(1, ctx.n_gpus), ctx.model.n_layers + 1):
+                boundaries = P._balanced_boundaries(ctx.model.n_layers, n_stages)
+                timings = ctx.evaluate(boundaries)
+                if timings.feasible and timings.step_seconds > worst_time:
+                    worst, worst_time = boundaries, timings.step_seconds
+            if worst is None:
+                return None, float("inf")
+            return worst, worst_time
+
+        monkeypatch.setattr(P, "_warm_start", weak_warm_start)
+        cold = mip_partition(*args)
+        # shadow_warm_start=None models the highs verification pass when
+        # the race caller supplied no hint: the shadow (solo) search is
+        # seeded cold, not with HiGHS's boundaries.
+        hinted_full = mip_partition(
+            *args, warm_start=optimum.partition, shadow_warm_start=None
+        )
+        # With an ample budget both exhaust; the hinted search prunes more
+        # and is still certified, because the solo search exhausts too.
+        assert cold.optimal and hinted_full.optimal
+        assert hinted_full.nodes_explored < cold.nodes_explored
+        assert hinted_full.shadow_optimal
+
+        budget = hinted_full.nodes_explored
+        solo = mip_partition(*args, max_nodes=budget)
+        hinted = mip_partition(
+            *args,
+            max_nodes=budget,
+            warm_start=optimum.partition,
+            shadow_warm_start=None,
+        )
+        assert not solo.optimal       # the cold search truncates here...
+        assert hinted.optimal         # ...the hinted one exhausts...
+        assert not hinted.shadow_optimal  # ...and the certificate refuses it
+        assert not _eligible("highs", hinted)
+
+    def test_self_seeded_search_is_always_certified(self, cell_args, solo):
+        assert solo.shadow_optimal
+        truncated = mip_partition(*cell_args, max_nodes=2)
+        assert not truncated.optimal and not truncated.shadow_optimal
 
 
 class TestCancellation:
