@@ -120,6 +120,11 @@ class AnalysisConfig:
         "repro.experiments.runner.run_systems_parallel",
         "repro.experiments.runner._run_cell",
         "repro.experiments.runner._worker_init",
+        # The suite-wide cell scheduler's pool workers: they adopt the
+        # parent cache config and install the shared durable hint store,
+        # so their global writes follow the same seam discipline.
+        "repro.experiments.schedule._cell_worker",
+        "repro.experiments.schedule._worker_init",
         # The serve daemon's dispatch thread and its solver child
         # processes run concurrently with client threads: every module
         # global they can write must be a documented seam.

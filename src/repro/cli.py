@@ -116,7 +116,8 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--full", action="store_true", help="full sweeps (slow)")
     figures.add_argument(
         "--jobs", type=int, default=1,
-        help="run figures in N parallel worker processes (sharing the cache)",
+        help="drain the suite-wide cell schedule with N worker processes "
+        "(figures assemble serially from the shared cache afterwards)",
     )
     figures.add_argument(
         "--no-cache", action="store_true",

@@ -138,6 +138,8 @@ __all__ = [
     "MobiusConfig",
     "MobiusPlanReport",
     "MobiusReport",
+    "partition_hint_key",
+    "partition_solve_key",
     "plan_mobius",
     "run_mobius",
     "set_partition_hint_capacity",
@@ -149,6 +151,56 @@ _PARTITIONERS = {
     "max-stage": max_stage_partition,
     "min-stage": min_stage_partition,
 }
+
+
+def partition_hint_key(
+    model: ModelSpec, topology: Topology, config: "MobiusConfig"
+) -> tuple | None:
+    """The warm-start registry key a ``plan_mobius`` call will use.
+
+    ``None`` for non-MIP partition methods (they take no hints).  Exposed
+    so the suite's cell scheduler can group sweep cells that feed each
+    other hints — the key must stay byte-for-byte the same tuple
+    ``_plan_mobius_uncached`` reads and publishes, so both sites build it
+    here.
+    """
+    if config.partition_method != "mip":
+        return None
+    microbatch_size = config.microbatch_size or model.default_microbatch_size
+    return (model.name, model.n_layers, topology.gpu_spec.name, microbatch_size)
+
+
+def partition_solve_key(
+    model: ModelSpec, topology: Topology, config: "MobiusConfig"
+) -> tuple:
+    """The exact ``"partition"`` memoize key of a ``plan_mobius`` call.
+
+    The layer-to-stage split does not depend on the mapping/prefetch knobs
+    or on the topology's wiring, only on the inputs below — so ablations
+    that sweep ``mapping_method`` (Figure 10) share one budget-limited
+    solve.  The suite scheduler uses the same key to recognise cells whose
+    plans collapse onto one solve, so the tuple is built in exactly one
+    place.
+    """
+    microbatch_size = config.microbatch_size or model.default_microbatch_size
+    n_gpus = topology.n_gpus
+    time_limit = max_nodes = None
+    if config.partition_method == "mip":
+        time_limit = config.partition_time_limit
+        if config.partition_max_nodes is not None:
+            max_nodes = config.partition_max_nodes
+    return (
+        "partition",
+        config.partition_method,
+        model,
+        topology.gpu_spec,
+        microbatch_size,
+        n_gpus,
+        config.n_microbatches or n_gpus,
+        config.bandwidth or topology.pcie_bandwidth,
+        time_limit,
+        max_nodes,
+    )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -306,27 +358,13 @@ def _plan_mobius_uncached(
         # incumbent only — mip_partition's canonical tie-break makes the
         # result identical with or without it — so it stays out of the
         # memoize key below.
-        hint_key = (model.name, model.n_layers, topology.gpu_spec.name, microbatch_size)
+        hint_key = partition_hint_key(model, topology, config)
         hint = _get_partition_hint(hint_key)
         if hint is not None:
             kwargs["warm_start"] = hint
-    # The layer-to-stage split does not depend on the mapping/prefetch knobs
-    # or on the topology's wiring, only on the inputs below — so ablations
-    # that sweep mapping_method (Figure 10) share one budget-limited solve.
     partition_result = get_cache().memoize(
         "partition",
-        (
-            "partition",
-            config.partition_method,
-            model,
-            topology.gpu_spec,
-            microbatch_size,
-            n_gpus,
-            n_microbatches,
-            bandwidth,
-            kwargs.get("time_limit"),
-            kwargs.get("max_nodes"),
-        ),
+        partition_solve_key(model, topology, config),
         lambda: partitioner(model, cost_model, n_gpus, n_microbatches, bandwidth, **kwargs),
     )
     if hint_key is not None:

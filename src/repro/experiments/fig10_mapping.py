@@ -8,39 +8,54 @@ dominates communication).
 
 from __future__ import annotations
 
-from repro.core.api import MobiusConfig, run_mobius
-from repro.experiments.runner import ExperimentTable, print_tables
+from repro.core.api import MobiusConfig
+from repro.experiments.runner import ExperimentCell, ExperimentTable, print_tables
 from repro.hardware.topology import topo_4_4
 from repro.models.zoo import gpt_8b, gpt_15b
 
-__all__ = ["run", "main"]
+__all__ = ["cells", "run", "main"]
 
 MICROBATCH_SWEEP = {"GPT-8B": (2, 4, 8), "GPT-15B": (1, 2, 3)}
 
 
+def _models(fast: bool):
+    return [gpt_15b] if fast else [gpt_8b, gpt_15b]
+
+
+def _cell(model, mbs: int, mapping: str) -> ExperimentCell:
+    return ExperimentCell(
+        system="mobius",
+        model=model,
+        topology=topo_4_4(),
+        mobius_config=MobiusConfig(
+            microbatch_size=mbs, mapping_method=mapping, partition_time_limit=2.0
+        ),
+    )
+
+
+def cells(fast: bool = False) -> tuple[ExperimentCell, ...]:
+    """One cell per (model, microbatch, mapping) — identical to Figure 11's."""
+    return tuple(
+        _cell(model, mbs, mapping)
+        for model in (factory() for factory in _models(fast))
+        for mbs in MICROBATCH_SWEEP[model.name]
+        for mapping in ("sequential", "cross")
+    )
+
+
 def run(fast: bool = False) -> ExperimentTable:
     """Regenerate Figure 10 (times normalised to sequential mapping)."""
-    models = [gpt_15b] if fast else [gpt_8b, gpt_15b]
+    models = _models(fast)
     table = ExperimentTable(
         title="Figure 10: cross vs sequential mapping (8 GPUs, Topo 4+4)",
         columns=("model", "microbatch", "sequential_s", "cross_s", "cross/sequential"),
     )
-    topology = topo_4_4()
     for model_factory in models:
         model = model_factory()
         for mbs in MICROBATCH_SWEEP[model.name]:
             times = {}
             for mapping in ("sequential", "cross"):
-                report = run_mobius(
-                    model,
-                    topology,
-                    MobiusConfig(
-                        microbatch_size=mbs,
-                        mapping_method=mapping,
-                        partition_time_limit=2.0,
-                    ),
-                )
-                times[mapping] = report.step_seconds
+                times[mapping] = _cell(model, mbs, mapping).run().step_seconds
             table.add_row(
                 model.name,
                 mbs,

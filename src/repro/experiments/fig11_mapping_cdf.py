@@ -8,41 +8,39 @@ prefetches onto different root complexes.
 from __future__ import annotations
 
 from repro.analysis.bandwidth import fraction_of_bytes_above
-from repro.core.api import MobiusConfig, run_mobius
-from repro.experiments.runner import ExperimentTable, print_tables
-from repro.hardware.topology import topo_4_4
-from repro.models.zoo import gpt_8b, gpt_15b
+from repro.experiments.fig10_mapping import MICROBATCH_SWEEP, _cell, _models
+from repro.experiments.runner import ExperimentCell, ExperimentTable, print_tables
 
-__all__ = ["run", "main"]
+__all__ = ["cells", "run", "main"]
 
-MICROBATCH_SWEEP = {"GPT-8B": (2, 4, 8), "GPT-15B": (1, 2, 3)}
+
+def cells(fast: bool = False) -> tuple[ExperimentCell, ...]:
+    """Exactly Figure 10's cells — the suite computes them once for both."""
+    return tuple(
+        _cell(model, mbs, mapping)
+        for model in (factory() for factory in _models(fast))
+        for mbs in MICROBATCH_SWEEP[model.name]
+        for mapping in ("sequential", "cross")
+    )
 
 
 def run(fast: bool = False) -> ExperimentTable:
     """Regenerate Figure 11's summary statistics."""
-    models = [gpt_15b] if fast else [gpt_8b, gpt_15b]
+    models = _models(fast)
     table = ExperimentTable(
         title="Figure 11: fraction of bytes above 8 GB/s, cross vs sequential",
         columns=("model", "microbatch", "sequential", "cross", "median_seq", "median_cross"),
     )
-    topology = topo_4_4()
     for model_factory in models:
         model = model_factory()
         for mbs in MICROBATCH_SWEEP[model.name]:
             stats = {}
             for mapping in ("sequential", "cross"):
-                report = run_mobius(
-                    model,
-                    topology,
-                    MobiusConfig(
-                        microbatch_size=mbs,
-                        mapping_method=mapping,
-                        partition_time_limit=2.0,
-                    ),
-                )
+                result = _cell(model, mbs, mapping).run()
+                assert result.trace is not None
                 stats[mapping] = (
-                    fraction_of_bytes_above(report.trace, 8.0),
-                    report.trace.median_bandwidth() / 1e9,
+                    fraction_of_bytes_above(result.trace, 8.0),
+                    result.trace.median_bandwidth() / 1e9,
                 )
             table.add_row(
                 model.name,

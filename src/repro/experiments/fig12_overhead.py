@@ -10,17 +10,36 @@ grows when more layers fit per GPU (larger search space).
 
 from __future__ import annotations
 
-from repro.core.api import MobiusConfig, plan_mobius
-from repro.experiments.runner import ExperimentTable, print_tables
+from repro.core.api import MobiusConfig
+from repro.experiments.runner import ExperimentCell, ExperimentTable, print_tables
 from repro.hardware.topology import topo_1_3
 from repro.models.zoo import gpt_8b, gpt_15b, gpt_51b
 
-__all__ = ["run", "main"]
+__all__ = ["cells", "run", "main"]
+
+
+def _models(fast: bool):
+    return [gpt_8b, gpt_15b] if fast else [gpt_8b, gpt_15b, gpt_51b]
+
+
+def _cell(model) -> ExperimentCell:
+    return ExperimentCell(
+        system="mobius",
+        model=model,
+        topology=topo_1_3(),
+        mobius_config=MobiusConfig(partition_time_limit=5.0),
+        plan_only=True,
+    )
+
+
+def cells(fast: bool = False) -> tuple[ExperimentCell, ...]:
+    """Plan-only cells: planning overheads without a simulated step."""
+    return tuple(_cell(factory()) for factory in _models(fast))
 
 
 def run(fast: bool = False) -> ExperimentTable:
     """Regenerate Figure 12."""
-    models = [gpt_8b, gpt_15b] if fast else [gpt_8b, gpt_15b, gpt_51b]
+    models = _models(fast)
     table = ExperimentTable(
         title="Figure 12: planning overhead (seconds)",
         columns=(
@@ -32,10 +51,9 @@ def run(fast: bool = False) -> ExperimentTable:
             "unique_layers",
         ),
     )
-    topology = topo_1_3()
     for model_factory in models:
         model = model_factory()
-        report = plan_mobius(model, topology, MobiusConfig(partition_time_limit=5.0))
+        report = _cell(model).run().extras["plan_report"]
         table.add_row(
             model.name,
             report.profiling_seconds,

@@ -8,11 +8,16 @@ float-summation-order wiggle from the different microbatch splits.
 
 from __future__ import annotations
 
-from repro.experiments.runner import ExperimentTable, print_tables
+from repro.experiments.runner import ExperimentCell, ExperimentTable, print_tables
 from repro.nn.transformer import GPTConfig
 from repro.training.convergence import run_convergence_experiment
 
-__all__ = ["run", "main"]
+__all__ = ["cells", "run", "main"]
+
+
+def cells(fast: bool = False) -> tuple[ExperimentCell, ...]:
+    """No simulation cells: this figure runs a real training loop."""
+    return ()
 
 
 def run(fast: bool = False) -> ExperimentTable:

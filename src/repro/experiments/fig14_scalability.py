@@ -24,7 +24,26 @@ from repro.experiments.runner import (
 from repro.hardware.topology import commodity_server
 from repro.models.zoo import gpt_15b
 
-__all__ = ["run", "main"]
+__all__ = ["cells", "run", "main"]
+
+
+def _sweep(fast: bool) -> list[tuple[int, list[int]]]:
+    gpu_counts = (2, 4, 8) if fast else (2, 3, 4, 5, 6, 7, 8)
+    return [(n, [n - n // 2, n // 2] if n > 1 else [1]) for n in gpu_counts]
+
+
+def _cell(groups: list[int]) -> ExperimentCell:
+    return ExperimentCell(
+        system="mobius",
+        model=gpt_15b(),
+        topology=commodity_server(groups),
+        mobius_config=MobiusConfig(microbatch_size=1, partition_time_limit=2.0),
+    )
+
+
+def cells(fast: bool = False) -> tuple[ExperimentCell, ...]:
+    """The GPU-count sweep: N and N+1 share a warm-start hint chain."""
+    return tuple(_cell(groups) for _, groups in _sweep(fast))
 
 
 def run(fast: bool = False, jobs: int | None = None) -> ExperimentTable:
@@ -35,26 +54,14 @@ def run(fast: bool = False, jobs: int | None = None) -> ExperimentTable:
         jobs: Per-cell worker processes (``None`` =
             :func:`~repro.experiments.runner.default_jobs`).
     """
-    gpu_counts = (2, 4, 8) if fast else (2, 3, 4, 5, 6, 7, 8)
     table = ExperimentTable(
         title="Figure 14: Mobius scalability (15B model, samples/second)",
         columns=("gpus", "groups", "step_s", "throughput", "linear_ref", "speedup_vs_linear"),
     )
-    model = gpt_15b()
-    sweep = []
-    for n in gpu_counts:
-        groups = [n - n // 2, n // 2] if n > 1 else [1]
-        sweep.append((n, groups))
-    cells = [
-        ExperimentCell(
-            system="mobius",
-            model=model,
-            topology=commodity_server(groups),
-            mobius_config=MobiusConfig(microbatch_size=1, partition_time_limit=2.0),
-        )
-        for _, groups in sweep
-    ]
-    results = run_systems_parallel(cells, jobs=jobs)
+    sweep = _sweep(fast)
+    results = run_systems_parallel(
+        [_cell(groups) for _, groups in sweep], jobs=jobs
+    )
 
     baseline_throughput = None
     for (n, groups), result in zip(sweep, results):

@@ -14,17 +14,41 @@ server (Topo 2+2).  Expected shapes:
 from __future__ import annotations
 
 from repro.analysis.price import PricePoint
-from repro.experiments.runner import ExperimentTable, print_tables, run_system
+from repro.experiments.runner import (
+    ExperimentCell,
+    ExperimentTable,
+    print_tables,
+    run_system,
+)
 from repro.hardware.pricing import COMMODITY_4X3090TI, EC2_P3_8XLARGE
 from repro.hardware.topology import datacenter_server, topo_2_2
 from repro.models.zoo import gpt_8b, gpt_15b
 
-__all__ = ["run", "main"]
+__all__ = ["cells", "run", "main"]
+
+
+def _models(fast: bool):
+    return [gpt_8b] if fast else [gpt_8b, gpt_15b]
+
+
+def cells(fast: bool = False) -> tuple[ExperimentCell, ...]:
+    """Both systems on both server classes, microbatch size 2."""
+    return tuple(
+        ExperimentCell(
+            system=system,
+            model=model_factory(),
+            topology=topo_factory(),
+            microbatch_size=2,
+        )
+        for model_factory in _models(fast)
+        for topo_factory in (datacenter_server, topo_2_2)
+        for system in ("deepspeed", "mobius")
+    )
 
 
 def run(fast: bool = False) -> list[ExperimentTable]:
     """Regenerate Figure 15 (a: per-step time, b: per-step price)."""
-    models = [gpt_8b] if fast else [gpt_8b, gpt_15b]
+    models = _models(fast)
     time_table = ExperimentTable(
         title="Figure 15a: per-step time (seconds), microbatch size 2",
         columns=("model", "ds_dc", "mobius_dc", "ds_commodity", "mobius_commodity"),

@@ -24,7 +24,7 @@ from repro.experiments.runner import (
 from repro.hardware.topology import datacenter_server
 from repro.models.zoo import gpt_8b, gpt_15b
 
-__all__ = ["run", "main"]
+__all__ = ["cells", "run", "main"]
 
 #: Transfer kinds that cross the GPU-CPU (PCIe/DRAM) boundary.
 _DRAM_KINDS = (
@@ -36,6 +36,24 @@ _DRAM_KINDS = (
 )
 
 
+def _models(fast: bool):
+    return [gpt_8b] if fast else [gpt_8b, gpt_15b]
+
+
+def cells(fast: bool = False) -> tuple[ExperimentCell, ...]:
+    """The (model, system) grid on the data-center server."""
+    return tuple(
+        ExperimentCell(
+            system=system,
+            model=model_factory(),
+            topology=datacenter_server(),
+            microbatch_size=2,
+        )
+        for model_factory in _models(fast)
+        for system in ("deepspeed", "mobius")
+    )
+
+
 def run(fast: bool = False, jobs: int | None = None) -> ExperimentTable:
     """Regenerate Figure 16's summary statistics.
 
@@ -44,7 +62,7 @@ def run(fast: bool = False, jobs: int | None = None) -> ExperimentTable:
         jobs: Per-cell worker processes (``None`` =
             :func:`~repro.experiments.runner.default_jobs`).
     """
-    models = [gpt_8b] if fast else [gpt_8b, gpt_15b]
+    models = _models(fast)
     table = ExperimentTable(
         title="Figure 16: GPU-CPU bandwidth CDF summary on the DC server",
         columns=("model", "system", "median_GBps", "above_8GBps"),

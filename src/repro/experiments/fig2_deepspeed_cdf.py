@@ -9,11 +9,25 @@ bandwidth because concurrent all-to-all transfers contend.
 from __future__ import annotations
 
 from repro.analysis.bandwidth import bandwidth_cdf, fraction_of_bytes_below
-from repro.experiments.runner import ExperimentTable, print_tables, run_system
+from repro.experiments.runner import (
+    ExperimentCell,
+    ExperimentTable,
+    print_tables,
+    run_system,
+)
 from repro.hardware.topology import PCIE_EFFECTIVE_BW, topo_2_2
 from repro.models.zoo import gpt_15b
 
-__all__ = ["run", "main"]
+__all__ = ["cells", "run", "main"]
+
+
+def cells(fast: bool = False) -> tuple[ExperimentCell, ...]:
+    """The one simulation cell behind this figure (same cell as §2.3)."""
+    return (
+        ExperimentCell(
+            system="deepspeed", model=gpt_15b(), topology=topo_2_2(), microbatch_size=1
+        ),
+    )
 
 
 def run() -> ExperimentTable:

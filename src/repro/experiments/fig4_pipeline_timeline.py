@@ -9,52 +9,56 @@ summary row quantifying the contention difference.
 from __future__ import annotations
 
 from repro.analysis.timeline import ascii_gantt
-from repro.core.api import MobiusConfig, run_mobius
-from repro.experiments.runner import ExperimentTable, print_tables
+from repro.core.api import MobiusConfig
+from repro.experiments.runner import ExperimentCell, ExperimentTable, print_tables
 from repro.hardware.topology import topo_4_4
 from repro.models.zoo import gpt_15b
 
-__all__ = ["run", "main", "render_timelines"]
+__all__ = ["cells", "run", "main", "render_timelines"]
+
+MAPPINGS = ("sequential", "cross")
+
+
+def _cell(mapping: str) -> ExperimentCell:
+    return ExperimentCell(
+        system="mobius",
+        model=gpt_15b(),
+        topology=topo_4_4(),
+        mobius_config=MobiusConfig(
+            microbatch_size=1, mapping_method=mapping, partition_time_limit=1.0
+        ),
+    )
+
+
+def cells(fast: bool = False) -> tuple[ExperimentCell, ...]:
+    """One cell per mapping scheme."""
+    return tuple(_cell(mapping) for mapping in MAPPINGS)
 
 
 def render_timelines(width: int = 110) -> dict[str, str]:
     """Gantt charts for both mapping schemes (15B, 8 GPUs, Topo 4+4)."""
-    model = gpt_15b()
-    topology = topo_4_4()
     charts = {}
-    for mapping in ("sequential", "cross"):
-        report = run_mobius(
-            model,
-            topology,
-            MobiusConfig(
-                microbatch_size=1, mapping_method=mapping, partition_time_limit=1.0
-            ),
-        )
-        charts[mapping] = ascii_gantt(report.trace, width=width)
+    for mapping in MAPPINGS:
+        result = _cell(mapping).run()
+        assert result.trace is not None
+        charts[mapping] = ascii_gantt(result.trace, width=width)
     return charts
 
 
 def run(fast: bool = False) -> ExperimentTable:
     """Summarise the Figure 4 comparison (charts via :func:`render_timelines`)."""
-    model = gpt_15b()
-    topology = topo_4_4()
     table = ExperimentTable(
         title="Figure 4: Mobius pipeline, sequential vs cross mapping (15B, Topo 4+4)",
         columns=("mapping", "step_s", "median_bw_GBps", "non_overlapped"),
     )
-    for mapping in ("sequential", "cross"):
-        report = run_mobius(
-            model,
-            topology,
-            MobiusConfig(
-                microbatch_size=1, mapping_method=mapping, partition_time_limit=1.0
-            ),
-        )
+    for mapping in MAPPINGS:
+        result = _cell(mapping).run()
+        assert result.trace is not None
         table.add_row(
             mapping,
-            report.step_seconds,
-            report.trace.median_bandwidth() / 1e9,
-            report.trace.non_overlapped_comm_fraction(),
+            result.step_seconds,
+            result.trace.median_bandwidth() / 1e9,
+            result.trace.non_overlapped_comm_fraction(),
         )
     table.notes.append(
         "paper: cross mapping removes the contention of adjacent stages' "

@@ -9,14 +9,38 @@ degrades with contention.
 
 from __future__ import annotations
 
-from repro.experiments.runner import ExperimentTable, print_tables, run_system
+from repro.experiments.runner import (
+    ExperimentCell,
+    ExperimentTable,
+    print_tables,
+    run_system,
+)
 from repro.hardware.topology import topo_1_3, topo_2_2, topo_4
 from repro.models.zoo import gpt_3b, gpt_8b, gpt_15b, gpt_51b
 
-__all__ = ["run", "main"]
+__all__ = ["cells", "run", "main"]
 
 TOPOLOGIES = (topo_2_2, topo_1_3, topo_4)
 SYSTEMS = ("gpipe", "ds-pipeline", "deepspeed", "mobius")
+
+
+def _models(fast: bool):
+    return [gpt_8b, gpt_15b] if fast else [gpt_3b, gpt_8b, gpt_15b, gpt_51b]
+
+
+def cells(fast: bool = False) -> tuple[ExperimentCell, ...]:
+    """Every (system, model, topology) cell of the Figure 5 grid."""
+    return tuple(
+        ExperimentCell(
+            system=system,
+            model=model_factory(),
+            topology=topo_factory(),
+            microbatch_size=1,
+        )
+        for model_factory in _models(fast)
+        for topo_factory in TOPOLOGIES
+        for system in SYSTEMS
+    )
 
 
 def run(fast: bool = False) -> ExperimentTable:
@@ -25,7 +49,7 @@ def run(fast: bool = False) -> ExperimentTable:
     Args:
         fast: Restrict to the 8B and 15B models (CI-friendly subset).
     """
-    models = [gpt_8b, gpt_15b] if fast else [gpt_3b, gpt_8b, gpt_15b, gpt_51b]
+    models = _models(fast)
     table = ExperimentTable(
         title="Figure 5: per-step time (seconds), batch size 1",
         columns=("model", "topology", *SYSTEMS, "ds/mobius"),

@@ -8,18 +8,36 @@ Expected shape: DeepSpeed ~7.3x the model size, Mobius ~1.5-1.8x.
 from __future__ import annotations
 
 from repro.analysis.traffic import deepspeed_traffic, mobius_traffic, model_size_bytes
-from repro.experiments.runner import ExperimentTable, print_tables, run_system
+from repro.experiments.runner import (
+    ExperimentCell,
+    ExperimentTable,
+    print_tables,
+    run_system,
+)
 from repro.hardware.topology import topo_2_2
 from repro.models.zoo import gpt_8b, gpt_15b, gpt_51b
 
-__all__ = ["run", "main"]
+__all__ = ["cells", "run", "main"]
 
 GB = 1e9
 
 
+def _models(fast: bool):
+    return [gpt_8b, gpt_15b] if fast else [gpt_8b, gpt_15b, gpt_51b]
+
+
+def cells(fast: bool = False) -> tuple[ExperimentCell, ...]:
+    """Measured-traffic cells (default microbatch size per model)."""
+    return tuple(
+        ExperimentCell(system=system, model=model_factory(), topology=topo_2_2())
+        for model_factory in _models(fast)
+        for system in ("deepspeed", "mobius")
+    )
+
+
 def run(fast: bool = False) -> ExperimentTable:
     """Regenerate Figure 6 (Topo 2+2, 4 GPUs)."""
-    models = [gpt_8b, gpt_15b] if fast else [gpt_8b, gpt_15b, gpt_51b]
+    models = _models(fast)
     table = ExperimentTable(
         title="Figure 6: per-step communication traffic (GB)",
         columns=(

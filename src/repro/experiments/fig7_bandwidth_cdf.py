@@ -13,17 +13,41 @@ from repro.analysis.bandwidth import (
     fraction_of_bytes_above,
     fraction_of_bytes_below,
 )
-from repro.experiments.runner import ExperimentTable, print_tables, run_system
+from repro.experiments.runner import (
+    ExperimentCell,
+    ExperimentTable,
+    print_tables,
+    run_system,
+)
 from repro.hardware.topology import topo_1_3, topo_2_2, topo_4
 from repro.models.zoo import gpt_8b, gpt_15b, gpt_51b
 
-__all__ = ["run", "main"]
+__all__ = ["cells", "run", "main"]
+
+
+def _models(fast: bool):
+    return [gpt_15b] if fast else [gpt_8b, gpt_15b, gpt_51b]
+
+
+def cells(fast: bool = False) -> tuple[ExperimentCell, ...]:
+    """Every (model, topology, system) cell of the CDF grid."""
+    return tuple(
+        ExperimentCell(
+            system=system,
+            model=model_factory(),
+            topology=topo_factory(),
+            microbatch_size=1,
+        )
+        for model_factory in _models(fast)
+        for topo_factory in (topo_2_2, topo_1_3, topo_4)
+        for system in ("deepspeed", "mobius")
+    )
 
 
 def run(fast: bool = False) -> ExperimentTable:
     """Regenerate Figure 7's summary statistics (full CDFs via
     :func:`repro.analysis.bandwidth.bandwidth_cdf` on the traces)."""
-    models = [gpt_15b] if fast else [gpt_8b, gpt_15b, gpt_51b]
+    models = _models(fast)
     table = ExperimentTable(
         title="Figure 7: bandwidth CDF summary (fractions of transferred bytes)",
         columns=(

@@ -10,16 +10,40 @@ Topo 2+2 where cross mapping has the most freedom.
 from __future__ import annotations
 
 from repro.analysis.overlap import overlap_stats
-from repro.experiments.runner import ExperimentTable, print_tables, run_system
+from repro.experiments.runner import (
+    ExperimentCell,
+    ExperimentTable,
+    print_tables,
+    run_system,
+)
 from repro.hardware.topology import topo_1_3, topo_2_2, topo_4
 from repro.models.zoo import gpt_15b, gpt_51b
 
-__all__ = ["run", "main"]
+__all__ = ["cells", "run", "main"]
+
+
+def _models(fast: bool):
+    return [gpt_15b] if fast else [gpt_15b, gpt_51b]
+
+
+def cells(fast: bool = False) -> tuple[ExperimentCell, ...]:
+    """A strict subset of Figure 7's grid — dedups to zero extra work."""
+    return tuple(
+        ExperimentCell(
+            system=system,
+            model=model_factory(),
+            topology=topo_factory(),
+            microbatch_size=1,
+        )
+        for model_factory in _models(fast)
+        for topo_factory in (topo_2_2, topo_1_3, topo_4)
+        for system in ("deepspeed", "mobius")
+    )
 
 
 def run(fast: bool = False) -> ExperimentTable:
     """Regenerate Figure 8."""
-    models = [gpt_15b] if fast else [gpt_15b, gpt_51b]
+    models = _models(fast)
     table = ExperimentTable(
         title="Figure 8: non-overlapped communication proportion",
         columns=("model", "topology", "deepspeed", "mobius", "reduction"),

@@ -10,39 +10,55 @@ wins outright when they are small.
 
 from __future__ import annotations
 
-from repro.core.api import MobiusConfig, run_mobius
-from repro.experiments.runner import ExperimentTable, print_tables
+from repro.core.api import MobiusConfig
+from repro.experiments.runner import ExperimentCell, ExperimentTable, print_tables
 from repro.hardware.topology import topo_2_2
 from repro.models.zoo import gpt_8b, gpt_15b
 
-__all__ = ["run", "main"]
+__all__ = ["cells", "run", "main"]
 
 MICROBATCH_SWEEP = {"GPT-8B": (2, 4, 8), "GPT-15B": (1, 2, 3)}
+METHODS = ("mip", "max-stage", "min-stage")
+
+
+def _models(fast: bool):
+    return [gpt_8b] if fast else [gpt_8b, gpt_15b]
+
+
+def _cell(model, mbs: int, method: str) -> ExperimentCell:
+    return ExperimentCell(
+        system="mobius",
+        model=model,
+        topology=topo_2_2(),
+        mobius_config=MobiusConfig(
+            microbatch_size=mbs, partition_method=method, partition_time_limit=2.0
+        ),
+    )
+
+
+def cells(fast: bool = False) -> tuple[ExperimentCell, ...]:
+    """One cell per (model, microbatch size, partition method)."""
+    return tuple(
+        _cell(model, mbs, method)
+        for model in (factory() for factory in _models(fast))
+        for mbs in MICROBATCH_SWEEP[model.name]
+        for method in METHODS
+    )
 
 
 def run(fast: bool = False) -> ExperimentTable:
     """Regenerate Figure 9 (normalised per-step times)."""
-    models = [gpt_8b] if fast else [gpt_8b, gpt_15b]
+    models = _models(fast)
     table = ExperimentTable(
         title="Figure 9: per-step time normalised to the MIP partition algorithm",
         columns=("model", "microbatch", "mip_seconds", "max_stage_x", "min_stage_x"),
     )
-    topology = topo_2_2()
     for model_factory in models:
         model = model_factory()
         for mbs in MICROBATCH_SWEEP[model.name]:
             times = {}
-            for method in ("mip", "max-stage", "min-stage"):
-                report = run_mobius(
-                    model,
-                    topology,
-                    MobiusConfig(
-                        microbatch_size=mbs,
-                        partition_method=method,
-                        partition_time_limit=2.0,
-                    ),
-                )
-                times[method] = report.step_seconds
+            for method in METHODS:
+                times[method] = _cell(model, mbs, method).run().step_seconds
             table.add_row(
                 model.name,
                 mbs,

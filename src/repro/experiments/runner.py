@@ -38,6 +38,7 @@ __all__ = [
     "SystemResult",
     "default_jobs",
     "resolve_jobs",
+    "run_cell",
     "run_system",
     "run_systems_parallel",
     "SYSTEMS",
@@ -152,6 +153,16 @@ def run_system(
         mobius_config=mobius_config,
         deepspeed_config=deepspeed_config,
     )
+    return run_cell(cell)
+
+
+def run_cell(cell: "ExperimentCell") -> SystemResult:
+    """Run one cell through the ``"system"`` memoization namespace.
+
+    This is the single compute path behind :func:`run_system`,
+    :meth:`ExperimentCell.run` and the suite's cell scheduler — all three
+    share one cache entry per cell.
+    """
     result = get_cache().memoize("system", cell, lambda: _run_system_uncached(cell))
     return dataclasses.replace(result, extras=dict(result.extras))
 
@@ -162,6 +173,18 @@ def _run_system_uncached(cell: "ExperimentCell") -> SystemResult:
     deepspeed_config = cell.deepspeed_config
     mobius_config = cell.mobius_config
     mbs = cell.microbatch_size or model.default_microbatch_size
+    if cell.plan_only:
+        from repro.core.api import plan_mobius
+
+        config = mobius_config or MobiusConfig(
+            microbatch_size=mbs,
+            n_microbatches=n_microbatches,
+            partition_time_limit=1.0,
+        )
+        report = plan_mobius(model, topology, config)
+        return SystemResult(
+            system, "ok", float("nan"), None, extras={"plan_report": report}
+        )
     try:
         if system == "gpipe":
             report = run_gpipe(
@@ -204,7 +227,17 @@ class ExperimentCell:
     """One ``run_system`` invocation as a picklable, fingerprintable value.
 
     Doubles as the cache key for :func:`run_system` and as the unit of work
-    for :func:`run_systems_parallel`.
+    for :func:`run_systems_parallel` and the suite-wide cell scheduler
+    (:mod:`repro.experiments.schedule`).
+
+    ``plan_only`` cells (``system == "mobius"`` only) run the planning
+    pipeline without the simulation step: they exist so figures that only
+    read planning overheads (Figure 12) can enumerate work for the
+    scheduler without paying for a simulated step.  Their ``SystemResult``
+    carries the plan report in ``extras`` and no trace, and — because the
+    inner ``plan_mobius`` call memoizes under the ``"plan"`` namespace —
+    computing one warms the exact entry the figure's own ``plan_mobius``
+    call will hit.
     """
 
     system: str
@@ -214,17 +247,16 @@ class ExperimentCell:
     n_microbatches: int | None = None
     mobius_config: MobiusConfig | None = None
     deepspeed_config: DeepSpeedConfig | None = None
+    plan_only: bool = False
+
+    def __post_init__(self) -> None:
+        if self.plan_only and self.system != "mobius":
+            raise ValueError(
+                f"plan_only cells must use system='mobius', got {self.system!r}"
+            )
 
     def run(self) -> SystemResult:
-        return run_system(
-            self.system,
-            self.model,
-            self.topology,
-            microbatch_size=self.microbatch_size,
-            n_microbatches=self.n_microbatches,
-            mobius_config=self.mobius_config,
-            deepspeed_config=self.deepspeed_config,
-        )
+        return run_cell(self)
 
 
 def _worker_init(config: CacheConfig) -> None:
@@ -239,9 +271,9 @@ def default_jobs() -> int:
 
     ``REPRO_JOBS`` (a positive integer) wins over the detected CPU count:
     containers frequently report ``os.cpu_count() == 1`` (or ``None``)
-    while having more cores available, and conversely the suite runner
-    sets ``REPRO_JOBS=1`` inside its figure-pool workers so per-cell
-    fan-out never nests a pool inside a pool.
+    while having more cores available.  The suite no longer needs to pin
+    this inside workers — the cell scheduler owns the only process pool,
+    and figure assembly is serial cache-hit replay.
     """
     env = os.environ.get("REPRO_JOBS")
     if env is not None:

@@ -1,0 +1,515 @@
+"""Suite-wide cell scheduler: one global work pool over every figure's cells.
+
+The figure suite used to parallelise at whole-figure granularity: each
+``fig*`` module ran in its own pool worker with per-cell fan-out pinned to
+serial (``REPRO_JOBS=1``), so wall time was gated by the slowest figure
+while other workers idled, and concurrent figures re-solved the same
+(system, model, topology) cells until the disk cache warmed.  This module
+inverts the structure:
+
+1. **Enumerate** — every experiment module exposes a ``cells()`` protocol
+   beside ``run()``/``main()`` returning the :class:`~repro.experiments.
+   runner.ExperimentCell`\\ s its ``run()`` will consume.
+2. **Deduplicate** — cells flatten into one graph keyed by their
+   ``"system"`` memoize digest: Figure 10 and Figure 11 sweep identical
+   configurations, Figure 8 re-simulates a subset of Figure 7's grid,
+   §2.3 re-reads Figure 2's cell — each is computed exactly once.
+3. **Order** — cells whose plans collapse onto one MIP solve (same
+   :func:`~repro.core.api.partition_solve_key`) wait for the first such
+   cell, so the solve happens once and the rest hit the ``"partition"``
+   cache; sweep cells sharing a :func:`~repro.core.api.partition_hint_key`
+   are chained by stage rank (GPU count), so the N-GPU solve completes —
+   and publishes its warm-start hint — before the (N+1)-GPU solve starts.
+4. **Drain** — one global :class:`~concurrent.futures.ProcessPoolExecutor`
+   runs ready cells as dependencies resolve.  Workers share the disk cache
+   tier, a :class:`~repro.serve.store.DurableStore`-backed partition-hint
+   store (so warm starts cross process boundaries), and a
+   :class:`~repro.perf.cache.LeaseTable` (so two *processes* — a second
+   concurrent suite, a daemon — never solve the same cell concurrently:
+   the loser waits and reads the winner's result).
+
+Figures then run serially afterwards as pure cache-hit assembly passes.
+
+Determinism: completion order, lease waits and warm-start hits affect only
+*when* work happens, never *what* any cell returns — results are
+content-addressed and warm starts are bit-identical by the solver's
+canonical tie-breaks.  :func:`cell_result_fingerprint` pins exactly the
+deterministic face of a result (status, simulated step time, trace digest,
+execution plan), excluding wall-clock metadata like ``solve_seconds`` and
+hint-dependent metadata like ``nodes_explored``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import importlib
+import multiprocessing
+from collections import deque
+from collections.abc import Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from pathlib import Path
+
+from repro.core.api import MobiusConfig, partition_hint_key, partition_solve_key
+from repro.experiments.runner import ExperimentCell, SystemResult, run_cell
+from repro.perf.cache import (
+    CACHE_VERSION,
+    CacheConfig,
+    LeaseTable,
+    configure_cache,
+    get_cache,
+    merge_stats,
+)
+from repro.perf.fingerprint import fingerprint
+
+__all__ = [
+    "CellNode",
+    "ScheduleReport",
+    "build_schedule",
+    "cell_result_fingerprint",
+    "drain",
+    "enumerate_cells",
+    "figure_cells",
+    "run_cells",
+]
+
+#: Subdirectory of the versioned cache directory holding lease files.
+LEASE_DIRNAME = "leases"
+#: Durable warm-start hint store shared by every drain process.
+HINT_DB_FILENAME = "hints.sqlite"
+
+
+def figure_cells(name: str, *, fast: bool = False) -> tuple[ExperimentCell, ...]:
+    """One experiment module's cell enumeration (``()`` if it has none).
+
+    Modules whose work is not cell-shaped (Table 1's spec lookup, Figure
+    13's training loop) return an empty tuple and simply run during the
+    assembly pass.
+    """
+    module = importlib.import_module(f"repro.experiments.{name}")
+    enumerate_fn = getattr(module, "cells", None)
+    if enumerate_fn is None:
+        return ()
+    return tuple(enumerate_fn(fast=fast))
+
+
+def enumerate_cells(
+    names: Sequence[str], *, fast: bool = False
+) -> list[tuple[str, ExperimentCell]]:
+    """Flatten ``(figure, cell)`` pairs over the requested modules, in order."""
+    pairs: list[tuple[str, ExperimentCell]] = []
+    for name in names:
+        for cell in figure_cells(name, fast=fast):
+            pairs.append((name, cell))
+    return pairs
+
+
+@dataclasses.dataclass
+class CellNode:
+    """One unique cell in the schedule graph."""
+
+    index: int
+    cell: ExperimentCell
+    digest: str
+    figures: list[str]
+    deps: set[int] = dataclasses.field(default_factory=set)
+    dependents: list[int] = dataclasses.field(default_factory=list)
+
+
+def _plan_signature(cell: ExperimentCell) -> tuple[tuple, str, int] | None:
+    """``(hint_key, solve_digest, stage_rank)`` for MIP-planned mobius cells.
+
+    ``None`` for baseline-system cells and non-MIP ablations: they take no
+    warm-start hints and share no partition solves, so they carry no
+    ordering constraints.
+    """
+    if cell.system != "mobius":
+        return None
+    config = cell.mobius_config
+    if config is None:
+        mbs = cell.microbatch_size or cell.model.default_microbatch_size
+        # Mirrors run_system's default-config construction so the keys
+        # below match what the cell will actually solve.
+        config = MobiusConfig(
+            microbatch_size=mbs,
+            n_microbatches=cell.n_microbatches,
+            partition_time_limit=1.0,
+        )
+    if config.partition_method != "mip":
+        return None
+    hint_key = partition_hint_key(cell.model, cell.topology, config)
+    if hint_key is None:  # pragma: no cover - mip always has a hint key
+        return None
+    solve_digest = fingerprint(partition_solve_key(cell.model, cell.topology, config))
+    return hint_key, solve_digest, cell.topology.n_gpus
+
+
+@dataclasses.dataclass
+class Schedule:
+    """The deduplicated, warm-start-ordered cell graph."""
+
+    nodes: list[CellNode]
+    cells_enumerated: int
+    ordering_edges: int
+    warm_chains: int
+
+    @property
+    def cells_unique(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def cells_deduped(self) -> int:
+        return self.cells_enumerated - len(self.nodes)
+
+
+def build_schedule(pairs: Sequence[tuple[str, ExperimentCell]]) -> Schedule:
+    """Dedup cells by memo digest and add solve-share + warm-start edges."""
+    nodes: list[CellNode] = []
+    by_digest: dict[str, CellNode] = {}
+    for figure, cell in pairs:
+        digest = fingerprint(cell)
+        node = by_digest.get(digest)
+        if node is None:
+            node = CellNode(index=len(nodes), cell=cell, digest=digest, figures=[])
+            nodes.append(node)
+            by_digest[digest] = node
+        if figure not in node.figures:
+            node.figures.append(figure)
+
+    edges: set[tuple[int, int]] = set()  # (before, after)
+
+    def add_edge(before: CellNode, after: CellNode) -> None:
+        if before.index != after.index:
+            edges.add((before.index, after.index))
+
+    # Cells whose layer-to-stage split is the same budget-limited solve:
+    # the first enumerated cell computes it, the rest wait and hit the
+    # "partition" cache (zero duplicate solves by construction).
+    solve_groups: dict[str, CellNode] = {}
+    # Sweep cells feeding each other warm-start hints, keyed by hint key,
+    # then bucketed by stage rank (GPU count).
+    hint_groups: dict[tuple, dict[int, list[CellNode]]] = {}
+    for node in nodes:
+        signature = _plan_signature(node.cell)
+        if signature is None:
+            continue
+        hint_key, solve_digest, rank = signature
+        leader = solve_groups.setdefault(solve_digest, node)
+        add_edge(leader, node)
+        hint_groups.setdefault(hint_key, {}).setdefault(rank, []).append(node)
+
+    # Order stage-count N before N+1 within each hint chain: every cell of
+    # the next rank waits for the previous rank's representative, whose
+    # completion publishes the warm-start hint the next solves consume.
+    warm_chains = 0
+    for ranks in hint_groups.values():
+        if len(ranks) < 2:
+            continue
+        warm_chains += 1
+        ordered = sorted(ranks)
+        for previous, current in zip(ordered, ordered[1:]):
+            representative = ranks[previous][0]
+            for node in ranks[current]:
+                add_edge(representative, node)
+
+    for before, after in sorted(edges):
+        nodes[after].deps.add(before)
+        nodes[before].dependents.append(after)
+    return Schedule(
+        nodes=nodes,
+        cells_enumerated=len(pairs),
+        ordering_edges=len(edges),
+        warm_chains=warm_chains,
+    )
+
+
+def cell_result_fingerprint(result: SystemResult) -> str:
+    """Digest of a result's deterministic face.
+
+    Includes the simulated step time, the trace's columnar digest and the
+    execution plan; excludes wall-clock metadata (``solve_seconds``,
+    ``profiling_seconds``) and hint-dependent search metadata
+    (``nodes_explored``, ``warm_started``) — a warm-started solve must
+    fingerprint identically to the cold solve it is bit-identical to.
+    """
+    plan_report = result.extras.get("plan_report")
+    return fingerprint(
+        (
+            result.system,
+            result.status,
+            result.step_seconds,
+            result.trace.columnar_digest() if result.trace is not None else None,
+            plan_report.plan if plan_report is not None else None,
+        )
+    )
+
+
+@dataclasses.dataclass
+class ScheduleReport:
+    """What one drain did: dedup counters, per-process cache stats, digest."""
+
+    jobs: int
+    cells_enumerated: int
+    cells_unique: int
+    cells_deduped: int
+    cells_precached: int
+    cells_computed: int
+    cells_shared: int  # found in a shared tier by the worker before leasing
+    cells_coalesced: int  # lease lost to another process; read its result
+    duplicate_solves: int  # drain-wide "system" misses beyond cells_computed
+    ordering_edges: int
+    warm_chains: int
+    worker_cache: dict  # per-namespace stats summed over drain processes
+    cells_fingerprint: str
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def _worker_init(config: CacheConfig, hint_db: str | None) -> None:
+    """Pool entry: adopt the parent cache config and the shared hint store."""
+    configure_cache(memory=config.memory, disk=config.disk, directory=config.directory)
+    if hint_db is not None:
+        from repro.core.api import set_partition_hint_store
+        from repro.serve.store import DurableStore
+
+        set_partition_hint_store(DurableStore(hint_db))
+
+
+def _cell_worker(
+    task: tuple[ExperimentCell, str, str | None],
+) -> tuple[SystemResult, str, dict]:
+    """Compute one cell under the lease protocol.
+
+    Returns ``(result, outcome, stats_delta)`` where ``outcome`` is
+    ``"computed"`` (this process ran the cell), ``"shared"`` (a shared
+    cache tier already had it) or ``"coalesced"`` (another process held
+    the lease; we waited and read its result).  Runs both in pool workers
+    and inline for ``jobs=1`` drains — the protocol is identical.
+    """
+    cell, digest, lease_dir = task
+    cache = get_cache()
+    before = cache.stats_snapshot()
+    if lease_dir is None:
+        result = run_cell(cell)
+        outcome = "computed"
+    else:
+        leases = LeaseTable(lease_dir)
+        value, found = cache.lookup("system", cell)
+        if found:
+            result, outcome = value, "shared"
+        elif leases.acquire("system", digest):
+            try:
+                result = run_cell(cell)
+            finally:
+                leases.release("system", digest)
+            outcome = "computed"
+        else:
+            verdict = leases.wait("system", digest)
+            value, found = cache.lookup("system", cell)
+            if found and verdict == "released":
+                result, outcome = value, "coalesced"
+            else:
+                # The holder died or outlived the wait budget (or never
+                # shared a cache tier with us): duplicate work beats a
+                # missing result, and content-addressing keeps it safe.
+                result = run_cell(cell)
+                outcome = "computed"
+    delta = _stats_delta(before, cache.stats_snapshot())
+    return result, outcome, delta
+
+
+def _stats_delta(before: dict, after: dict) -> dict:
+    delta: dict[str, dict] = {}
+    for namespace, counters in after.items():
+        previous = before.get(namespace, {})
+        entry = {
+            key: value - previous.get(key, 0) for key, value in counters.items()
+        }
+        if any(entry.values()):
+            delta[namespace] = entry
+    return delta
+
+
+def run_cells(
+    names: Sequence[str],
+    *,
+    fast: bool = False,
+    jobs: int = 1,
+) -> ScheduleReport:
+    """Enumerate, dedup, order and drain every cell of ``names``."""
+    return drain(enumerate_cells(names, fast=fast), jobs=jobs)
+
+
+def drain(
+    pairs: Sequence[tuple[str, ExperimentCell]],
+    *,
+    jobs: int = 1,
+) -> ScheduleReport:
+    """Dedup, order and compute ``(figure, cell)`` pairs through one pool.
+
+    Uses the process-global cache as configured by the caller (the suite
+    wraps this in ``cache_overridden``).  When the disk tier is enabled,
+    drain processes additionally share a lease table and a durable
+    warm-start hint store under the versioned cache directory.
+    """
+    schedule = build_schedule(pairs)
+    cache = get_cache()
+
+    lease_dir: str | None = None
+    hint_db: str | None = None
+    if cache.config.disk:
+        base = Path(cache.config.directory) / f"v{CACHE_VERSION}"
+        base.mkdir(parents=True, exist_ok=True)
+        lease_dir = str(base / LEASE_DIRNAME)
+        hint_db = str(base / HINT_DB_FILENAME)
+
+    counters = {"computed": 0, "shared": 0, "coalesced": 0}
+    stats_deltas: list[dict] = []
+    results: dict[int, SystemResult] = {}
+    precached = 0
+
+    remaining = {node.index: set(node.deps) for node in schedule.nodes}
+    ready: deque[CellNode] = deque()
+    waiting: set[int] = set()
+    for node in schedule.nodes:
+        if remaining[node.index]:
+            waiting.add(node.index)
+        else:
+            ready.append(node)
+
+    def complete(node: CellNode) -> None:
+        for dependent in node.dependents:
+            deps = remaining[dependent]
+            deps.discard(node.index)
+            if not deps and dependent in waiting:
+                waiting.discard(dependent)
+                ready.append(schedule.nodes[dependent])
+
+    # Cells already present in a local tier need no worker round-trip.
+    # (Dependency edges only pace work, so completing them here is safe.)
+    pending_total = 0
+    probe: deque[CellNode] = deque(ready)
+    ready.clear()
+    resolved: deque[CellNode] = deque()
+    while probe:
+        node = probe.popleft()
+        value, found = cache.lookup("system", node.cell)
+        if found:
+            results[node.index] = value
+            precached += 1
+            complete(node)
+            # complete() appends newly-ready nodes to `ready`; fold them
+            # into the probe queue so chains of precached cells collapse
+            # without a drain round.
+            while ready:
+                probe.append(ready.popleft())
+        else:
+            resolved.append(node)
+            pending_total += 1
+    ready = resolved
+    pending_total += len(waiting)
+
+    parent_hint_previous = None
+    parent_hint_store = None
+    if hint_db is not None and pending_total:
+        from repro.core.api import set_partition_hint_store
+        from repro.serve.store import DurableStore
+
+        parent_hint_store = DurableStore(hint_db)
+        parent_hint_previous = set_partition_hint_store(parent_hint_store)
+
+    try:
+        if pending_total:
+            if jobs <= 1:
+                while ready:
+                    node = ready.popleft()
+                    value, found = cache.lookup("system", node.cell)
+                    if found:  # unlocked by a dependency that was precached
+                        results[node.index] = value
+                        precached += 1
+                    else:
+                        result, outcome, delta = _cell_worker(
+                            (node.cell, node.digest, lease_dir)
+                        )
+                        results[node.index] = result
+                        counters[outcome] += 1
+                        stats_deltas.append(delta)
+                    complete(node)
+            else:
+                # Spawn, not fork: a forked worker would inherit the
+                # parent's in-memory warm-start registry, silently turning
+                # "cross-process hints flow through the durable store" into
+                # "hints leak through fork".  Spawned workers start with an
+                # empty registry, so the hint store is the only channel —
+                # exactly what the cross-process tests assert.
+                with ProcessPoolExecutor(
+                    max_workers=min(jobs, pending_total),
+                    mp_context=multiprocessing.get_context("spawn"),
+                    initializer=_worker_init,
+                    initargs=(cache.config, hint_db),
+                ) as pool:
+                    in_flight: dict = {}
+
+                    def submit_ready() -> None:
+                        while ready:
+                            node = ready.popleft()
+                            future = pool.submit(
+                                _cell_worker, (node.cell, node.digest, lease_dir)
+                            )
+                            in_flight[future] = node
+
+                    submit_ready()
+                    while in_flight:
+                        done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                        # Account completions in node order so counters and
+                        # stats fold deterministically regardless of which
+                        # worker finished first.
+                        for future in sorted(done, key=lambda f: in_flight[f].index):
+                            node = in_flight.pop(future)
+                            result, outcome, delta = future.result()
+                            cache.adopt("system", node.cell, result)
+                            results[node.index] = result
+                            counters[outcome] += 1
+                            stats_deltas.append(delta)
+                            complete(node)
+                        submit_ready()
+    finally:
+        if parent_hint_store is not None:
+            from repro.core.api import set_partition_hint_store
+
+            set_partition_hint_store(parent_hint_previous)
+            parent_hint_store.close()
+        if lease_dir is not None:
+            # Crash hygiene: any lease this *drain* leaked is stale now.
+            # Live leases of other processes are left alone (their PIDs
+            # are alive), so this only drops our own.
+            table = LeaseTable(lease_dir)
+            for node in schedule.nodes:
+                holder = table.holder("system", node.digest)
+                if holder is not None and not table._alive(holder):
+                    table.release("system", node.digest)
+
+    worker_cache = merge_stats(*stats_deltas)
+    drain_system_misses = worker_cache.get("system", {}).get("misses", 0)
+    lines = sorted(
+        f"{node.digest}:{cell_result_fingerprint(results[node.index])}"
+        for node in schedule.nodes
+    )
+    cells_fingerprint = hashlib.sha256("\n".join(lines).encode("ascii")).hexdigest()
+
+    return ScheduleReport(
+        jobs=jobs,
+        cells_enumerated=schedule.cells_enumerated,
+        cells_unique=schedule.cells_unique,
+        cells_deduped=schedule.cells_deduped,
+        cells_precached=precached,
+        cells_computed=counters["computed"],
+        cells_shared=counters["shared"],
+        cells_coalesced=counters["coalesced"],
+        duplicate_solves=max(0, drain_system_misses - counters["computed"]),
+        ordering_edges=schedule.ordering_edges,
+        warm_chains=schedule.warm_chains,
+        worker_cache=worker_cache,
+        cells_fingerprint=cells_fingerprint,
+    )

@@ -9,11 +9,25 @@ from __future__ import annotations
 
 from repro.analysis.overlap import overlap_stats
 from repro.analysis.traffic import model_size_bytes
-from repro.experiments.runner import ExperimentTable, print_tables, run_system
+from repro.experiments.runner import (
+    ExperimentCell,
+    ExperimentTable,
+    print_tables,
+    run_system,
+)
 from repro.hardware.topology import topo_2_2
 from repro.models.zoo import gpt_15b
 
-__all__ = ["run", "main"]
+__all__ = ["cells", "run", "main"]
+
+
+def cells(fast: bool = False) -> tuple[ExperimentCell, ...]:
+    """One simulation cell — identical to Figure 2's, so it dedups away."""
+    return (
+        ExperimentCell(
+            system="deepspeed", model=gpt_15b(), topology=topo_2_2(), microbatch_size=1
+        ),
+    )
 
 
 def run() -> ExperimentTable:

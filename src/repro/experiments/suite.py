@@ -1,25 +1,36 @@
-"""The figure suite runner: every ``fig*`` module, timed, cached, parallel.
+"""The figure suite runner: schedule every cell once, then assemble figures.
 
 Running each experiment module standalone re-plans and re-simulates the
 same (system, model, topology) cells over and over.  This runner executes
-any subset of :data:`repro.experiments.ALL_EXPERIMENTS` with
+any subset of :data:`repro.experiments.ALL_EXPERIMENTS` in two passes:
 
-* a **shared warm cache** — the :mod:`repro.perf` disk tier is enabled for
-  the duration of the run (unless ``use_cache=False``), so a cell computed
-  by one figure is a cache hit for every later figure and for every worker
-  process;
-* optional **process fan-out** — with ``jobs > 1`` whole figure modules run
-  concurrently in a ``ProcessPoolExecutor``, sharing results through the
-  disk tier; output order stays the requested order regardless of
-  completion order;
-* a **timing report** — per-figure wall time and cache hit/miss counts,
-  printed as a summary table and written to a machine-readable
-  ``BENCH_suite.json``.
+1. **Schedule** — every module's ``cells()`` enumeration flattens into one
+   suite-wide work graph (:mod:`repro.experiments.schedule`): duplicate
+   cells collapse to a single compute, cells sharing a MIP solve queue
+   behind it, sweep cells run in warm-start order, and the whole graph
+   drains through one global process pool (``jobs`` workers) sharing the
+   disk cache, a durable warm-start hint store and a cross-process lease
+   table.
+2. **Assemble** — the figure modules then run serially in-process; every
+   ``run_system`` call they make is a cache hit, so assembly is cheap and
+   its output order is the requested order.
+
+(The previous design parallelised whole figure modules, pinning each
+worker's per-cell fan-out with ``REPRO_JOBS=1``; the cell scheduler
+replaces both levels, so that pin is gone.)
+
+The timing report records per-figure wall time and cache counters, the
+schedule's dedup/coalescing counters, and two determinism fingerprints:
+``cells_fingerprint`` (the deterministic faces of every unique cell's
+result — identical across ``jobs`` values and across machines) and
+``output_fingerprint`` (the exact figure text assembled from one cache).
 
 CLI::
 
     python -m repro.experiments.suite [--jobs N] [--no-cache] [--full]
-                                      [--baseline] [--bench-out PATH] [names...]
+                                      [--baseline] [--identity-check]
+                                      [--check-against PATH] [--force]
+                                      [--bench-out PATH] [names...]
 
 ``repro figures`` routes through :func:`run_suite` as well.
 """
@@ -29,29 +40,44 @@ from __future__ import annotations
 import argparse
 import contextlib
 import dataclasses
+import hashlib
 import importlib
 import io
 import json
 import os
 import platform
 import sys
+import tempfile
 import time
 from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor
 
 from repro.experiments import ALL_EXPERIMENTS
 from repro.experiments.runner import ExperimentTable, default_jobs
+from repro.experiments.schedule import run_cells
 from repro.perf.cache import (
     CACHE_VERSION,
-    CacheConfig,
     cache_overridden,
-    configure_cache,
     get_cache,
+    merge_stats,
 )
 
-__all__ = ["FigureRun", "SuiteReport", "run_suite", "main", "DEFAULT_BENCH_PATH"]
+__all__ = [
+    "BenchOverwriteError",
+    "FigureRun",
+    "SuiteReport",
+    "check_identity",
+    "check_suite_document",
+    "run_suite",
+    "write_bench",
+    "main",
+    "DEFAULT_BENCH_PATH",
+]
 
 DEFAULT_BENCH_PATH = "BENCH_suite.json"
+
+#: Cold unique-cell throughput may not drop below this fraction of the
+#: reference document's (``--check-against``, machines with >= 2 CPUs).
+THROUGHPUT_FLOOR = 0.75
 
 
 @dataclasses.dataclass
@@ -80,6 +106,9 @@ class SuiteReport:
     jobs: int
     use_cache: bool
     fast: bool
+    #: The drain's :class:`~repro.experiments.schedule.ScheduleReport` as a
+    #: dict; ``None`` when scheduling was skipped (``use_cache=False``).
+    schedule: dict | None = None
 
     @property
     def cache_totals(self) -> dict:
@@ -90,6 +119,38 @@ class SuiteReport:
                 totals["hits"] += stats.get("hits", 0)
                 totals["misses"] += stats.get("misses", 0)
         return totals
+
+    @property
+    def aggregate_cache(self) -> dict:
+        """Per-namespace counters over the whole run: drain + assembly.
+
+        The drain's counters come from every worker process (summed via
+        :func:`repro.perf.cache.merge_stats`); the assembly counters from
+        the in-process figure passes.  The ``"system"`` namespace's miss
+        total therefore counts every cell actually computed anywhere —
+        the quantity the dedup guarantee pins across ``jobs`` values.
+        """
+        parts = [figure.cache_stats for figure in self.figures]
+        if self.schedule is not None:
+            parts.append(self.schedule.get("worker_cache", {}))
+        return merge_stats(*parts)
+
+    @property
+    def output_fingerprint(self) -> str:
+        """Digest of the exact figure text, in order.
+
+        Byte-identity of assembly over one warm cache; cross-cache
+        comparisons go through the schedule's ``cells_fingerprint``
+        instead (Figure 12's table prints wall-clock planning overheads,
+        which legitimately differ between independent cold caches).
+        """
+        digest = hashlib.sha256()
+        for figure in self.figures:
+            digest.update(figure.name.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(figure.output.encode("utf-8"))
+            digest.update(b"\x00")
+        return digest.hexdigest()
 
     def summary_table(self) -> ExperimentTable:
         table = ExperimentTable(
@@ -106,11 +167,18 @@ class SuiteReport:
             f"cache={'on' if self.use_cache else 'off'} "
             f"({totals['hits']} hits / {totals['misses']} misses)"
         )
+        if self.schedule is not None:
+            table.notes.append(
+                "schedule: {cells_enumerated} cells -> {cells_unique} unique "
+                "({cells_deduped} deduped, {cells_precached} precached, "
+                "{cells_computed} computed, {duplicate_solves} duplicate solves)"
+                .format(**self.schedule)
+            )
         return table
 
     def as_dict(self) -> dict:
         return {
-            "schema": "mobius-bench-suite/1",
+            "schema": "mobius-bench-suite/2",
             # Full-float precision: rounding to a few decimals can collapse a
             # sub-millisecond warm-cache pass to 0.0, breaking downstream
             # speedup ratios that divide by this value.
@@ -132,6 +200,9 @@ class SuiteReport:
                 "cpus": os.cpu_count(),
                 "repro_jobs_env": os.environ.get("REPRO_JOBS"),
             },
+            "schedule": self.schedule,
+            "output_fingerprint": self.output_fingerprint,
+            "aggregate_cache": self.aggregate_cache,
             "figures": [figure.as_dict() for figure in self.figures],
         }
 
@@ -167,20 +238,6 @@ def _execute_figure(name: str, fast: bool) -> FigureRun:
     return FigureRun(name=name, seconds=seconds, output=buffer.getvalue(), cache_stats=delta)
 
 
-def _figure_worker(task: tuple[str, bool, CacheConfig]) -> FigureRun:
-    """Pool entry point: adopt the parent cache config, run one figure.
-
-    ``REPRO_JOBS=1`` pins the figure's own per-cell fan-out
-    (:func:`repro.experiments.runner.run_systems_parallel`) to serial: the
-    suite already parallelises across figures here, and a pool inside a
-    pool would oversubscribe the machine.
-    """
-    name, fast, config = task
-    os.environ["REPRO_JOBS"] = "1"
-    configure_cache(memory=config.memory, disk=config.disk, directory=config.directory)
-    return _execute_figure(name, fast)
-
-
 def resolve_names(requested: Sequence[str]) -> list[str]:
     """Expand ``all``/prefixes into experiment module names, in paper order."""
     if not requested or "all" in requested:
@@ -202,14 +259,18 @@ def run_suite(
     bench_path: str | None = None,
     stream=None,
 ) -> SuiteReport:
-    """Run experiment modules with a shared cache and optional fan-out.
+    """Schedule every cell once, then assemble figures from the cache.
 
     Args:
         names: Module names (already resolved); default all experiments.
         fast: Run each module's CI-friendly subset.
-        jobs: Worker processes for figure-level fan-out (1 = in-process).
+        jobs: Worker processes for the cell drain (1 = in-process).  The
+            assembly pass is always serial: with the cells precached it is
+            pure table formatting.
         use_cache: Enable the memory + disk cache tiers for this run.
-            ``False`` disables caching entirely (cold, reference behavior).
+            ``False`` disables caching entirely (cold, reference
+            behavior) — and with it the scheduling pass, since without a
+            cache the figures could not reuse the drained results.
         cache_dir: Override the disk-tier directory.
         bench_path: If set, write the machine-readable report here.
         stream: Where to print figure output and the timing table
@@ -224,13 +285,10 @@ def run_suite(
     }
     started = time.perf_counter()
     with cache_overridden(**override):
-        config = get_cache().config
-        if jobs > 1 and len(names) > 1:
-            tasks = [(name, fast, config) for name in names]
-            with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
-                figures = list(pool.map(_figure_worker, tasks))
-        else:
-            figures = [_execute_figure(name, fast) for name in names]
+        schedule_report = None
+        if use_cache:
+            schedule_report = run_cells(names, fast=fast, jobs=jobs)
+        figures = [_execute_figure(name, fast) for name in names]
     total = time.perf_counter() - started
 
     report = SuiteReport(
@@ -239,6 +297,7 @@ def run_suite(
         jobs=jobs,
         use_cache=use_cache,
         fast=fast,
+        schedule=schedule_report.as_dict() if schedule_report is not None else None,
     )
     for figure in figures:
         stream.write(figure.output)
@@ -249,14 +308,82 @@ def run_suite(
     return report
 
 
+def check_identity(
+    report: SuiteReport,
+    names: Sequence[str],
+    *,
+    fast: bool = False,
+    cache_dir: str | None = None,
+) -> dict:
+    """The jobs=N vs jobs=1 identity gate.
+
+    Two comparisons, both of which must hold:
+
+    * **solo drain** — every cell is re-solved serially in a scratch cache;
+      its ``cells_fingerprint`` (deterministic result faces) must equal the
+      pool drain's.  This is the cross-process determinism claim: worker
+      count, completion order, lease waits and warm-start hits never change
+      what a cell returns.
+    * **replay assembly** — the figures are re-assembled at ``jobs=1`` over
+      the same warm cache as ``report``; the output text must be
+      byte-identical.  (Byte-identity *across* caches is deliberately not
+      required: Figure 12 prints wall-clock planning overheads, which are
+      properties of the run that populated the cache.)
+    """
+    if report.schedule is None:
+        raise ValueError("identity check needs a scheduled (use_cache=True) report")
+    with tempfile.TemporaryDirectory(prefix="repro-identity-") as scratch:
+        with cache_overridden(memory=True, disk=True, directory=scratch):
+            solo = run_cells(names, fast=fast, jobs=1)
+    replay = run_suite(
+        names,
+        fast=fast,
+        jobs=1,
+        use_cache=True,
+        cache_dir=cache_dir,
+        stream=io.StringIO(),
+    )
+    cells_match = solo.cells_fingerprint == report.schedule["cells_fingerprint"]
+    outputs_match = replay.output_fingerprint == report.output_fingerprint
+    return {
+        "jobs": report.jobs,
+        "cells_fingerprint_pool": report.schedule["cells_fingerprint"],
+        "cells_fingerprint_solo": solo.cells_fingerprint,
+        "cells_match": cells_match,
+        "output_fingerprint": report.output_fingerprint,
+        "output_fingerprint_replay": replay.output_fingerprint,
+        "outputs_match": outputs_match,
+        "ok": cells_match and outputs_match,
+    }
+
+
+class BenchOverwriteError(ValueError):
+    """Refusal to clobber a fuller benchmark report with a lesser one."""
+
+
+def _coverage(document: dict) -> tuple[int, int]:
+    """Orderable coverage rank: full sweeps beat fast, more figures beat fewer."""
+    return (
+        0 if document.get("fast", True) else 1,
+        len(document.get("figures", ())),
+    )
+
+
 def write_bench(
     report: SuiteReport,
     path: str,
     *,
     baseline: SuiteReport | None = None,
     cold: SuiteReport | None = None,
+    identity: dict | None = None,
+    force: bool = False,
 ) -> dict:
     """Write ``BENCH_suite.json``; returns the written document.
+
+    Refuses to overwrite an existing report of strictly greater coverage
+    (a full-sweep document vs a fast pass, or one covering more figures)
+    unless ``force`` is set — a CI fast pass must not silently clobber a
+    committed full baseline.
 
     Args:
         report: The suite's operating-mode run (shared cache warm, if a
@@ -264,6 +391,12 @@ def write_bench(
         baseline: A serial, cache-disabled reference pass.
         cold: A cache-enabled pass that started from an empty cache
             (intra-run reuse only).
+        identity: A :func:`check_identity` verdict to embed.
+        force: Overwrite regardless of the existing document's coverage.
+
+    Raises:
+        BenchOverwriteError: Existing report has greater coverage and
+            ``force`` is not set.
     """
     document = report.as_dict()
     if cold is not None:
@@ -278,10 +411,91 @@ def write_bench(
             document["speedup_cold_vs_baseline"] = round(
                 baseline.total_seconds / cold.total_seconds, 3
             )
+    if identity is not None:
+        document["identity"] = identity
+    if not force and os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                existing = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            existing = None  # unreadable: nothing of value to protect
+        if isinstance(existing, dict) and _coverage(existing) > _coverage(document):
+            raise BenchOverwriteError(
+                f"refusing to overwrite {path} (coverage {_coverage(existing)}) "
+                f"with a lesser report (coverage {_coverage(document)}); "
+                "pass --force to override"
+            )
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=False)
         handle.write("\n")
     return document
+
+
+def _unique_cell_throughput(document: dict) -> float | None:
+    """Unique cells solved per second during the cold (or only) drain."""
+    source = document.get("cold_cache") or document
+    schedule = source.get("schedule")
+    if not schedule or not source.get("total_seconds"):
+        return None
+    return schedule["cells_unique"] / source["total_seconds"]
+
+
+def check_suite_document(document: dict, reference: dict | None = None) -> list[str]:
+    """Gate a benchmark document; returns human-readable problems (empty = pass).
+
+    Always checked:
+
+    * the drain found cross-figure reuse (``cells_deduped + cells_precached
+      + cells_shared + cells_coalesced > 0``) and performed **zero
+      duplicate solves** — the dedup guarantee, meaningful on any machine
+      including single-CPU containers where wall-clock gates would lie;
+    * an embedded ``identity`` verdict, if present, passed.
+
+    With a ``reference`` document (``--check-against``): cold unique-cell
+    throughput must stay above :data:`THROUGHPUT_FLOOR` of the reference's.
+    Skipped unless both machines report >= 2 CPUs — on a one-CPU container
+    pool scheduling overhead is pure cost and wall-clock comparisons would
+    measure the container, not the code.
+    """
+    problems: list[str] = []
+    schedule = document.get("schedule")
+    if schedule is None:
+        problems.append("no schedule section: the run did not drain cells")
+    else:
+        reuse = (
+            schedule["cells_deduped"]
+            + schedule["cells_precached"]
+            + schedule["cells_shared"]
+            + schedule["cells_coalesced"]
+        )
+        if reuse <= 0:
+            problems.append(
+                "no cross-figure reuse: deduped+precached+shared+coalesced == 0"
+            )
+        if schedule["duplicate_solves"] > 0:
+            problems.append(
+                f"{schedule['duplicate_solves']} duplicate solves in the drain "
+                "(every unique cell must be computed exactly once)"
+            )
+    identity = document.get("identity")
+    if identity is not None and not identity.get("ok"):
+        problems.append(
+            "identity check failed: "
+            f"cells_match={identity.get('cells_match')} "
+            f"outputs_match={identity.get('outputs_match')}"
+        )
+    if reference is not None:
+        cpus_here = (document.get("machine") or {}).get("cpus") or 0
+        cpus_ref = (reference.get("machine") or {}).get("cpus") or 0
+        ours = _unique_cell_throughput(document)
+        theirs = _unique_cell_throughput(reference)
+        if cpus_here >= 2 and cpus_ref >= 2 and ours is not None and theirs is not None:
+            if ours < THROUGHPUT_FLOOR * theirs:
+                problems.append(
+                    f"unique-cell throughput regressed: {ours:.3f}/s vs "
+                    f"reference {theirs:.3f}/s (floor {THROUGHPUT_FLOOR:.0%})"
+                )
+    return problems
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -293,7 +507,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "names", nargs="*", default=["all"],
         help=f"experiment names (prefix match) or 'all'; known: {', '.join(ALL_EXPERIMENTS)}",
     )
-    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    parser.add_argument("--jobs", type=int, default=1, help="drain worker processes")
     parser.add_argument(
         "--no-cache", action="store_true", help="disable the plan/result cache"
     )
@@ -303,6 +517,23 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="also run reference passes (serial cache-disabled, then cold-cache) "
         "and record their speedups; empties the on-disk cache first",
+    )
+    parser.add_argument(
+        "--identity-check",
+        action="store_true",
+        help="verify the jobs=N drain against a serial re-drain "
+        "(cells_fingerprint) and a replay assembly (output_fingerprint)",
+    )
+    parser.add_argument(
+        "--check-against", default=None, metavar="PATH",
+        help="gate this run against a reference BENCH_suite.json "
+        "(dedup counters, identity, unique-cell throughput)",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite the bench report even if the existing one has "
+        "greater coverage (full sweep / more figures)",
     )
     parser.add_argument(
         "--bench-out", default=DEFAULT_BENCH_PATH, help="timing report path"
@@ -357,9 +588,53 @@ def main(argv: Sequence[str] | None = None) -> int:
         cache_dir=args.cache_dir,
         bench_path=None,
     )
+
+    identity = None
+    if args.identity_check:
+        if args.no_cache:
+            print("error: --identity-check requires the cache", file=sys.stderr)
+            return 2
+        identity = check_identity(
+            report, names, fast=not args.full, cache_dir=args.cache_dir
+        )
+        verdict = "ok" if identity["ok"] else "MISMATCH"
+        print(
+            f"identity check: {verdict} "
+            f"(cells_match={identity['cells_match']}, "
+            f"outputs_match={identity['outputs_match']})"
+        )
+
     if args.bench_out:
-        write_bench(report, args.bench_out, baseline=baseline, cold=cold)
+        try:
+            document = write_bench(
+                report,
+                args.bench_out,
+                baseline=baseline,
+                cold=cold,
+                identity=identity,
+                force=args.force,
+            )
+        except BenchOverwriteError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         print(f"wrote {args.bench_out}")
+    else:
+        document = report.as_dict()
+        if identity is not None:
+            document["identity"] = identity
+
+    if identity is not None and not identity["ok"]:
+        return 3
+
+    if args.check_against:
+        with open(args.check_against, encoding="utf-8") as handle:
+            reference = json.load(handle)
+        problems = check_suite_document(document, reference)
+        for problem in problems:
+            print(f"check: {problem}", file=sys.stderr)
+        if problems:
+            return 4
+        print(f"check against {args.check_against}: ok")
     return 0
 
 

@@ -2,10 +2,15 @@
 
 from __future__ import annotations
 
-from repro.experiments.runner import ExperimentTable, print_tables
+from repro.experiments.runner import ExperimentCell, ExperimentTable, print_tables
 from repro.hardware.gpu import A100, RTX_3090TI
 
-__all__ = ["run", "main"]
+__all__ = ["cells", "run", "main"]
+
+
+def cells(fast: bool = False) -> tuple[ExperimentCell, ...]:
+    """No simulation cells: a pure spec-database lookup."""
+    return ()
 
 
 def run() -> ExperimentTable:

@@ -135,8 +135,11 @@ class TestSelfCheck:
         """Resolution-regression canary: these edges must survive refactors."""
         program = Program.from_tree(REPO_ROOT)
         graph = build_call_graph(program)
-        assert "repro.experiments.runner.run_system" in graph.callees(
+        assert "repro.experiments.runner.run_cell" in graph.callees(
             "repro.experiments.runner.ExperimentCell.run"
+        )
+        assert "repro.experiments.runner._run_system_uncached" in graph.callees(
+            "repro.experiments.runner.run_cell"
         )
         assert "repro.core.api.run_mobius" in graph.callees(
             "repro.experiments.runner._run_system_uncached"

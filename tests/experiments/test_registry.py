@@ -18,6 +18,11 @@ def test_experiment_module_contract(name):
     assert set(params) <= {"fast", "jobs"}, name
     for extra in set(params) - {"fast"}:
         assert params[extra].default is None, (name, extra)
+    # cells() is the scheduler's enumeration protocol: every module must
+    # expose it (cell-less figures return an empty tuple) so the suite
+    # drain can never silently skip a figure's work.
+    assert callable(module.cells), name
+    assert set(inspect.signature(module.cells).parameters) == {"fast"}, name
 
 
 def test_registry_matches_files():
@@ -30,6 +35,6 @@ def test_registry_matches_files():
     modules = {
         p.stem
         for p in directory.glob("*.py")
-        if p.stem not in ("__init__", "runner", "suite")
+        if p.stem not in ("__init__", "runner", "schedule", "suite")
     }
     assert modules == set(ALL_EXPERIMENTS)

@@ -1,0 +1,250 @@
+"""Suite-wide cell scheduler: enumeration, ordering, leases, drains."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.api import MobiusConfig
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.runner import ExperimentCell
+from repro.experiments.schedule import (
+    LEASE_DIRNAME,
+    build_schedule,
+    cell_result_fingerprint,
+    drain,
+    enumerate_cells,
+    figure_cells,
+    run_cells,
+)
+from repro.hardware.topology import commodity_server
+from repro.perf.cache import CACHE_VERSION, LeaseTable, cache_overridden, get_cache
+from repro.perf.fingerprint import fingerprint
+
+#: Modules cheap enough to actually drain inside a unit test.
+CHEAP = ["fig2_deepspeed_cdf", "sec23_deepspeed_profile", "fig12_overhead"]
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("name", ALL_EXPERIMENTS)
+    def test_every_module_enumerates(self, name):
+        """The tripwire: cells() exists, returns cells, and fast ⊆ full."""
+        fast = figure_cells(name, fast=True)
+        full = figure_cells(name, fast=False)
+        assert all(isinstance(cell, ExperimentCell) for cell in fast + full)
+        fast_keys = {fingerprint(cell) for cell in fast}
+        full_keys = {fingerprint(cell) for cell in full}
+        assert fast_keys <= full_keys, f"{name}: fast cells not a subset of full"
+
+    def test_suite_wide_dedup_exists(self):
+        """Figures genuinely share cells (fig2/sec23, fig10/fig11, fig7⊇fig8)."""
+        schedule = build_schedule(enumerate_cells(ALL_EXPERIMENTS, fast=False))
+        assert schedule.cells_deduped > 0
+        assert schedule.warm_chains >= 1
+        shared = [node for node in schedule.nodes if len(node.figures) > 1]
+        assert shared, "no cell is claimed by more than one figure"
+
+    def test_graph_is_acyclic_and_rank_ordered(self):
+        schedule = build_schedule(enumerate_cells(ALL_EXPERIMENTS, fast=False))
+        # Every edge points from lower-or-equal stage rank to higher (hint
+        # chains) or within a rank (solve groups) — so Kahn's algorithm
+        # must consume every node.
+        indegree = {node.index: len(node.deps) for node in schedule.nodes}
+        frontier = [i for i, d in indegree.items() if d == 0]
+        seen = 0
+        while frontier:
+            index = frontier.pop()
+            seen += 1
+            for dependent in schedule.nodes[index].dependents:
+                indegree[dependent] -= 1
+                if indegree[dependent] == 0:
+                    frontier.append(dependent)
+        assert seen == len(schedule.nodes), "cycle in the schedule graph"
+        for node in schedule.nodes:
+            for dep in node.deps:
+                assert (
+                    schedule.nodes[dep].cell.topology.n_gpus
+                    <= node.cell.topology.n_gpus
+                )
+
+    def test_sweep_orders_stage_counts(self):
+        """fig14's N-GPU cell precedes every (N+1)-GPU cell."""
+        schedule = build_schedule(enumerate_cells(["fig14_scalability"], fast=False))
+        ranks = sorted({node.cell.topology.n_gpus for node in schedule.nodes})
+        assert len(ranks) >= 3
+        for node in schedule.nodes:
+            rank = node.cell.topology.n_gpus
+            if rank > min(ranks):
+                dep_ranks = {schedule.nodes[d].cell.topology.n_gpus for d in node.deps}
+                assert dep_ranks, f"{rank}-GPU cell has no warm-start predecessor"
+                assert max(dep_ranks) < rank
+
+
+class TestLeaseTable:
+    def test_acquire_release_cycle(self, tmp_path):
+        table = LeaseTable(str(tmp_path))
+        assert table.acquire("system", "abc")
+        assert not table.acquire("system", "abc")
+        assert table.holder("system", "abc") == os.getpid()
+        table.release("system", "abc")
+        assert table.acquire("system", "abc")
+        table.release("system", "abc")
+
+    def test_wait_sees_release(self, tmp_path):
+        table = LeaseTable(str(tmp_path))
+        assert table.acquire("system", "abc")
+        polls = []
+
+        def sleeper(seconds):
+            polls.append(seconds)
+            table.release("system", "abc")
+
+        waiter = LeaseTable(str(tmp_path), sleeper=sleeper)
+        assert waiter.wait("system", "abc") == "released"
+        assert polls
+
+    def test_wait_breaks_stale_lease_of_dead_holder(self, tmp_path):
+        table = LeaseTable(str(tmp_path))
+        path = table._path("system", "abc")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # A PID that cannot be a live process holds the lease.
+        path.write_text("999999999")
+        waiter = LeaseTable(str(tmp_path), sleeper=lambda _: None)
+        assert waiter.wait("system", "abc") == "broken"
+        assert waiter.acquire("system", "abc")
+        waiter.release("system", "abc")
+
+    def test_wait_times_out(self, tmp_path):
+        table = LeaseTable(str(tmp_path))
+        assert table.acquire("system", "abc")
+        waiter = LeaseTable(str(tmp_path), max_polls=3, sleeper=lambda _: None)
+        assert waiter.wait("system", "abc") == "timeout"
+        table.release("system", "abc")
+
+    def test_release_without_acquire_is_noop(self, tmp_path):
+        LeaseTable(str(tmp_path)).release("system", "never-acquired")
+
+
+class TestDrain:
+    def test_jobs_identity_and_counter_pin(self, tmp_path):
+        """jobs=1 and jobs=2 drains: same fingerprint, same total misses."""
+        reports = {}
+        for jobs in (1, 2):
+            with cache_overridden(
+                memory=True, disk=True, directory=str(tmp_path / f"j{jobs}")
+            ):
+                reports[jobs] = run_cells(CHEAP, fast=True, jobs=jobs)
+        solo, pool = reports[1], reports[2]
+        assert solo.cells_fingerprint == pool.cells_fingerprint
+        assert solo.cells_unique == pool.cells_unique
+        assert solo.duplicate_solves == pool.duplicate_solves == 0
+        # The satellite pin: total "system" misses across all processes is
+        # exactly the unique-cell count, independent of the worker count.
+        for report in (solo, pool):
+            assert (
+                report.worker_cache["system"]["misses"] == report.cells_unique
+            ), report
+        # fig2 and sec23 share their cell; fig12 contributes plan-only cells.
+        assert pool.cells_deduped >= 1
+        assert pool.cells_computed == pool.cells_unique
+
+    def test_second_drain_is_fully_precached(self, tmp_path):
+        with cache_overridden(memory=True, disk=True, directory=str(tmp_path)):
+            first = run_cells(CHEAP, fast=True, jobs=1)
+            again = run_cells(CHEAP, fast=True, jobs=1)
+        assert again.cells_precached == first.cells_unique
+        assert again.cells_computed == 0
+        assert again.cells_fingerprint == first.cells_fingerprint
+
+    def test_plan_only_cells_have_plans_not_traces(self, tmp_path):
+        with cache_overridden(memory=True, disk=True, directory=str(tmp_path)):
+            run_cells(["fig12_overhead"], fast=True, jobs=1)
+            cache = get_cache()
+            for cell in figure_cells("fig12_overhead", fast=True):
+                result, found = cache.lookup("system", cell)
+                assert found
+                assert result.trace is None
+                assert result.extras["plan_report"].plan is not None
+
+    def test_contended_cell_coalesces_under_held_lease(self, tmp_path, monkeypatch):
+        """A lease held by a live process makes the drain wait, then read."""
+        from repro.experiments import schedule as schedule_mod
+
+        cell = figure_cells("fig2_deepspeed_cdf", fast=True)[0]
+        digest = fingerprint(cell)
+        with cache_overridden(memory=True, disk=True, directory=str(tmp_path)):
+            cache = get_cache()
+            lease_dir = str(tmp_path / f"v{CACHE_VERSION}" / LEASE_DIRNAME)
+            holder = LeaseTable(lease_dir)
+            assert holder.acquire("system", digest)
+
+            # While "another process" (this test, same live PID) holds the
+            # lease, it computes and publishes the result; our waiter polls,
+            # sees the release, and reads the published value.
+            def release_and_publish(_seconds):
+                from repro.experiments.runner import run_cell
+
+                result = run_cell(cell)
+                cache.store("system", cell, result)
+                holder.release("system", digest)
+
+            monkeypatch.setattr(
+                schedule_mod,
+                "LeaseTable",
+                lambda directory: LeaseTable(directory, sleeper=release_and_publish),
+            )
+            report = drain([("fig2", cell)], jobs=1)
+        assert report.cells_coalesced == 1
+        assert report.cells_computed == 0
+
+
+def _sweep_cell(tiny_model, n_gpus: int) -> ExperimentCell:
+    groups = [n_gpus - n_gpus // 2, n_gpus // 2]
+    return ExperimentCell(
+        system="mobius",
+        model=tiny_model,
+        topology=commodity_server(groups),
+        mobius_config=MobiusConfig(microbatch_size=1, partition_time_limit=1.0),
+    )
+
+
+class TestCrossProcessWarmStart:
+    def test_hint_flows_through_durable_store(self, tiny_model, tmp_path):
+        """The (N+1)-GPU solve in a *fresh process* consumes the N hint.
+
+        Each drain uses ``jobs=2``, so the solve happens in a pool worker
+        whose in-memory hint registry starts empty: the only way the second
+        drain's worker can warm-start is the durable hint store under the
+        shared cache directory.
+        """
+        n2 = _sweep_cell(tiny_model, 2)
+        n3 = _sweep_cell(tiny_model, 3)
+
+        # Cold reference: n3 solved alone, no hint anywhere.
+        with cache_overridden(
+            memory=True, disk=True, directory=str(tmp_path / "solo")
+        ):
+            solo = drain([("sweep", n3)], jobs=2)
+            cold = get_cache().lookup("system", n3)[0]
+        cold_partition = cold.extras["plan_report"].partition_result
+        assert not cold_partition.warm_started
+
+        # Warm path: n2 first (publishes its hint durably), n3 second.
+        with cache_overridden(
+            memory=True, disk=True, directory=str(tmp_path / "chain")
+        ):
+            drain([("sweep", n2)], jobs=2)
+            chained = drain([("sweep", n3)], jobs=2)
+            warm = get_cache().lookup("system", n3)[0]
+        warm_partition = warm.extras["plan_report"].partition_result
+        assert warm_partition.warm_started
+        assert warm_partition.nodes_explored <= cold_partition.nodes_explored
+
+        # Warm starts must be invisible in results: identical partitions,
+        # identical deterministic faces, identical drain fingerprints.
+        assert (
+            warm_partition.partition.boundaries == cold_partition.partition.boundaries
+        )
+        assert cell_result_fingerprint(warm) == cell_result_fingerprint(cold)
+        assert chained.cells_fingerprint == solo.cells_fingerprint
